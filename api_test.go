@@ -1,0 +1,190 @@
+package gemstone_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gemstone"
+)
+
+// The API tests exercise the public facade end to end on a small campaign;
+// the exhaustive behaviour tests live with the internal packages.
+
+func smallCampaign(t testing.TB) (*gemstone.RunSet, *gemstone.RunSet) {
+	t.Helper()
+	var profiles []gemstone.WorkloadProfile
+	for _, name := range []string{"dhrystone", "whetstone", "mi-qsort", "mi-crc32", "parsec-canneal-1"} {
+		p, err := gemstone.WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	opt := func() gemstone.CollectOptions {
+		return gemstone.CollectOptions{
+			Workloads: profiles,
+			Clusters:  []string{gemstone.ClusterA15},
+			Freqs:     map[string][]int{gemstone.ClusterA15: {1000}},
+		}
+	}
+	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hwRuns, simRuns
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	hwRuns, simRuns := smallCampaign(t)
+
+	vs, err := gemstone.Validate(hwRuns, simRuns, gemstone.ClusterA15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.MAPE <= 0 {
+		t.Fatal("expected a non-zero model error")
+	}
+
+	wc, err := gemstone.ClusterWorkloads(hwRuns, simRuns, gemstone.ClusterA15, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Rows) != 5 {
+		t.Fatalf("rows = %d", len(wc.Rows))
+	}
+
+	if _, err := gemstone.PMCErrorCorrelation(hwRuns, simRuns, gemstone.ClusterA15, 1000, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := gemstone.EventComparison(hwRuns, simRuns, gemstone.ClusterA15, 1000,
+		wc.Labels, nil, gemstone.DefaultMapping(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIWorkloadRegistry(t *testing.T) {
+	if len(gemstone.Workloads()) != 65 || len(gemstone.ValidationWorkloads()) != 45 {
+		t.Fatal("suite sizes")
+	}
+	if _, err := gemstone.WorkloadByName("definitely-not-a-workload"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	a7 := gemstone.ExperimentFrequencies(gemstone.ClusterA7)
+	a15 := gemstone.ExperimentFrequencies(gemstone.ClusterA15)
+	if len(a7) != 4 || len(a15) != 4 {
+		t.Fatal("experiment frequencies")
+	}
+}
+
+func TestPublicAPIStatsFileFlow(t *testing.T) {
+	prof, err := gemstone.WorkloadByName("dhrystone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gemstone.Gem5Platform(gemstone.V2).Run(prof, gemstone.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gemstone.WriteGem5StatsFile(&buf, gemstone.Gem5Stats(m)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := gemstone.ParseGem5StatsFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["sim_insts"] != float64(m.Sample.Tally.Committed) {
+		t.Fatal("round trip lost sim_insts")
+	}
+}
+
+func TestPublicAPIRunSetArchive(t *testing.T) {
+	hwRuns, _ := smallCampaign(t)
+	var buf bytes.Buffer
+	if err := gemstone.SaveRunSet(&buf, hwRuns); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gemstone.LoadRunSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Runs) != len(hwRuns.Runs) {
+		t.Fatal("archive round trip lost runs")
+	}
+}
+
+func TestPublicAPIPowerFlow(t *testing.T) {
+	hwRuns, simRuns := smallCampaign(t)
+	// Too few observations for a full model; use a tiny pool.
+	model, err := gemstone.BuildPowerModel(hwRuns, gemstone.ClusterA15, gemstone.PowerBuildOptions{
+		Pool:      gemstone.RestrictedPool(),
+		MaxEvents: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gemstone.SavePowerModel(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gemstone.LoadPowerModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply to a gem5 run through the mapping.
+	for key, m := range simRuns.Runs {
+		obs, err := gemstone.DefaultMapping().ObservationFromGem5(
+			key.Workload, key.Cluster, key.FreqMHz, 1.0, gemstone.Gem5Stats(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := loaded.Estimate(&obs); p <= 0 || p > 20 {
+			t.Fatalf("implausible power estimate %v W", p)
+		}
+	}
+	// Observation dataset round trip.
+	var obs []gemstone.PowerObservation
+	for _, m := range hwRuns.Runs {
+		obs = append(obs, gemstone.MeasurementObservation(m))
+	}
+	buf.Reset()
+	if err := gemstone.WriteObservationsCSV(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gemstone.ReadObservationsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(obs) {
+		t.Fatal("dataset round trip lost rows")
+	}
+}
+
+func TestPublicAPIMicrobenchmarks(t *testing.T) {
+	pts := gemstone.MemoryLatency(gemstone.HardwareA7(), 600, 256, []int{16 << 10, 8 << 20})
+	if len(pts) != 2 || pts[1].LatencyNs <= pts[0].LatencyNs {
+		t.Fatalf("latency curve shape: %+v", pts)
+	}
+}
+
+func TestPublicAPIDefects(t *testing.T) {
+	if len(gemstone.Gem5Defects()) != 10 {
+		t.Fatalf("defects = %d", len(gemstone.Gem5Defects()))
+	}
+	pl := gemstone.Gem5PlatformWithDefects(0)
+	if pl.Config().HasSensors {
+		t.Fatal("gem5 platform must not have sensors")
+	}
+}
+
+func TestPublicAPIOpLatency(t *testing.T) {
+	alu := gemstone.OpLatency(gemstone.HardwareA15(), gemstone.OpIntALU, 1000)
+	div := gemstone.OpLatency(gemstone.HardwareA15(), gemstone.OpIntDiv, 1000)
+	if div <= alu {
+		t.Fatalf("divide chain (%v cy) must exceed ALU chain (%v cy)", div, alu)
+	}
+}

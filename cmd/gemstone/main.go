@@ -1,0 +1,329 @@
+// Command gemstone runs the full GemStone pipeline: it characterises the
+// reference hardware platform, runs the gem5 model simulations, identifies
+// sources of error with the statistical analyses of the paper's Section
+// IV, builds and applies empirical power models (Sections V/VI), and
+// compares model versions (Section VII).
+//
+// Usage:
+//
+//	gemstone [flags]
+//
+//	-cluster   a15|a7        cluster to analyse            (default a15)
+//	-freq      MHz           analysis operating point      (default 1000)
+//	-version   1|2           gem5 model version            (default 1)
+//	-analyses  list          comma-separated subset of:
+//	                         validate,fig3,fig4,fig5,gem5corr,regress,
+//	                         fig6,power,fig7,fig8,versions,dendro,
+//	                         consistency,workloads  (default all)
+//	-workloads N             limit to the first N validation workloads
+//	-csvdir    dir           also write CSV artefacts into dir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gemstone"
+	"gemstone/internal/core"
+	"gemstone/internal/lmbench"
+	"gemstone/internal/pmu"
+	"gemstone/internal/report"
+	"gemstone/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gemstone: ")
+
+	cluster := flag.String("cluster", gemstone.ClusterA15, "cluster to analyse (a7|a15)")
+	freq := flag.Int("freq", 1000, "analysis frequency in MHz")
+	version := flag.Int("version", 1, "gem5 model version (1|2)")
+	analyses := flag.String("analyses", "all", "comma-separated analyses to run")
+	nWorkloads := flag.Int("workloads", 0, "limit to the first N validation workloads (0 = all)")
+	csvDir := flag.String("csvdir", "", "write CSV artefacts into this directory")
+	statsDir := flag.String("statsdir", "", "dump one gem5 stats.txt per model run into this directory")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, a := range strings.Split(*analyses, ",") {
+		want[strings.TrimSpace(a)] = true
+	}
+	on := func(name string) bool { return want["all"] || want[name] }
+
+	ver := gemstone.V1
+	if *version == 2 {
+		ver = gemstone.V2
+	}
+
+	profiles := gemstone.ValidationWorkloads()
+	if *nWorkloads > 0 && *nWorkloads < len(profiles) {
+		profiles = profiles[:*nWorkloads]
+	}
+	opt := func() gemstone.CollectOptions {
+		return gemstone.CollectOptions{
+			Workloads: profiles,
+			Clusters:  []string{*cluster},
+		}
+	}
+
+	log.Printf("collecting hardware characterisation (%d workloads, cluster %s)...", len(profiles), *cluster)
+	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("running gem5 %v simulations...", ver)
+	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(ver), opt())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *statsDir != "" {
+		if err := dumpStatsFiles(*statsDir, simRuns); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d stats.txt files to %s", len(simRuns.Runs), *statsDir)
+	}
+
+	var clustering *gemstone.WorkloadClustering
+	needClusters := on("fig3") || on("fig6") || on("fig7") || on("fig8") || on("versions")
+	if needClusters {
+		clustering, err = gemstone.ClusterWorkloads(hwRuns, simRuns, *cluster, *freq, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if on("validate") {
+		vs, err := gemstone.Validate(hwRuns, simRuns, *cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.ValidationSummary(fmt.Sprintf("gem5 %v vs hardware", ver), vs))
+		if mape, mpe, n := vs.SuiteSummary("parsec-"); n > 0 {
+			fmt.Printf("PARSEC only: MAPE %.1f%% MPE %+.1f%% (%d runs)\n", mape, mpe, n)
+		}
+		fmt.Println()
+	}
+	if on("fig3") {
+		fmt.Println(report.Fig3(clustering))
+		writeCSV(*csvDir, "fig3.csv", func() ([]string, [][]string) { return report.Fig3CSV(clustering) })
+	}
+	if on("fig4") {
+		curves := map[string][]lmbench.Point{}
+		sizes := gemstone.DefaultLatencySizes()
+		if *cluster == gemstone.ClusterA15 {
+			curves["hw-a15"] = gemstone.MemoryLatency(gemstone.HardwareA15(), *freq, 256, sizes)
+			curves["gem5-a15"] = gemstone.MemoryLatency(gemstone.Gem5Big(ver), *freq, 256, sizes)
+		} else {
+			curves["hw-a7"] = gemstone.MemoryLatency(gemstone.HardwareA7(), *freq, 256, sizes)
+			curves["gem5-a7"] = gemstone.MemoryLatency(gemstone.Gem5LITTLE(ver), *freq, 256, sizes)
+		}
+		fmt.Println(report.Fig4(curves))
+	}
+	if on("fig5") {
+		rows, err := gemstone.PMCErrorCorrelation(hwRuns, simRuns, *cluster, *freq, 30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.Fig5(rows))
+		writeCSV(*csvDir, "fig5.csv", func() ([]string, [][]string) { return report.Fig5CSV(rows) })
+	}
+	if on("workloads") {
+		fmt.Println("=== Workload suite ===")
+		fmt.Printf("%-26s %-12s %7s %10s\n", "name", "suite", "threads", "insts")
+		for _, p := range gemstone.Workloads() {
+			fmt.Printf("%-26s %-12s %7d %10d\n", p.Name, p.Suite, p.Threads, p.TotalInsts)
+		}
+		fmt.Println()
+	}
+	if on("dendro") {
+		// The hierarchical view behind the Fig. 3 cluster labels.
+		X, names, err := workloadRateMatrix(hwRuns, *cluster, *freq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dend := stats.Agglomerate(stats.EuclideanDist(stats.Standardize(X)), stats.AverageLinkage)
+		fmt.Println("=== Workload dendrogram (HCA of HW PMC rates) ===")
+		fmt.Println(report.Dendrogram(dend, names))
+	}
+	if on("consistency") {
+		fc, err := core.ErrorConsistency(hwRuns, simRuns, *cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("=== Cross-frequency error-pattern consistency ===")
+		for _, p := range fc.Pairs {
+			fmt.Printf("  %4d vs %4d MHz: pearson %+.2f  rank %+.2f\n",
+				p.FreqA, p.FreqB, p.Pearson, p.Spearman)
+		}
+		fmt.Println()
+	}
+	if on("gem5corr") {
+		rows, err := gemstone.Gem5EventCorrelation(hwRuns, simRuns, *cluster, *freq, 0.3, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.Gem5Correlation(rows))
+	}
+	if on("regress") {
+		sw := gemstone.DefaultStepwiseOptions()
+		sw.MaxTerms = 8
+		pmcRep, err := gemstone.ErrorRegressionPMC(hwRuns, simRuns, *cluster, *freq, sw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g5Rep, err := gemstone.ErrorRegressionGem5(hwRuns, simRuns, *cluster, *freq, sw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.Regression(pmcRep, g5Rep))
+	}
+	if on("fig6") {
+		excl := pathologicalCluster(clustering)
+		ratios, bp, err := gemstone.EventComparison(hwRuns, simRuns, *cluster, *freq,
+			clustering.Labels, nil, gemstone.DefaultMapping(), excl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.Fig6(ratios, bp))
+	}
+
+	var model *gemstone.PowerModel
+	if on("power") || on("fig7") || on("fig8") || on("versions") {
+		log.Printf("building %s power model (restricted pool)...", *cluster)
+		model, err = gemstone.BuildPowerModel(hwRuns, *cluster,
+			gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if on("power") {
+		fmt.Println(report.PowerModel(model))
+		fmt.Println("run-time gem5 equation:")
+		fmt.Println("  " + model.Equation(gemstone.DefaultMapping()))
+		fmt.Println()
+	}
+	if on("fig7") {
+		an, err := gemstone.AnalyzePowerEnergy(model, gemstone.DefaultMapping(),
+			hwRuns, simRuns, *cluster, *freq, clustering.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.Fig7(an))
+	}
+	if on("fig8") {
+		models := map[string]*gemstone.PowerModel{*cluster: model}
+		baseFreq := gemstone.ExperimentFrequencies(*cluster)[0]
+		hwCurve, err := gemstone.ScalingAnalysis(hwRuns, models, gemstone.DefaultMapping(),
+			false, clustering.Labels, *cluster, baseFreq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simCurve, err := gemstone.ScalingAnalysis(simRuns, models, gemstone.DefaultMapping(),
+			true, clustering.Labels, *cluster, baseFreq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.Fig8(hwCurve, simCurve))
+	}
+	if on("versions") {
+		other := gemstone.V2
+		if ver == gemstone.V2 {
+			other = gemstone.V1
+		}
+		log.Printf("running gem5 %v simulations for the version comparison...", other)
+		otherRuns, err := gemstone.Collect(gemstone.Gem5Platform(other), opt())
+		if err != nil {
+			log.Fatal(err)
+		}
+		v1Runs, v2Runs := simRuns, otherRuns
+		if ver == gemstone.V2 {
+			v1Runs, v2Runs = otherRuns, simRuns
+		}
+		vc, err := gemstone.CompareVersions(hwRuns, v1Runs, v2Runs, *cluster, *freq,
+			model, gemstone.DefaultMapping(), clustering.Labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.Versions(vc))
+	}
+}
+
+// workloadRateMatrix rebuilds the standardisable PMC-rate matrix of the
+// hardware runs for dendrogram rendering (workload x event rates).
+func workloadRateMatrix(hwRuns *gemstone.RunSet, cluster string, freq int) ([][]float64, []string, error) {
+	names := hwRuns.Workloads()
+	var rows [][]float64
+	var kept []string
+	for _, name := range names {
+		m, err := hwRuns.Get(gemstone.RunKey{Workload: name, Cluster: cluster, FreqMHz: freq})
+		if err != nil {
+			continue
+		}
+		var row []float64
+		for _, e := range pmu.AllEvents() {
+			row = append(row, m.Sample.Rate(e))
+		}
+		rows = append(rows, row)
+		kept = append(kept, name)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("no runs for %s at %d MHz", cluster, freq)
+	}
+	return rows, kept, nil
+}
+
+// pathologicalCluster mimics the paper's Fig. 6 mean, which excludes its
+// Cluster 16 (the extreme-regularity loop kernels).
+func pathologicalCluster(wc *gemstone.WorkloadClustering) map[int]bool {
+	excl := map[int]bool{}
+	if l, ok := wc.Labels["par-basicmath-rad2deg"]; ok {
+		excl[l] = true
+	}
+	return excl
+}
+
+// dumpStatsFiles writes one gem5-format stats.txt per run, named
+// <workload>-<cluster>-<freq>.stats.txt — the files a real gem5 campaign
+// would leave behind for retrospective analysis.
+func dumpStatsFiles(dir string, rs *gemstone.RunSet) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for key, m := range rs.Runs {
+		name := fmt.Sprintf("%s-%s-%d.stats.txt", key.Workload, key.Cluster, key.FreqMHz)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = gemstone.WriteGem5StatsFile(f, gemstone.Gem5Stats(m))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, name string, gen func() ([]string, [][]string)) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	header, rows := gen()
+	if err := report.WriteCSV(f, header, rows); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Command modelcheck is the regression gate the paper motivates in
+// Section VII: "a researcher would see very different results for their
+// study depending on when they downloaded gem5 ... GemStone can be run
+// after a change has been made to the simulator to verify the model
+// behaviour against the HW reference (i.e. ensuring no major bugs have
+// been introduced)."
+//
+// It validates a gem5 model version against the hardware reference and
+// exits non-zero if the execution-time error exceeds the given bounds, so
+// it can gate a CI pipeline.
+//
+// Usage:
+//
+//	modelcheck [-cluster a15|a7] [-version 1|2]
+//	           [-max-mape pct] [-max-abs-mpe pct] [-workloads N]
+//
+// Example: `modelcheck -version 2 -max-mape 25 -max-abs-mpe 20` passes for
+// the fixed model and fails (exit 1) for the buggy one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gemstone"
+	"gemstone/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelcheck: ")
+
+	cluster := flag.String("cluster", gemstone.ClusterA15, "cluster to validate (a7|a15)")
+	version := flag.Int("version", 1, "gem5 model version (1|2)")
+	maxMAPE := flag.Float64("max-mape", 25, "fail if MAPE exceeds this percentage")
+	maxAbsMPE := flag.Float64("max-abs-mpe", 20, "fail if |MPE| exceeds this percentage")
+	nWorkloads := flag.Int("workloads", 0, "limit to the first N validation workloads (0 = all)")
+	flag.Parse()
+
+	ver := gemstone.V1
+	if *version == 2 {
+		ver = gemstone.V2
+	}
+	profiles := gemstone.ValidationWorkloads()
+	if *nWorkloads > 0 && *nWorkloads < len(profiles) {
+		profiles = profiles[:*nWorkloads]
+	}
+	opt := func() gemstone.CollectOptions {
+		return gemstone.CollectOptions{Workloads: profiles, Clusters: []string{*cluster}}
+	}
+
+	log.Printf("validating gem5 %v (%s) against the hardware reference...", ver, *cluster)
+	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(ver), opt())
+	if err != nil {
+		log.Fatal(err)
+	}
+	vs, err := gemstone.Validate(hwRuns, simRuns, *cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.ValidationSummary(fmt.Sprintf("modelcheck gem5 %v", ver), vs))
+
+	ok := true
+	if vs.MAPE > *maxMAPE {
+		fmt.Printf("FAIL: MAPE %.1f%% exceeds bound %.1f%%\n", vs.MAPE, *maxMAPE)
+		ok = false
+	}
+	abs := vs.MPE
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs > *maxAbsMPE {
+		fmt.Printf("FAIL: |MPE| %.1f%% exceeds bound %.1f%%\n", abs, *maxAbsMPE)
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: within bounds (MAPE <= %.1f%%, |MPE| <= %.1f%%)\n", *maxMAPE, *maxAbsMPE)
+}

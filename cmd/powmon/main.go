@@ -1,0 +1,62 @@
+// Command powmon builds and validates the empirical PMC-based power models
+// of the paper's Section V: it runs the power-characterisation experiments
+// (all 65 workloads across the cluster's DVFS points on the reference
+// board), selects PMC events with constrained forward-stepwise regression,
+// fits the model, reports the quality statistics, and prints the run-time
+// power equation that can be inserted into gem5.
+//
+// Usage:
+//
+//	powmon [-cluster a15|a7] [-pool restricted|full] [-maxevents N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gemstone"
+	"gemstone/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powmon: ")
+
+	cluster := flag.String("cluster", gemstone.ClusterA15, "cluster to model (a7|a15)")
+	pool := flag.String("pool", "restricted", "candidate event pool: restricted (gem5-compatible) or full")
+	maxEvents := flag.Int("maxevents", 0, "cap on selected events (0 = p-value rule only)")
+	flag.Parse()
+
+	opt := gemstone.PowerBuildOptions{MaxEvents: *maxEvents}
+	switch *pool {
+	case "restricted":
+		opt.Pool = gemstone.RestrictedPool()
+	case "full":
+		opt.Pool = gemstone.DefaultPool()
+	default:
+		log.Fatalf("unknown pool %q (want restricted|full)", *pool)
+	}
+
+	// Experiments 3/4: every workload (including the Longbottom/LMbench
+	// stressors) at every DVFS point, with power sensing.
+	log.Printf("characterising %s power across %d workloads x %d DVFS points...",
+		*cluster, len(gemstone.Workloads()), len(gemstone.ExperimentFrequencies(*cluster)))
+	runs, err := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+		Workloads: gemstone.Workloads(),
+		Clusters:  []string{*cluster},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := gemstone.BuildPowerModel(runs, *cluster, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.PowerModel(model))
+	fmt.Println("\nmodel form:")
+	fmt.Println("  " + model.String())
+	fmt.Println("\nrun-time gem5 power equation:")
+	fmt.Println("  " + model.Equation(gemstone.DefaultMapping()))
+}

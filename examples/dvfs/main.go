@@ -1,0 +1,76 @@
+// dvfs reproduces the paper's Fig. 8 study: how performance, power and
+// energy scale across DVFS levels and between the big and LITTLE clusters,
+// on hardware versus the gem5 model, normalised to the Cortex-A7 at
+// 200 MHz. It also reports the Section VI Cortex-A15 speedup and energy
+// spread between 600 MHz and 1.8 GHz. Run with:
+//
+//	go run ./examples/dvfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gemstone"
+	"gemstone/internal/report"
+)
+
+func main() {
+	// A representative workload subset keeps this example quick while
+	// spanning compute-, memory- and FP-bound behaviour.
+	var profiles []gemstone.WorkloadProfile
+	for _, name := range []string{
+		"dhrystone", "whetstone", "mi-crc32", "mi-qsort", "mi-fft",
+		"parsec-canneal-1", "parsec-blackscholes-1", "parsec-streamcluster-1",
+	} {
+		p, err := gemstone.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	opt := func() gemstone.CollectOptions {
+		return gemstone.CollectOptions{Workloads: profiles}
+	}
+
+	log.Println("collecting hardware runs (both clusters, all DVFS points)...")
+	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Println("collecting gem5 v1 runs...")
+	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Power models for both clusters, trained on the hardware runs.
+	models := map[string]*gemstone.PowerModel{}
+	for _, cl := range []string{gemstone.ClusterA7, gemstone.ClusterA15} {
+		m, err := gemstone.BuildPowerModel(hwRuns, cl,
+			gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		models[cl] = m
+	}
+
+	clustering, err := gemstone.ClusterWorkloads(hwRuns, simRuns, gemstone.ClusterA15, 1000, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapping := gemstone.DefaultMapping()
+
+	hwCurve, err := gemstone.ScalingAnalysis(hwRuns, models, mapping, false,
+		clustering.Labels, gemstone.ClusterA7, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simCurve, err := gemstone.ScalingAnalysis(simRuns, models, mapping, true,
+		clustering.Labels, gemstone.ClusterA7, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Fig8(hwCurve, simCurve))
+	fmt.Println()
+}

@@ -1,0 +1,68 @@
+// powerstudy reproduces the paper's Sections V and VI: build an empirical
+// PMC-based power model for the Cortex-A15 from the 65-workload power
+// characterisation, validate it against the board's sensors, then apply
+// the same model to hardware PMC data and to gem5 statistics and compare
+// the resulting power and energy (Fig. 7).
+//
+// The headline effect: the gem5 model's event errors largely cancel in the
+// power estimate (small power MAPE) but the execution-time error passes
+// straight into energy (large energy MAPE). Run with:
+//
+//	go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gemstone"
+	"gemstone/internal/report"
+)
+
+func main() {
+	const cluster = gemstone.ClusterA15
+
+	// Experiments 3/4: all 65 workloads, all DVFS points, sensors on.
+	log.Println("power characterisation (65 workloads x 4 DVFS points)...")
+	powerRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+		Workloads: gemstone.Workloads(),
+		Clusters:  []string{cluster},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Section V: constrained stepwise selection over gem5-compatible
+	// events, then OLS formulation.
+	model, err := gemstone.BuildPowerModel(powerRuns, cluster,
+		gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.PowerModel(model))
+	fmt.Println()
+
+	// Section VI: apply the model to both platforms at 1 GHz.
+	log.Println("running gem5 v1 for the energy comparison...")
+	opt := gemstone.CollectOptions{
+		Clusters: []string{cluster},
+		Freqs:    map[string][]int{cluster: {1000}},
+	}
+	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clustering, err := gemstone.ClusterWorkloads(powerRuns, simRuns, cluster, 1000, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := gemstone.AnalyzePowerEnergy(model, gemstone.DefaultMapping(),
+		powerRuns, simRuns, cluster, 1000, clustering.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Fig7(an))
+
+	fmt.Println("\nrun-time power equation for gem5:")
+	fmt.Println("  " + model.Equation(gemstone.DefaultMapping()))
+}

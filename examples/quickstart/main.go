@@ -1,0 +1,60 @@
+// Quickstart: validate a gem5 CPU model against the reference hardware
+// platform in a dozen lines.
+//
+// This is the paper's core loop — run the same workloads on hardware
+// (Experiment 1) and on the gem5 model (Experiment 2), then compare
+// execution times. A negative MPE means the model overestimates execution
+// time. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gemstone"
+)
+
+func main() {
+	// A small, diverse slice of the validation suite keeps the quickstart
+	// fast; drop the Workloads field to run all 45 validation workloads.
+	var profiles []gemstone.WorkloadProfile
+	for _, name := range []string{
+		"dhrystone", "whetstone", "mi-qsort", "mi-crc32",
+		"par-basicmath-rad2deg", "parsec-blackscholes-1", "parsec-canneal-1",
+	} {
+		p, err := gemstone.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	opt := gemstone.CollectOptions{
+		Workloads: profiles,
+		Clusters:  []string{gemstone.ClusterA15},
+		Freqs:     map[string][]int{gemstone.ClusterA15: {1000}},
+	}
+
+	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	summary, err := gemstone.Validate(hwRuns, simRuns, gemstone.ClusterA15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gem5 ex5_big (v1) vs hardware, Cortex-A15 @ 1 GHz\n")
+	fmt.Printf("  MAPE %.1f%%   MPE %+.1f%%\n\n", summary.MAPE, summary.MPE)
+	fmt.Printf("%-26s %12s %12s %9s\n", "workload", "hw time", "gem5 time", "PE")
+	for _, e := range summary.ErrorsAt(1000) {
+		fmt.Printf("%-26s %9.2f ms %9.2f ms %+8.1f%%\n",
+			e.Workload, e.HWSeconds*1e3, e.SimSeconds*1e3, e.PE)
+	}
+	fmt.Println("\nNegative PE = the model overestimates execution time (paper convention).")
+}

@@ -1,0 +1,120 @@
+// retrospective demonstrates the paper's Fig. 2 software tool: a power
+// model is applied to archived gem5 statistics files *after* the
+// simulation, so the model — or the voltage assumed for a frequency — can
+// change without re-running gem5.
+//
+// The example is self-contained: it first produces the artefacts a real
+// campaign would leave on disk (a trained power model as JSON and one
+// gem5 stats.txt per workload), then performs a purely file-based
+// retrospective analysis, including a what-if voltage study. Run with:
+//
+//	go run ./examples/retrospective
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gemstone"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gemstone-retro")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const cluster = gemstone.ClusterA15
+	const freq = 1000
+	workloads := []string{"dhrystone", "whetstone", "mi-qsort", "parsec-canneal-1"}
+
+	// ---- Phase 1: produce the on-disk artefacts --------------------------
+
+	log.Println("training the power model (65-workload characterisation)...")
+	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+		Workloads: gemstone.Workloads(), Clusters: []string{cluster}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := gemstone.BuildPowerModel(hwRuns, cluster,
+		gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "a15-power-model.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gemstone.SavePowerModel(f, model); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	log.Println("running gem5 simulations and dumping stats.txt files...")
+	sim := gemstone.Gem5Platform(gemstone.V1)
+	for _, name := range workloads {
+		prof, err := gemstone.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := sim.Run(prof, cluster, freq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gemstone.WriteGem5StatsFile(&buf, gemstone.Gem5Stats(m)); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+"-stats.txt"), buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// ---- Phase 2: retrospective analysis, files only ---------------------
+
+	mf, err := os.Open(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := gemstone.LoadPowerModel(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapping := gemstone.DefaultMapping()
+
+	fmt.Printf("retrospective power/energy from archived gem5 stats (%s @ %d MHz):\n\n", cluster, freq)
+	fmt.Printf("%-22s %12s %12s %12s %14s\n", "workload", "sim time", "power@1.00V", "power@1.10V", "energy@1.00V")
+	for _, name := range workloads {
+		raw, err := os.ReadFile(filepath.Join(dir, name+"-stats.txt"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := gemstone.ParseGem5StatsFile(bytes.NewReader(raw))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The Fig. 2 workflow: the same stats, two voltage assumptions —
+		// no re-simulation needed.
+		obsNominal, err := mapping.ObservationFromGem5(name, cluster, freq, 1.00, stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obsOverdrive, err := mapping.ObservationFromGem5(name, cluster, freq, 1.10, stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := stats["sim_seconds"]
+		p0 := loaded.Estimate(&obsNominal)
+		p1 := loaded.Estimate(&obsOverdrive)
+		fmt.Printf("%-22s %9.2f ms %10.3f W %10.3f W %11.3f mJ\n",
+			name, secs*1e3, p0, p1, p0*secs*1e3)
+	}
+	fmt.Println("\nrun-time equation (for insertion into gem5 itself):")
+	fmt.Println("  " + loaded.Equation(mapping))
+}

@@ -1,0 +1,3 @@
+module gemstone
+
+go 1.22

@@ -1,0 +1,374 @@
+// Package branch implements the branch-prediction substrate: a tournament
+// direction predictor (bimodal + gshare + chooser), a branch target buffer,
+// a return-address stack and an indirect-target predictor.
+//
+// The package also implements the specification defect at the heart of the
+// paper's Section IV/VII finding. The gem5 ex5_big model of its day carried
+// a branch-predictor bug that collapsed prediction accuracy from the
+// hardware's ~96% to ~65% on average — and to below 1% on one highly
+// regular ParMiBench loop kernel that the hardware predicted at 99.9%.
+// We model this as a train/read index skew in the global history component
+// (Config.BugSkewedUpdate): the predictor trains one PHT entry but consults
+// a different one, so strongly biased branches are steered by untrained
+// counters. Regular workloads are hit hardest, exactly as in the paper,
+// and fixing the bug (gem5 v2) swings the execution-time MPE sign.
+package branch
+
+import "fmt"
+
+// Config describes one predictor instance.
+type Config struct {
+	// Name identifies the predictor in diagnostics.
+	Name string
+	// GlobalBits sets the gshare history length and PHT size (2^bits).
+	GlobalBits int
+	// LocalBits sets the bimodal PHT size (2^bits).
+	LocalBits int
+	// ChoiceBits sets the tournament chooser size (2^bits).
+	ChoiceBits int
+	// BTBEntries is the branch target buffer capacity (power of two).
+	BTBEntries int
+	// RASEntries is the return-address stack depth.
+	RASEntries int
+	// IndirectEntries is the indirect-target predictor capacity (pow2).
+	IndirectEntries int
+	// BugSkewedUpdate enables the gem5-v1 defect: global-component PHT
+	// updates are written to a skewed index so the entries consulted at
+	// prediction time are never the entries being trained.
+	BugSkewedUpdate bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.GlobalBits <= 0 || c.GlobalBits > 24 ||
+		c.LocalBits <= 0 || c.LocalBits > 24 ||
+		c.ChoiceBits <= 0 || c.ChoiceBits > 24 {
+		return fmt.Errorf("branch: %q: table bits out of range", c.Name)
+	}
+	for _, n := range []int{c.BTBEntries, c.IndirectEntries} {
+		if n <= 0 || n&(n-1) != 0 {
+			return fmt.Errorf("branch: %q: entry count %d not a positive power of two", c.Name, n)
+		}
+	}
+	if c.RASEntries <= 0 {
+		return fmt.Errorf("branch: %q: RAS depth must be positive", c.Name)
+	}
+	return nil
+}
+
+// Stats accumulates predictor event counts. These feed both the ARM PMU
+// events (0x10 BR_MIS_PRED, 0x12 BR_PRED) and the gem5 branchPred.* stats.
+type Stats struct {
+	Lookups             uint64 // all control-flow instructions seen
+	CondLookups         uint64 // conditional branches
+	Mispredicts         uint64 // any kind of misprediction
+	CondMispredicts     uint64 // direction mispredictions
+	TargetMispredicts   uint64 // right direction, wrong/unknown target
+	BTBLookups          uint64
+	BTBHits             uint64
+	RASPushes           uint64
+	RASPops             uint64
+	RASIncorrect        uint64 // return target popped from RAS was wrong
+	IndirectLookups     uint64
+	IndirectHits        uint64
+	IndirectMispredicts uint64
+	PredictedTaken      uint64 // conditional branches predicted taken
+}
+
+// Accuracy returns the fraction of lookups predicted correctly.
+func (s *Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredicts)/float64(s.Lookups)
+}
+
+// Predictor is the tournament predictor with BTB, RAS and indirect table.
+type Predictor struct {
+	cfg Config
+	// Stats is exported for the PMU/stats layers to read directly.
+	Stats Stats
+
+	globalPHT []uint8 // 2-bit counters
+	localPHT  []uint8
+	choice    []uint8 // 2-bit: >=2 prefer global
+	history   uint64
+	histMask  uint64
+
+	// BTB: 2-way set-associative with LRU (btbMRU marks the most
+	// recently used way per set).
+	btbTags    []uint64 // 2 ways per set, interleaved
+	btbTargets []uint64
+	btbMRU     []uint8
+	btbMask    uint64 // set mask
+
+	ras    []uint64
+	rasTop int
+
+	indTags    []uint64
+	indTargets []uint64
+	indMask    uint64
+}
+
+// New builds a predictor, panicking on invalid configuration.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Predictor{
+		cfg:        cfg,
+		globalPHT:  make([]uint8, 1<<cfg.GlobalBits),
+		localPHT:   make([]uint8, 1<<cfg.LocalBits),
+		choice:     make([]uint8, 1<<cfg.ChoiceBits),
+		histMask:   (1 << cfg.GlobalBits) - 1,
+		btbTags:    make([]uint64, cfg.BTBEntries),
+		btbTargets: make([]uint64, cfg.BTBEntries),
+		btbMRU:     make([]uint8, cfg.BTBEntries/2),
+		btbMask:    uint64(cfg.BTBEntries/2 - 1),
+		ras:        make([]uint64, cfg.RASEntries),
+		indTags:    make([]uint64, cfg.IndirectEntries),
+		indTargets: make([]uint64, cfg.IndirectEntries),
+		indMask:    uint64(cfg.IndirectEntries - 1),
+	}
+	// Initialise direction counters to weakly not-taken and choosers to
+	// weakly-global, matching common simulator defaults. The weakly
+	// not-taken start is what makes the skewed-update bug catastrophic for
+	// almost-always-taken loop branches.
+	for i := range p.choice {
+		p.choice[i] = 2
+	}
+	for i := range p.globalPHT {
+		p.globalPHT[i] = 1
+	}
+	for i := range p.localPHT {
+		p.localPHT[i] = 1
+	}
+	return p
+}
+
+// Config returns the predictor configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+func taken2(c uint8) bool { return c >= 2 }
+
+func inc2(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func dec2(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func (p *Predictor) globalIndex(pc uint64) uint64 {
+	return ((pc >> 2) ^ p.history) & p.histMask
+}
+
+// skewedGlobalIndex is the defective update index used when
+// BugSkewedUpdate is set: a wrong folding constant is XORed into the PHT
+// update address, so the entry trained is never the entry that the same
+// (pc, history) pair reads at prediction time. Branches with a small set of
+// recurring history values — regular loops — are steered by counters that
+// are never trained and stay at their weakly-not-taken reset value, which
+// is what collapses accuracy on the paper's most regular workloads.
+func (p *Predictor) skewedGlobalIndex(pc uint64) uint64 {
+	return ((pc >> 2) ^ p.history ^ 0x155) & p.histMask
+}
+
+func (p *Predictor) localIndex(pc uint64) uint64 {
+	return ((pc >> 2) ^ (pc >> 14)) & ((1 << p.cfg.LocalBits) - 1)
+}
+
+func (p *Predictor) choiceIndex(pc uint64) uint64 {
+	return ((pc >> 2) ^ (pc >> 14)) & ((1 << p.cfg.ChoiceBits) - 1)
+}
+
+// PredictCond returns the predicted direction for a conditional branch and
+// trains the predictor with the actual outcome. It returns whether the
+// overall prediction (direction and, if taken, target) was correct; the
+// pipeline charges the mispredict penalty when it was not.
+func (p *Predictor) PredictCond(pc uint64, actualTaken bool, actualTarget uint64) bool {
+	p.Stats.Lookups++
+	p.Stats.CondLookups++
+
+	gi := p.globalIndex(pc)
+	li := p.localIndex(pc)
+	ci := p.choiceIndex(pc)
+
+	gPred := taken2(p.globalPHT[gi])
+	lPred := taken2(p.localPHT[li])
+	pred := lPred
+	useGlobal := taken2(p.choice[ci])
+	if useGlobal {
+		pred = gPred
+	}
+	if pred {
+		p.Stats.PredictedTaken++
+	}
+
+	// Target check: a correctly predicted-taken branch still mispredicts
+	// if the BTB has no (or a wrong) target.
+	targetOK := true
+	if pred && actualTaken {
+		targetOK = p.btbLookupAndTrain(pc, actualTarget)
+	} else if actualTaken {
+		// Not predicted taken: train the BTB anyway so the next encounter
+		// has the target available.
+		p.btbTrain(pc, actualTarget)
+	}
+
+	correct := pred == actualTaken && targetOK
+	if !correct {
+		p.Stats.Mispredicts++
+		if pred != actualTaken {
+			p.Stats.CondMispredicts++
+		} else {
+			p.Stats.TargetMispredicts++
+		}
+	}
+
+	// Chooser update: strengthen whichever component was right when they
+	// disagree. The skewed-update bug corrupts this index too (both tables
+	// are written through the same defective update path in gem5 v1), so
+	// the chooser consulted at prediction time keeps its weakly-global
+	// reset value and the broken global component stays in charge.
+	uc := ci
+	if p.cfg.BugSkewedUpdate {
+		uc = (ci + 1) & ((1 << p.cfg.ChoiceBits) - 1)
+	}
+	if gPred != lPred {
+		if gPred == actualTaken {
+			p.choice[uc] = inc2(p.choice[uc])
+		} else {
+			p.choice[uc] = dec2(p.choice[uc])
+		}
+	}
+
+	// Direction training.
+	ui := gi
+	if p.cfg.BugSkewedUpdate {
+		ui = p.skewedGlobalIndex(pc)
+	}
+	if actualTaken {
+		p.globalPHT[ui] = inc2(p.globalPHT[ui])
+		p.localPHT[li] = inc2(p.localPHT[li])
+	} else {
+		p.globalPHT[ui] = dec2(p.globalPHT[ui])
+		p.localPHT[li] = dec2(p.localPHT[li])
+	}
+
+	// History update.
+	p.history = ((p.history << 1) | boolBit(actualTaken)) & p.histMask
+
+	return correct
+}
+
+// PredictUncond handles a direct unconditional branch or call: direction is
+// always taken; only the target can mispredict (BTB cold/alias).
+func (p *Predictor) PredictUncond(pc, actualTarget uint64) bool {
+	p.Stats.Lookups++
+	ok := p.btbLookupAndTrain(pc, actualTarget)
+	if !ok {
+		p.Stats.Mispredicts++
+		p.Stats.TargetMispredicts++
+	}
+	return ok
+}
+
+// Call records a call instruction: predicts like an unconditional branch
+// and pushes the return address onto the RAS.
+func (p *Predictor) Call(pc, actualTarget, returnAddr uint64) bool {
+	ok := p.PredictUncond(pc, actualTarget)
+	p.Stats.RASPushes++
+	p.ras[p.rasTop] = returnAddr
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	return ok
+}
+
+// Return predicts a function return via the RAS.
+func (p *Predictor) Return(pc, actualTarget uint64) bool {
+	p.Stats.Lookups++
+	p.Stats.RASPops++
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	predicted := p.ras[p.rasTop]
+	if predicted != actualTarget {
+		p.Stats.RASIncorrect++
+		p.Stats.Mispredicts++
+		p.Stats.TargetMispredicts++
+		return false
+	}
+	return true
+}
+
+// Indirect predicts an indirect branch through the indirect-target table.
+func (p *Predictor) Indirect(pc, actualTarget uint64) bool {
+	p.Stats.Lookups++
+	p.Stats.IndirectLookups++
+	idx := ((pc >> 2) ^ p.history) & p.indMask
+	ok := p.indTags[idx] == pc && p.indTargets[idx] == actualTarget
+	if ok {
+		p.Stats.IndirectHits++
+	} else {
+		p.Stats.IndirectMispredicts++
+		p.Stats.Mispredicts++
+		p.Stats.TargetMispredicts++
+	}
+	p.indTags[idx] = pc
+	p.indTargets[idx] = actualTarget
+	return ok
+}
+
+// btbIndex spreads branch PCs across the BTB sets; block-strided code
+// would otherwise alias heavily in a power-of-two table.
+func (p *Predictor) btbIndex(pc uint64) uint64 {
+	return ((pc >> 2) ^ (pc >> 13)) & p.btbMask
+}
+
+func (p *Predictor) btbLookupAndTrain(pc, actualTarget uint64) bool {
+	p.Stats.BTBLookups++
+	set := p.btbIndex(pc)
+	w0 := set * 2
+	ok := false
+	for w := uint64(0); w < 2; w++ {
+		if p.btbTags[w0+w] == pc {
+			ok = p.btbTargets[w0+w] == actualTarget
+			p.btbTargets[w0+w] = actualTarget
+			p.btbMRU[set] = uint8(w)
+			break
+		}
+	}
+	if ok {
+		p.Stats.BTBHits++
+	} else {
+		p.btbTrain(pc, actualTarget)
+	}
+	return ok
+}
+
+func (p *Predictor) btbTrain(pc, actualTarget uint64) {
+	set := p.btbIndex(pc)
+	w0 := set * 2
+	for w := uint64(0); w < 2; w++ {
+		if p.btbTags[w0+w] == pc {
+			p.btbTargets[w0+w] = actualTarget
+			p.btbMRU[set] = uint8(w)
+			return
+		}
+	}
+	victim := uint64(1 - p.btbMRU[set]) // LRU way
+	p.btbTags[w0+victim] = pc
+	p.btbTargets[w0+victim] = actualTarget
+	p.btbMRU[set] = uint8(victim)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,229 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gemstone/internal/xrand"
+)
+
+func testConfig() Config {
+	return Config{
+		Name: "test", GlobalBits: 12, LocalBits: 12, ChoiceBits: 12,
+		BTBEntries: 1024, RASEntries: 16, IndirectEntries: 256,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.GlobalBits = 0 },
+		func(c *Config) { c.LocalBits = 30 },
+		func(c *Config) { c.ChoiceBits = -1 },
+		func(c *Config) { c.BTBEntries = 100 },
+		func(c *Config) { c.RASEntries = 0 },
+		func(c *Config) { c.IndirectEntries = 0 },
+	}
+	for i, mut := range mutations {
+		cfg := testConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+// runLoopPattern simulates a loop branch: taken (iters-1) times, then
+// not-taken, repeated. Returns prediction accuracy on the loop branch.
+func runLoopPattern(p *Predictor, iters, reps int) float64 {
+	const pc, target = 0x8000, 0x7F00
+	correct, total := 0, 0
+	for r := 0; r < reps; r++ {
+		for i := 0; i < iters; i++ {
+			taken := i < iters-1
+			if p.PredictCond(pc, taken, target) {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestLoopBranchLearnedByHealthyPredictor(t *testing.T) {
+	p := New(testConfig())
+	acc := runLoopPattern(p, 8, 500)
+	if acc < 0.95 {
+		t.Fatalf("healthy predictor accuracy on regular loop = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestSkewedUpdateBugCollapsesLoopAccuracy(t *testing.T) {
+	cfg := testConfig()
+	cfg.BugSkewedUpdate = true
+	p := New(cfg)
+	acc := runLoopPattern(p, 8, 500)
+	if acc > 0.30 {
+		t.Fatalf("buggy predictor accuracy on regular loop = %.3f, want <= 0.30 "+
+			"(the paper observed 0.86%% on par-basicmath-rad2deg)", acc)
+	}
+	healthy := New(testConfig())
+	haccc := runLoopPattern(healthy, 8, 500)
+	if haccc <= acc {
+		t.Fatalf("bug must degrade accuracy: healthy %.3f vs buggy %.3f", haccc, acc)
+	}
+}
+
+func TestBiasedBranchPrediction(t *testing.T) {
+	// A 90%-taken data-dependent branch should approach ~90% accuracy.
+	p := New(testConfig())
+	rng := xrand.New(3)
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		taken := rng.Bool(0.9)
+		if p.PredictCond(0x4000, taken, 0x3000) {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Fatalf("biased-branch accuracy = %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestRASPredictsNestedCalls(t *testing.T) {
+	p := New(testConfig())
+	// call A (ret 0x104), call B (ret 0x204), return B, return A.
+	p.Call(0x100, 0x1000, 0x104)
+	p.Call(0x200, 0x2000, 0x204)
+	if !p.Return(0x2100, 0x204) {
+		t.Fatal("inner return should be predicted by RAS")
+	}
+	if !p.Return(0x1100, 0x104) {
+		t.Fatal("outer return should be predicted by RAS")
+	}
+	if p.Stats.RASIncorrect != 0 {
+		t.Fatalf("RASIncorrect = %d, want 0", p.Stats.RASIncorrect)
+	}
+	// Mismatched return target counts as RAS-incorrect.
+	p.Call(0x300, 0x3000, 0x304)
+	if p.Return(0x3100, 0xDEAD) {
+		t.Fatal("wrong return target must mispredict")
+	}
+	if p.Stats.RASIncorrect != 1 {
+		t.Fatalf("RASIncorrect = %d, want 1", p.Stats.RASIncorrect)
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := testConfig()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	// Push 6 calls: the two oldest return addresses are overwritten.
+	for i := uint64(0); i < 6; i++ {
+		p.Call(0x100+i*8, 0x1000, 0x104+i*8)
+	}
+	// The 6 returns: innermost 4 predicted, outermost 2 mispredicted.
+	correct := 0
+	for i := int64(5); i >= 0; i-- {
+		if p.Return(0x2000, 0x104+uint64(i)*8) {
+			correct++
+		}
+	}
+	if correct != 4 {
+		t.Fatalf("RAS with depth 4 predicted %d of 6 returns, want 4", correct)
+	}
+}
+
+func TestIndirectPredictorLearnsStableTarget(t *testing.T) {
+	p := New(testConfig())
+	// Stable target: first lookup misses, subsequent ones hit.
+	if p.Indirect(0x900, 0x5000) {
+		t.Fatal("cold indirect must mispredict")
+	}
+	for i := 0; i < 10; i++ {
+		if !p.Indirect(0x900, 0x5000) {
+			t.Fatal("stable indirect target must be predicted after training")
+		}
+	}
+	// Alternating targets defeat the last-target predictor.
+	hits := 0
+	for i := 0; i < 100; i++ {
+		tgt := uint64(0x6000)
+		if i%2 == 0 {
+			tgt = 0x7000
+		}
+		if p.Indirect(0xA00, tgt) {
+			hits++
+		}
+	}
+	if hits > 40 {
+		t.Fatalf("alternating indirect target hits = %d, expected mostly misses", hits)
+	}
+}
+
+func TestUncondBranchBTBWarmup(t *testing.T) {
+	p := New(testConfig())
+	if p.PredictUncond(0x500, 0x9000) {
+		t.Fatal("cold unconditional branch must mispredict on target")
+	}
+	if !p.PredictUncond(0x500, 0x9000) {
+		t.Fatal("warm unconditional branch must hit BTB")
+	}
+	if p.Stats.BTBHits != 1 || p.Stats.BTBLookups != 2 {
+		t.Fatalf("BTB stats: %+v", p.Stats)
+	}
+}
+
+// Property: mispredict counters are consistent with lookups and accuracy
+// stays in [0,1] for arbitrary outcome sequences.
+func TestStatsConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		p := New(testConfig())
+		for i := 0; i < 2000; i++ {
+			pc := uint64(rng.Intn(64)) * 4
+			switch rng.Intn(4) {
+			case 0:
+				p.PredictCond(pc, rng.Bool(0.6), pc+64)
+			case 1:
+				p.PredictUncond(pc, pc+128)
+			case 2:
+				p.Call(pc, pc+256, pc+4)
+			default:
+				p.Indirect(pc, uint64(rng.Intn(4))*64+0x1000)
+			}
+		}
+		s := p.Stats
+		acc := s.Accuracy()
+		return s.Mispredicts <= s.Lookups &&
+			s.CondMispredicts+s.TargetMispredicts == s.Mispredicts &&
+			acc >= 0 && acc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorDeterminism(t *testing.T) {
+	run := func(bug bool) Stats {
+		cfg := testConfig()
+		cfg.BugSkewedUpdate = bug
+		p := New(cfg)
+		rng := xrand.New(11)
+		for i := 0; i < 5000; i++ {
+			p.PredictCond(uint64(rng.Intn(256))*4, rng.Bool(0.7), 0x100)
+		}
+		return p.Stats
+	}
+	for _, bug := range []bool{false, true} {
+		a, b := run(bug), run(bug)
+		if a != b {
+			t.Fatalf("bug=%v: predictor is not deterministic", bug)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"gemstone/internal/gem5"
+	"gemstone/internal/hw"
+	"gemstone/internal/workload"
+)
+
+// AblationRow is one configuration of an ablation study: the big-model
+// defect set it carries and the resulting execution-time error against
+// the hardware reference.
+type AblationRow struct {
+	Label   string
+	Defects gem5.Defect
+	MAPE    float64
+	MPE     float64
+}
+
+// AblationMode selects how defects are toggled.
+type AblationMode int
+
+const (
+	// FixOneDefect runs the full defect set minus one defect per row —
+	// "what would fixing just this component do?" This is the experiment
+	// behind the paper's Section IV-F warning: repairing the L1 ITLB size
+	// while the BP bug remains makes the overall error larger.
+	FixOneDefect AblationMode = iota
+	// OnlyOneDefect runs each defect in isolation — "how much error does
+	// this component contribute on its own?"
+	OnlyOneDefect
+)
+
+// AblationStudy validates a family of big-model configurations against
+// hardware at one frequency. The first row is always the baseline: all
+// defects for FixOneDefect, no defects for OnlyOneDefect.
+func AblationStudy(hwRuns *RunSet, profiles []workload.Profile, freqMHz int, mode AblationMode) ([]AblationRow, error) {
+	if len(profiles) == 0 {
+		profiles = workload.Validation()
+	}
+	configs := []struct {
+		label   string
+		defects gem5.Defect
+	}{}
+	switch mode {
+	case FixOneDefect:
+		configs = append(configs, struct {
+			label   string
+			defects gem5.Defect
+		}{"baseline (all defects)", gem5.AllDefects})
+		for _, d := range gem5.Defects() {
+			configs = append(configs, struct {
+				label   string
+				defects gem5.Defect
+			}{"fix " + d.String(), gem5.AllDefects &^ d})
+		}
+	case OnlyOneDefect:
+		configs = append(configs, struct {
+			label   string
+			defects gem5.Defect
+		}{"baseline (no defects)", 0})
+		for _, d := range gem5.Defects() {
+			configs = append(configs, struct {
+				label   string
+				defects gem5.Defect
+			}{"only " + d.String(), d})
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown ablation mode %d", mode)
+	}
+
+	var rows []AblationRow
+	for _, cfg := range configs {
+		pl := gem5.PlatformWithDefects(cfg.defects)
+		runs, err := Collect(pl, CollectOptions{
+			Workloads: profiles,
+			Clusters:  []string{hw.ClusterA15},
+			Freqs:     map[string][]int{hw.ClusterA15: {freqMHz}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		vs, err := Validate(hwRuns, runs, hw.ClusterA15)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := vs.ByFreq[freqMHz]
+		if !ok {
+			return nil, fmt.Errorf("core: ablation: no summary at %d MHz", freqMHz)
+		}
+		rows = append(rows, AblationRow{
+			Label: cfg.label, Defects: cfg.defects,
+			MAPE: s.MAPE, MPE: s.MPE,
+		})
+	}
+	return rows, nil
+}

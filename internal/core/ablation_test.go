@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"gemstone/internal/gem5"
+	"gemstone/internal/workload"
+)
+
+func TestAblationFixOne(t *testing.T) {
+	f := getFixture(t)
+	rows, err := AblationStudy(f.hwRuns, workload.Validation(), 1000, FixOneDefect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(gem5.Defects()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byDefect := map[gem5.Defect]AblationRow{}
+	baseline := rows[0]
+	if baseline.Defects != gem5.AllDefects {
+		t.Fatal("first row must be the all-defects baseline")
+	}
+	for _, r := range rows[1:] {
+		byDefect[gem5.AllDefects&^r.Defects] = r
+	}
+
+	// Fixing the BP bug must be by far the largest single improvement —
+	// the paper's Section VII result.
+	bpFix := byDefect[gem5.DefectBP]
+	if bpFix.MAPE >= baseline.MAPE*0.5 {
+		t.Fatalf("fixing the BP bug: MAPE %.1f%% vs baseline %.1f%%; expected a dramatic improvement",
+			bpFix.MAPE, baseline.MAPE)
+	}
+	for d, r := range byDefect {
+		if d == gem5.DefectBP {
+			continue
+		}
+		if r.MAPE < bpFix.MAPE {
+			t.Fatalf("fixing %v (MAPE %.1f%%) beats fixing the BP bug (%.1f%%); the BP must dominate",
+				d, r.MAPE, bpFix.MAPE)
+		}
+	}
+
+	// The paper's Section IV-F experiment: correcting the L1 ITLB size in
+	// isolation (BP bug still present) does NOT improve the overall error
+	// — "changing this to the correct value results in a significantly
+	// larger MAPE, as expected, due to the BP errors present".
+	itlbFix := byDefect[gem5.DefectITLBSize]
+	if itlbFix.MAPE < baseline.MAPE-1 {
+		t.Fatalf("fixing only the ITLB size improved MAPE %.1f%% -> %.1f%%; "+
+			"the paper observes the opposite while the BP bug remains",
+			baseline.MAPE, itlbFix.MAPE)
+	}
+}
+
+func TestAblationOnlyOne(t *testing.T) {
+	f := getFixture(t)
+	// A focused subset keeps this test quick; the bench runs the full set.
+	var profiles []workload.Profile
+	for _, name := range []string{
+		"mi-crc32", "whetstone", "dhrystone", "parsec-canneal-1",
+		"mi-adpcm-d", "par-basicmath-rad2deg", "mi-qsort", "parsec-x264-1",
+	} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	// The fixture lacks some of these at 1 GHz? No: fixture collects the
+	// full validation set, which contains all of the above.
+	rows, err := AblationStudy(f.hwRuns, profiles, 1000, OnlyOneDefect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := rows[0]
+	if baseline.Defects != 0 {
+		t.Fatal("first row must be the defect-free baseline")
+	}
+	// A defect-free model tracks the hardware closely (same engine, same
+	// configuration, no sensors).
+	if baseline.MAPE > 6 {
+		t.Fatalf("defect-free model MAPE = %.1f%%, want near zero", baseline.MAPE)
+	}
+	var bpOnly, dramOnly AblationRow
+	for _, r := range rows[1:] {
+		switch r.Defects {
+		case gem5.DefectBP:
+			bpOnly = r
+		case gem5.DefectDRAM:
+			dramOnly = r
+		}
+		if r.MAPE < baseline.MAPE-1 {
+			t.Fatalf("defect %v reduced the error below the clean baseline (%.1f%% < %.1f%%)",
+				r.Defects, r.MAPE, baseline.MAPE)
+		}
+	}
+	// The BP bug alone must produce a large negative MPE; the DRAM defect
+	// alone a positive one (model too fast on memory-bound workloads).
+	if bpOnly.MPE > -15 {
+		t.Fatalf("BP bug alone: MPE %.1f%%, want strongly negative", bpOnly.MPE)
+	}
+	if dramOnly.MPE < 1 {
+		t.Fatalf("DRAM defect alone: MPE %.1f%%, want positive", dramOnly.MPE)
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"gemstone/internal/platform"
+	"gemstone/internal/pmu"
+	"gemstone/internal/workload"
+)
+
+// CharacterizePMCs reproduces the collection procedure of the paper's
+// Experiments 1/3: real PMUs expose only a handful of programmable
+// counters (six on the Cortex-A15), so covering the full event list
+// requires re-running each workload once per counter group and merging
+// the counts. The paper repeated its experiment to capture 68 events.
+//
+// On the simulated platform the repeated runs are bit-identical, which
+// this function verifies: the cycle count (captured on every run through
+// the dedicated counter) must agree across all groups — the same sanity
+// check a real campaign performs to detect run-to-run drift.
+func CharacterizePMCs(pl *platform.Platform, prof workload.Profile,
+	cluster string, freqMHz int, events []pmu.Event) (map[pmu.Event]float64, error) {
+
+	if len(events) == 0 {
+		events = pmu.AllEvents()
+	}
+	groups := pmu.Plan(events)
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no events to characterise")
+	}
+	counts := make(map[pmu.Event]float64, len(events))
+	var cycles float64 = -1
+	for gi, group := range groups {
+		m, err := pl.Run(prof, cluster, freqMHz)
+		if err != nil {
+			return nil, fmt.Errorf("core: characterisation run %d: %w", gi+1, err)
+		}
+		// The dedicated cycle counter rides along on every run.
+		c := m.Sample.Value(pmu.CPUCycles)
+		if cycles < 0 {
+			cycles = c
+		} else if c != cycles {
+			return nil, fmt.Errorf("core: run-to-run drift: cycle count %v != %v on group %d",
+				c, cycles, gi+1)
+		}
+		for _, e := range group {
+			counts[e] = m.Sample.Value(e)
+		}
+	}
+	counts[pmu.CPUCycles] = cycles
+	return counts, nil
+}
+
+// RunsRequired returns how many workload repetitions a characterisation of
+// the given events needs (Experiment 1 bookkeeping).
+func RunsRequired(events []pmu.Event) int {
+	if len(events) == 0 {
+		events = pmu.AllEvents()
+	}
+	return pmu.RunsNeeded(events)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gemstone/internal/pmu"
+	"gemstone/internal/stats"
+)
+
+// DefaultWorkloadClusters is the cluster count used for the Fig. 3
+// analysis (the paper's HCA yields 16 groups over 45 workloads).
+const DefaultWorkloadClusters = 16
+
+// Fig3Row is one bar of Fig. 3: a workload, its HCA cluster designation,
+// and its execution-time error.
+type Fig3Row struct {
+	Workload string
+	Cluster  int
+	PE       float64
+}
+
+// ClusterSummary aggregates one workload cluster.
+type ClusterSummary struct {
+	Label     int
+	Workloads []string
+	MeanPE    float64
+}
+
+// WorkloadClustering is the result of HCA over the hardware PMC behaviour
+// of the workloads, combined with the model's execution-time errors.
+type WorkloadClustering struct {
+	Cluster string
+	FreqMHz int
+	K       int
+	// Labels maps workload name to cluster label (0-based).
+	Labels map[string]int
+	// Rows is Fig. 3: ordered by cluster designation, then name.
+	Rows []Fig3Row
+	// Clusters summarises each group, ordered by label.
+	Clusters []ClusterSummary
+}
+
+// pmcRateMatrix builds the (workload × event) rate matrix from hardware
+// runs at one operating point, dropping zero-variance events. It returns
+// the matrix, the workload names (row order) and the retained events.
+func pmcRateMatrix(hw *RunSet, cluster string, freqMHz int) ([][]float64, []string, []pmu.Event, error) {
+	var names []string
+	for key := range hw.Runs {
+		if key.Cluster == cluster && key.FreqMHz == freqMHz {
+			names = append(names, key.Workload)
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("core: no %s runs at %d MHz in %s", cluster, freqMHz, hw.Platform)
+	}
+	sort.Strings(names)
+
+	events := pmu.AllEvents()
+	raw := make([][]float64, len(names))
+	for i, name := range names {
+		m := hw.Runs[RunKey{Workload: name, Cluster: cluster, FreqMHz: freqMHz}]
+		raw[i] = make([]float64, len(events))
+		for j, e := range events {
+			raw[i][j] = m.Sample.Rate(e)
+		}
+	}
+	// Drop events with no variance across workloads (they carry no
+	// clustering information; CPU cycles rate is constant at fixed f).
+	var keep []int
+	for j := range events {
+		col := make([]float64, len(names))
+		for i := range names {
+			col[i] = raw[i][j]
+		}
+		if stats.StdDev(col) > 0 {
+			keep = append(keep, j)
+		}
+	}
+	X := make([][]float64, len(names))
+	kept := make([]pmu.Event, len(keep))
+	for i := range names {
+		X[i] = make([]float64, len(keep))
+		for c, j := range keep {
+			X[i][c] = raw[i][j]
+		}
+	}
+	for c, j := range keep {
+		kept[c] = events[j]
+	}
+	return X, names, kept, nil
+}
+
+// ClusterWorkloads performs the Fig. 3 analysis: HCA (average linkage,
+// Euclidean distance over standardised PMC rates) groups the workloads,
+// and each group is annotated with the model's execution-time errors.
+func ClusterWorkloads(hw, sim *RunSet, cluster string, freqMHz, k int) (*WorkloadClustering, error) {
+	if k <= 0 {
+		k = DefaultWorkloadClusters
+	}
+	X, names, _, err := pmcRateMatrix(hw, cluster, freqMHz)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(names) {
+		k = len(names)
+	}
+	dend := stats.Agglomerate(stats.EuclideanDist(stats.Standardize(X)), stats.AverageLinkage)
+	labels, err := dend.CutK(k)
+	if err != nil {
+		return nil, err
+	}
+
+	wc := &WorkloadClustering{
+		Cluster: cluster, FreqMHz: freqMHz, K: k,
+		Labels: make(map[string]int, len(names)),
+	}
+	for i, name := range names {
+		wc.Labels[name] = labels[i]
+	}
+
+	// Attach errors.
+	vs, err := Validate(hw, sim, cluster)
+	if err != nil {
+		return nil, err
+	}
+	peByName := map[string]float64{}
+	for _, e := range vs.ErrorsAt(freqMHz) {
+		peByName[e.Workload] = e.PE
+	}
+	for i, name := range names {
+		wc.Rows = append(wc.Rows, Fig3Row{Workload: name, Cluster: labels[i], PE: peByName[name]})
+	}
+	sort.Slice(wc.Rows, func(i, j int) bool {
+		if wc.Rows[i].Cluster != wc.Rows[j].Cluster {
+			return wc.Rows[i].Cluster < wc.Rows[j].Cluster
+		}
+		return wc.Rows[i].Workload < wc.Rows[j].Workload
+	})
+
+	for label, members := range stats.GroupByLabel(labels) {
+		cs := ClusterSummary{Label: label}
+		var pes []float64
+		for _, idx := range members {
+			cs.Workloads = append(cs.Workloads, names[idx])
+			pes = append(pes, peByName[names[idx]])
+		}
+		cs.MeanPE = stats.Mean(pes)
+		wc.Clusters = append(wc.Clusters, cs)
+	}
+	sort.Slice(wc.Clusters, func(i, j int) bool { return wc.Clusters[i].Label < wc.Clusters[j].Label })
+	return wc, nil
+}

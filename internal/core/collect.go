@@ -1,0 +1,192 @@
+// Package core implements GemStone itself: the experiment orchestration of
+// Fig. 1 (hardware characterisation, gem5 simulation, power
+// characterisation), the data collation, and every analysis of Sections
+// IV-VII — workload/event clustering, error correlation, error regression,
+// matched-event comparison, power/energy error analysis, DVFS-scaling
+// analysis and model-version comparison.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gemstone/internal/gem5"
+	"gemstone/internal/platform"
+	"gemstone/internal/pmu"
+	"gemstone/internal/power"
+	"gemstone/internal/workload"
+)
+
+// RunKey identifies one (workload, cluster, frequency) measurement.
+type RunKey struct {
+	Workload string
+	Cluster  string
+	FreqMHz  int
+}
+
+// RunSet holds every measurement collected from one platform.
+type RunSet struct {
+	Platform string
+	Runs     map[RunKey]platform.Measurement
+}
+
+// Get returns the measurement for key, or an error naming what's missing.
+func (rs *RunSet) Get(key RunKey) (platform.Measurement, error) {
+	m, ok := rs.Runs[key]
+	if !ok {
+		return platform.Measurement{}, fmt.Errorf("core: %s has no run for %s/%s@%dMHz",
+			rs.Platform, key.Workload, key.Cluster, key.FreqMHz)
+	}
+	return m, nil
+}
+
+// Workloads returns the sorted workload names present in the set.
+func (rs *RunSet) Workloads() []string {
+	seen := map[string]bool{}
+	for k := range rs.Runs {
+		seen[k.Workload] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CollectOptions scopes an experiment campaign.
+type CollectOptions struct {
+	// Workloads to run; nil means the validation set.
+	Workloads []workload.Profile
+	// Clusters to run on; nil means both.
+	Clusters []string
+	// Freqs per cluster; nil means the paper's Experiment-1 frequencies.
+	Freqs map[string][]int
+}
+
+func (o *CollectOptions) fill(pl *platform.Platform) error {
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.Validation()
+	}
+	if len(o.Clusters) == 0 {
+		for _, cl := range pl.Config().Clusters {
+			o.Clusters = append(o.Clusters, cl.Name)
+		}
+	}
+	if o.Freqs == nil {
+		o.Freqs = map[string][]int{}
+	}
+	for _, cl := range o.Clusters {
+		if len(o.Freqs[cl]) == 0 {
+			cc, err := pl.Cluster(cl)
+			if err != nil {
+				return err
+			}
+			var fs []int
+			for _, f := range cc.Frequencies() {
+				if cl == "a15" && f >= 2000 {
+					continue // the paper excludes 2 GHz (thermal throttling)
+				}
+				fs = append(fs, f)
+			}
+			o.Freqs[cl] = fs
+		}
+	}
+	return nil
+}
+
+// Collect runs the campaign described by opt on pl and returns the run
+// set. It reproduces Experiment 1 (and, on sensored platforms, 3 and 4 —
+// the power data rides along with the PMU samples) or Experiment 2 when
+// pl is a gem5 model.
+//
+// Runs are independent simulations, so the campaign fans out across
+// GOMAXPROCS workers; every run is individually deterministic, so the
+// resulting set is identical to a sequential collection.
+func Collect(pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
+	if err := opt.fill(pl); err != nil {
+		return nil, err
+	}
+	type job struct {
+		prof workload.Profile
+		key  RunKey
+	}
+	var jobs []job
+	for _, cl := range opt.Clusters {
+		for _, f := range opt.Freqs[cl] {
+			for _, prof := range opt.Workloads {
+				jobs = append(jobs, job{prof: prof, key: RunKey{Workload: prof.Name, Cluster: cl, FreqMHz: f}})
+			}
+		}
+	}
+
+	rs := &RunSet{Platform: pl.Name(), Runs: make(map[RunKey]platform.Measurement, len(jobs))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		firstMu sync.Mutex
+		first   error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				m, err := pl.Run(j.prof, j.key.Cluster, j.key.FreqMHz)
+				if err != nil {
+					firstMu.Lock()
+					if first == nil {
+						first = fmt.Errorf("core: collecting %s/%s@%dMHz on %s: %w",
+							j.key.Workload, j.key.Cluster, j.key.FreqMHz, pl.Name(), err)
+					}
+					firstMu.Unlock()
+					return
+				}
+				mu.Lock()
+				rs.Runs[j.key] = m
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return rs, nil
+}
+
+// Gem5Stats returns the gem5 statistics map of one model run — Experiment
+// 2's stats.txt for that run.
+func Gem5Stats(m platform.Measurement) map[string]float64 {
+	return gem5.Stats(&m.Sample)
+}
+
+// PowerObservation converts a sensored measurement into a power-model
+// training/validation observation.
+func PowerObservation(m platform.Measurement) power.Observation {
+	rates := make(map[pmu.Event]float64)
+	for _, e := range pmu.AllEvents() {
+		rates[e] = m.Sample.Rate(e)
+	}
+	return power.Observation{
+		Workload: m.Workload, Cluster: m.Cluster,
+		FreqMHz: m.FreqMHz, VoltageV: m.VoltageV,
+		Rates: rates, PowerW: m.PowerWatts,
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gemstone/internal/stats"
+)
+
+// FrequencyConsistency quantifies the Section IV observation that "the
+// workload errors have a similar pattern across all frequencies": the
+// per-workload error vectors at two DVFS points are correlated.
+type FrequencyConsistency struct {
+	Cluster string
+	// Pairs holds one row per frequency pair (ascending).
+	Pairs []FreqPairCorr
+	// MinCorrelation is the weakest pairwise correlation.
+	MinCorrelation float64
+}
+
+// FreqPairCorr is the correlation of per-workload errors between two
+// frequencies.
+type FreqPairCorr struct {
+	FreqA, FreqB int
+	Pearson      float64
+	Spearman     float64
+}
+
+// ErrorConsistency computes the cross-frequency correlation of the
+// per-workload error pattern.
+func ErrorConsistency(hw, sim *RunSet, cluster string) (*FrequencyConsistency, error) {
+	vs, err := Validate(hw, sim, cluster)
+	if err != nil {
+		return nil, err
+	}
+	byFreq := map[int]map[string]float64{}
+	for _, e := range vs.PerRun {
+		m, ok := byFreq[e.FreqMHz]
+		if !ok {
+			m = map[string]float64{}
+			byFreq[e.FreqMHz] = m
+		}
+		m[e.Workload] = e.PE
+	}
+	var freqs []int
+	for f := range byFreq {
+		freqs = append(freqs, f)
+	}
+	sort.Ints(freqs)
+	if len(freqs) < 2 {
+		return nil, fmt.Errorf("core: consistency needs at least two frequencies, have %v", freqs)
+	}
+
+	fc := &FrequencyConsistency{Cluster: cluster, MinCorrelation: 1}
+	for i := 0; i < len(freqs); i++ {
+		for j := i + 1; j < len(freqs); j++ {
+			fa, fb := freqs[i], freqs[j]
+			var a, b []float64
+			for w, pe := range byFreq[fa] {
+				if pe2, ok := byFreq[fb][w]; ok {
+					a = append(a, pe)
+					b = append(b, pe2)
+				}
+			}
+			if len(a) < 3 {
+				continue
+			}
+			pair := FreqPairCorr{
+				FreqA: fa, FreqB: fb,
+				Pearson:  stats.Pearson(a, b),
+				Spearman: stats.Spearman(a, b),
+			}
+			fc.Pairs = append(fc.Pairs, pair)
+			if pair.Pearson < fc.MinCorrelation {
+				fc.MinCorrelation = pair.Pearson
+			}
+		}
+	}
+	if len(fc.Pairs) == 0 {
+		return nil, fmt.Errorf("core: no overlapping workloads across frequencies")
+	}
+	return fc, nil
+}

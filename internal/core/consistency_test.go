@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"gemstone/internal/hw"
+	"gemstone/internal/pmu"
+	"gemstone/internal/workload"
+)
+
+func TestErrorConsistencyAcrossFrequencies(t *testing.T) {
+	f := getFixture(t)
+	fc, err := ErrorConsistency(f.hwRuns, f.v1Runs, hw.ClusterA15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Pairs) != 1 { // fixture collects 600 and 1000 MHz
+		t.Fatalf("pairs = %d", len(fc.Pairs))
+	}
+	// The paper: "the workload errors have a similar pattern across all
+	// frequencies" — the per-workload error vectors correlate strongly.
+	if fc.MinCorrelation < 0.8 {
+		t.Fatalf("cross-frequency error correlation = %.2f, want strong (paper: similar pattern)",
+			fc.MinCorrelation)
+	}
+	for _, p := range fc.Pairs {
+		if p.FreqA >= p.FreqB {
+			t.Fatal("pairs must be ordered ascending")
+		}
+		if p.Spearman < 0.6 {
+			t.Fatalf("rank correlation %.2f too weak for %d/%d", p.Spearman, p.FreqA, p.FreqB)
+		}
+	}
+}
+
+func TestCharacterizePMCsMultiplexing(t *testing.T) {
+	prof, err := workload.ByName("dhrystone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := pmu.AllEvents()
+	counts, err := CharacterizePMCs(hw.Platform(), prof, hw.ClusterA15, 1000, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != len(events) {
+		t.Fatalf("characterised %d events, want %d", len(counts), len(events))
+	}
+	// The merged counts agree with a single fully-instrumented run (the
+	// property a deterministic platform guarantees and real campaigns
+	// approximate with medians).
+	m, err := hw.Platform().Run(prof, hw.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if counts[e] != m.Sample.Value(e) {
+			t.Fatalf("event %s: multiplexed %v != direct %v", e, counts[e], m.Sample.Value(e))
+		}
+	}
+	// Bookkeeping matches the planner.
+	if want := RunsRequired(events); want < 8 {
+		t.Fatalf("characterising %d events should need several runs, got %d", len(events), want)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"gemstone/internal/gem5"
+	"gemstone/internal/hw"
+	"gemstone/internal/workload"
+)
+
+// ImprovementStep is one iteration of the Section IV-F repair loop: the
+// defect fixed at this step, the remaining defect set, and the error after
+// the fix.
+type ImprovementStep struct {
+	Fixed     gem5.Defect
+	Remaining gem5.Defect
+	MAPE      float64
+	MPE       float64
+}
+
+// IterateImprovements implements the paper's recommended repair procedure:
+// "it is necessary to address the most significant sources of error first,
+// otherwise changes to other parts of the system may not show a
+// representative difference". Starting from the full defect set, each
+// iteration greedily fixes whichever remaining defect most improves the
+// MAPE, re-validating the whole system after every change (the knock-on
+// effects the paper warns about make per-component evaluation in isolation
+// misleading). Iteration stops when no single fix improves the error or
+// every defect is repaired.
+func IterateImprovements(hwRuns *RunSet, profiles []workload.Profile, freqMHz int) ([]ImprovementStep, error) {
+	if len(profiles) == 0 {
+		profiles = workload.Validation()
+	}
+	validate := func(d gem5.Defect) (float64, float64, error) {
+		runs, err := Collect(gem5.PlatformWithDefects(d), CollectOptions{
+			Workloads: profiles,
+			Clusters:  []string{hw.ClusterA15},
+			Freqs:     map[string][]int{hw.ClusterA15: {freqMHz}},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		vs, err := Validate(hwRuns, runs, hw.ClusterA15)
+		if err != nil {
+			return 0, 0, err
+		}
+		s := vs.ByFreq[freqMHz]
+		return s.MAPE, s.MPE, nil
+	}
+
+	remaining := gem5.AllDefects
+	curMAPE, curMPE, err := validate(remaining)
+	if err != nil {
+		return nil, err
+	}
+	steps := []ImprovementStep{{Fixed: 0, Remaining: remaining, MAPE: curMAPE, MPE: curMPE}}
+
+	for remaining != 0 {
+		best := gem5.Defect(0)
+		bestMAPE, bestMPE := curMAPE, curMPE
+		for _, d := range gem5.Defects() {
+			if remaining&d == 0 {
+				continue
+			}
+			mape, mpe, err := validate(remaining &^ d)
+			if err != nil {
+				return nil, err
+			}
+			if mape < bestMAPE {
+				best, bestMAPE, bestMPE = d, mape, mpe
+			}
+		}
+		if best == 0 {
+			break // no single fix helps: the remaining errors interact
+		}
+		remaining &^= best
+		curMAPE, curMPE = bestMAPE, bestMPE
+		steps = append(steps, ImprovementStep{
+			Fixed: best, Remaining: remaining, MAPE: curMAPE, MPE: curMPE,
+		})
+	}
+	return steps, nil
+}

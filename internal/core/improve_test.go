@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"gemstone/internal/gem5"
+	"gemstone/internal/pmu"
+	"gemstone/internal/power"
+	"gemstone/internal/workload"
+)
+
+func TestDeriveEventRestraints(t *testing.T) {
+	f := getFixture(t)
+	mapping := power.DefaultMapping()
+	pool, excluded, err := DeriveEventRestraints(f.hwRuns, f.v1Runs, "a15", 1000,
+		mapping, power.DefaultPool(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) == 0 || len(excluded) == 0 {
+		t.Fatalf("pool=%d excluded=%d; the feedback loop must split the candidates", len(pool), len(excluded))
+	}
+	exSet := map[pmu.Event]bool{}
+	for _, e := range excluded {
+		exSet[e] = true
+	}
+	// The Section V exclusions must be rediscovered automatically:
+	// unaligned accesses (no gem5 equivalent) and the badly modelled
+	// mispredict/writeback counters.
+	for _, want := range []pmu.Event{pmu.UnalignedLdSt, pmu.BrMisPred, pmu.L1DCacheWB} {
+		if !exSet[want] {
+			t.Errorf("event %s should be excluded by the automated restraints", want)
+		}
+	}
+	// Reliable events survive.
+	poolSet := map[pmu.Event]bool{}
+	for _, e := range pool {
+		poolSet[e] = true
+	}
+	for _, want := range []pmu.Event{pmu.CPUCycles, pmu.InstRetired} {
+		if !poolSet[want] {
+			t.Errorf("reliable event %s must stay in the pool", want)
+		}
+	}
+	// A model built from the derived pool has sound quality.
+	model, err := BuildPowerModel(f.hwRuns, "a15", power.BuildOptions{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Quality.AdjR2 < 0.96 {
+		t.Fatalf("derived-pool model adj R2 = %.4f", model.Quality.AdjR2)
+	}
+}
+
+func TestAssessEventReliabilityShape(t *testing.T) {
+	f := getFixture(t)
+	rel, err := AssessEventReliability(f.hwRuns, f.v1Runs, "a15", 1000,
+		power.DefaultMapping(), power.DefaultPool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEvent := map[pmu.Event]EventReliability{}
+	for _, r := range rel {
+		byEvent[r.Event] = r
+	}
+	if byEvent[pmu.UnalignedLdSt].Mappable {
+		t.Fatal("unaligned accesses must be unmappable")
+	}
+	if cyc := byEvent[pmu.CPUCycles]; !cyc.Mappable || cyc.TotalMAPE < 1 {
+		t.Fatalf("cycle totals must diverge (execution-time error): %+v", cyc)
+	}
+	if mis := byEvent[pmu.BrMisPred]; mis.RateMAPE < 200 {
+		t.Fatalf("mispredict rate error should be enormous under the BP bug, got %.0f%%", mis.RateMAPE)
+	}
+}
+
+func TestIterateImprovementsGreedyOrder(t *testing.T) {
+	f := getFixture(t)
+	// A compact but behaviourally diverse subset keeps the greedy loop
+	// affordable (it validates O(defects^2) configurations).
+	var profiles []workload.Profile
+	for _, name := range []string{
+		"mi-crc32", "whetstone", "dhrystone", "parsec-canneal-1", "mi-qsort", "mi-adpcm-d",
+	} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	steps, err := IterateImprovements(f.hwRuns, profiles, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 3 {
+		t.Fatalf("expected several improvement steps, got %d", len(steps))
+	}
+	if steps[0].Fixed != 0 || steps[0].Remaining != gem5.AllDefects {
+		t.Fatal("first step must be the unmodified baseline")
+	}
+	// The first fix must be the branch predictor — the paper's dominant
+	// error source ("address the most significant sources first").
+	if steps[1].Fixed != gem5.DefectBP {
+		t.Fatalf("first fix = %v, want the BP bug", steps[1].Fixed)
+	}
+	// MAPE is non-increasing along the greedy path.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].MAPE > steps[i-1].MAPE {
+			t.Fatalf("step %d worsened MAPE: %.1f -> %.1f", i, steps[i-1].MAPE, steps[i].MAPE)
+		}
+	}
+	// The endpoint approaches the defect-free model.
+	last := steps[len(steps)-1]
+	if last.MAPE > 10 {
+		t.Fatalf("final MAPE %.1f%%; the repair loop should approach the clean model", last.MAPE)
+	}
+}

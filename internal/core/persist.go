@@ -1,0 +1,59 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Run-set persistence: a measurement campaign (Experiments 1-4) can be
+// archived and re-analysed later without re-running any simulation — the
+// repository analogue of the paper's released experimental datasets
+// (DOI 10.5258/SOTON/D0420). The format is gzip-compressed gob of the
+// RunSet with a small versioned envelope.
+
+const runSetFormatVersion = 1
+
+type runSetEnvelope struct {
+	Version  int
+	Platform string
+	Runs     *RunSet
+}
+
+// SaveRunSet archives a run set to w.
+func SaveRunSet(w io.Writer, rs *RunSet) error {
+	if rs == nil || len(rs.Runs) == 0 {
+		return fmt.Errorf("core: refusing to save an empty run set")
+	}
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(runSetEnvelope{
+		Version:  runSetFormatVersion,
+		Platform: rs.Platform,
+		Runs:     rs,
+	}); err != nil {
+		return fmt.Errorf("core: encoding run set: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadRunSet restores a run set saved by SaveRunSet.
+func LoadRunSet(r io.Reader) (*RunSet, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening run-set archive: %w", err)
+	}
+	defer zr.Close()
+	var env runSetEnvelope
+	if err := gob.NewDecoder(zr).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decoding run set: %w", err)
+	}
+	if env.Version != runSetFormatVersion {
+		return nil, fmt.Errorf("core: unsupported run-set version %d", env.Version)
+	}
+	if env.Runs == nil || len(env.Runs.Runs) == 0 {
+		return nil, fmt.Errorf("core: archive contains no runs")
+	}
+	return env.Runs, nil
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gemstone/internal/hw"
+)
+
+func TestRunSetSaveLoadRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	var buf bytes.Buffer
+	if err := SaveRunSet(&buf, f.hwRuns); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRunSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Platform != f.hwRuns.Platform {
+		t.Fatal("platform name lost")
+	}
+	if len(loaded.Runs) != len(f.hwRuns.Runs) {
+		t.Fatalf("runs %d != %d", len(loaded.Runs), len(f.hwRuns.Runs))
+	}
+	for key, want := range f.hwRuns.Runs {
+		got, ok := loaded.Runs[key]
+		if !ok {
+			t.Fatalf("missing run %v", key)
+		}
+		if got.Seconds != want.Seconds || got.PowerWatts != want.PowerWatts ||
+			got.Sample.Tally != want.Sample.Tally {
+			t.Fatalf("run %v diverged after round trip", key)
+		}
+	}
+	// The archive supports the full analysis pipeline.
+	vs, err := Validate(loaded, f.v1Runs, hw.ClusterA15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsOrig, err := Validate(f.hwRuns, f.v1Runs, hw.ClusterA15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.MAPE != vsOrig.MAPE || vs.MPE != vsOrig.MPE {
+		t.Fatal("analysis on a restored archive must match the original")
+	}
+}
+
+func TestRunSetPersistErrors(t *testing.T) {
+	if err := SaveRunSet(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil run set must error")
+	}
+	if err := SaveRunSet(&bytes.Buffer{}, &RunSet{Platform: "x"}); err == nil {
+		t.Fatal("empty run set must error")
+	}
+	if _, err := LoadRunSet(strings.NewReader("junk")); err == nil {
+		t.Fatal("non-gzip input must error")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gemstone/internal/power"
+	"gemstone/internal/stats"
+)
+
+// BuildPowerModel trains the cluster's empirical power model on the
+// sensored (hardware) run set — Experiments 3/4 plus box m of Fig. 1.
+// The pool should be power.RestrictedPool() for gem5-compatible models.
+func BuildPowerModel(hwRuns *RunSet, cluster string, opt power.BuildOptions) (*power.Model, error) {
+	var obs []power.Observation
+	for key, m := range hwRuns.Runs {
+		if key.Cluster != cluster {
+			continue
+		}
+		if m.PowerWatts <= 0 {
+			return nil, fmt.Errorf("core: run %s/%s@%d has no power measurement (platform %s has no sensors?)",
+				key.Workload, key.Cluster, key.FreqMHz, hwRuns.Platform)
+		}
+		obs = append(obs, PowerObservation(m))
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("core: no %s observations in %s", cluster, hwRuns.Platform)
+	}
+	return power.Build(cluster, obs, opt)
+}
+
+// PowerEnergyRow is one cluster group of Fig. 7: power and energy errors
+// between the model applied to HW PMC data and the same model applied to
+// gem5 statistics.
+type PowerEnergyRow struct {
+	ClusterLabel int
+	Workloads    int
+	PowerMAPE    float64
+	PowerMPE     float64
+	EnergyMAPE   float64
+	EnergyMPE    float64
+	// HWComponents / Gem5Components are the mean per-component power
+	// breakdowns (the stacked bars of Fig. 7).
+	HWComponents   []power.Component
+	Gem5Components []power.Component
+}
+
+// PowerEnergyAnalysis is the Section VI result for one cluster/frequency.
+type PowerEnergyAnalysis struct {
+	Cluster string
+	FreqMHz int
+	// Overall errors across all compared workloads.
+	PowerMAPE, PowerMPE   float64
+	EnergyMAPE, EnergyMPE float64
+	// Rows aggregates per workload-cluster label, ordered by label.
+	Rows []PowerEnergyRow
+}
+
+// AnalyzePowerEnergy applies one power model to the hardware PMC data and
+// to the gem5 statistics of every overlapping run at the given operating
+// point, comparing the resulting power and energy — the paper's Fig. 7.
+//
+// Per Section VI, the gem5 estimate is compared against the HW-PMC
+// estimate (not the raw sensor) so both sides share the model and the
+// voltage-frequency lookup; what remains is exactly the effect of the
+// performance-model errors.
+func AnalyzePowerEnergy(model *power.Model, mapping power.Mapping,
+	hw, sim *RunSet, cluster string, freqMHz int, labels map[string]int) (*PowerEnergyAnalysis, error) {
+
+	var names []string
+	for key := range hw.Runs {
+		if key.Cluster == cluster && key.FreqMHz == freqMHz {
+			if _, ok := sim.Runs[key]; ok {
+				names = append(names, key.Workload)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no overlapping runs for %s at %d MHz", cluster, freqMHz)
+	}
+	sort.Strings(names)
+
+	var recs []peRec
+	for _, name := range names {
+		key := RunKey{Workload: name, Cluster: cluster, FreqMHz: freqMHz}
+		hm := hw.Runs[key]
+		sm := sim.Runs[key]
+
+		hwObs := PowerObservation(hm)
+		g5Obs, err := mapping.ObservationFromGem5(name, cluster, freqMHz, hm.VoltageV, Gem5Stats(sm))
+		if err != nil {
+			return nil, err
+		}
+		hwP := model.Estimate(&hwObs)
+		g5P := model.Estimate(&g5Obs)
+		hwE := hwP * hm.Seconds
+		g5E := g5P * sm.Seconds
+
+		recs = append(recs, peRec{
+			label:    labels[name],
+			pePower:  stats.PercentError(hwP, g5P),
+			peEnergy: stats.PercentError(hwE, g5E),
+			hwComp:   model.Components(&hwObs),
+			g5Comp:   model.Components(&g5Obs),
+		})
+	}
+
+	an := &PowerEnergyAnalysis{Cluster: cluster, FreqMHz: freqMHz}
+	var pPEs, ePEs []float64
+	byLabel := map[int][]peRec{}
+	for _, r := range recs {
+		pPEs = append(pPEs, r.pePower)
+		ePEs = append(ePEs, r.peEnergy)
+		byLabel[r.label] = append(byLabel[r.label], r)
+	}
+	an.PowerMPE, an.PowerMAPE = stats.Mean(pPEs), meanAbs(pPEs)
+	an.EnergyMPE, an.EnergyMAPE = stats.Mean(ePEs), meanAbs(ePEs)
+
+	var lbls []int
+	for l := range byLabel {
+		lbls = append(lbls, l)
+	}
+	sort.Ints(lbls)
+	for _, l := range lbls {
+		group := byLabel[l]
+		row := PowerEnergyRow{ClusterLabel: l, Workloads: len(group)}
+		var pp, ee []float64
+		for _, r := range group {
+			pp = append(pp, r.pePower)
+			ee = append(ee, r.peEnergy)
+		}
+		row.PowerMAPE, row.PowerMPE = meanAbs(pp), stats.Mean(pp)
+		row.EnergyMAPE, row.EnergyMPE = meanAbs(ee), stats.Mean(ee)
+		row.HWComponents = meanComponents(group, true)
+		row.Gem5Components = meanComponents(group, false)
+		an.Rows = append(an.Rows, row)
+	}
+	return an, nil
+}
+
+// peRec is one workload's power/energy comparison record.
+type peRec struct {
+	label             int
+	pePower, peEnergy float64
+	hwComp, g5Comp    []power.Component
+}
+
+func meanComponents(group []peRec, hw bool) []power.Component {
+	if len(group) == 0 {
+		return nil
+	}
+	pick := func(r peRec) []power.Component {
+		if hw {
+			return r.hwComp
+		}
+		return r.g5Comp
+	}
+	first := pick(group[0])
+	out := make([]power.Component, len(first))
+	for i := range first {
+		out[i].Name = first[i].Name
+	}
+	for _, r := range group {
+		comps := pick(r)
+		for i := range comps {
+			out[i].Watts += comps[i].Watts
+		}
+	}
+	for i := range out {
+		out[i].Watts /= float64(len(group))
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gemstone/internal/stats"
+)
+
+// RegressionReport is the outcome of the Section IV-D stepwise regression
+// of the model error onto event candidates.
+type RegressionReport struct {
+	// Selected holds candidate names in selection order — decreasing
+	// marginal importance ("the single best event to predict the error").
+	Selected []string
+	R2       float64
+	AdjR2    float64
+	// N is the observation (workload) count.
+	N int
+}
+
+// ErrorRegressionPMC regresses the execution-time error (t_hw − t_sim,
+// seconds) onto the hardware PMC events, offering both totals and rates as
+// candidates, exactly as Section IV-D describes.
+func ErrorRegressionPMC(hw, sim *RunSet, cluster string, freqMHz int, opt stats.StepwiseOptions) (*RegressionReport, error) {
+	X, names, events, err := pmcRateMatrix(hw, cluster, freqMHz)
+	if err != nil {
+		return nil, err
+	}
+	y, err := errorSeconds(hw, sim, cluster, freqMHz, names)
+	if err != nil {
+		return nil, err
+	}
+
+	var cands [][]float64
+	var candNames []string
+	for j, e := range events {
+		rate := make([]float64, len(names))
+		total := make([]float64, len(names))
+		for i, name := range names {
+			rate[i] = X[i][j]
+			m := hw.Runs[RunKey{Workload: name, Cluster: cluster, FreqMHz: freqMHz}]
+			total[i] = m.Sample.Value(e)
+		}
+		cands = append(cands, total, rate)
+		candNames = append(candNames,
+			fmt.Sprintf("%s (total)", e), fmt.Sprintf("%s (rate)", e))
+	}
+	return runStepwise(cands, candNames, y, opt)
+}
+
+// ErrorRegressionGem5 regresses the same error onto the gem5 statistics
+// (totals and rates), the second half of the Section IV-D analysis.
+func ErrorRegressionGem5(hw, sim *RunSet, cluster string, freqMHz int, opt stats.StepwiseOptions) (*RegressionReport, error) {
+	var names []string
+	for key := range sim.Runs {
+		if key.Cluster == cluster && key.FreqMHz == freqMHz {
+			names = append(names, key.Workload)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no %s runs at %d MHz in %s", cluster, freqMHz, sim.Platform)
+	}
+	sort.Strings(names)
+	y, err := errorSeconds(hw, sim, cluster, freqMHz, names)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather stat values per workload.
+	statTotals := map[string][]float64{}
+	secs := make([]float64, len(names))
+	for i, name := range names {
+		m := sim.Runs[RunKey{Workload: name, Cluster: cluster, FreqMHz: freqMHz}]
+		sm := Gem5Stats(m)
+		secs[i] = sm["sim_seconds"]
+		for stat, v := range sm {
+			s, ok := statTotals[stat]
+			if !ok {
+				s = make([]float64, len(names))
+				statTotals[stat] = s
+			}
+			s[i] = v
+		}
+	}
+	statNames := make([]string, 0, len(statTotals))
+	for stat := range statTotals {
+		statNames = append(statNames, stat)
+	}
+	sort.Strings(statNames)
+
+	var cands [][]float64
+	var candNames []string
+	for _, stat := range statNames {
+		if stat == "sim_seconds" {
+			continue // trivially related to the response
+		}
+		total := statTotals[stat]
+		if stats.StdDev(total) == 0 {
+			continue
+		}
+		rate := make([]float64, len(names))
+		for i := range names {
+			if secs[i] > 0 {
+				rate[i] = total[i] / secs[i]
+			}
+		}
+		cands = append(cands, total, rate)
+		candNames = append(candNames, stat+" (total)", stat+" (rate)")
+	}
+	return runStepwise(cands, candNames, y, opt)
+}
+
+func runStepwise(cands [][]float64, candNames []string, y []float64, opt stats.StepwiseOptions) (*RegressionReport, error) {
+	if opt.PEnter == 0 {
+		opt = stats.DefaultStepwiseOptions()
+	}
+	res, err := stats.Stepwise(cands, y, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RegressionReport{R2: res.Fit.R2, AdjR2: res.Fit.AdjR2, N: len(y)}
+	for _, ci := range res.Selected {
+		rep.Selected = append(rep.Selected, candNames[ci])
+	}
+	return rep, nil
+}
+
+// errorSeconds returns t_hw − t_sim per workload, aligned with names.
+func errorSeconds(hw, sim *RunSet, cluster string, freqMHz int, names []string) ([]float64, error) {
+	out := make([]float64, len(names))
+	for i, name := range names {
+		key := RunKey{Workload: name, Cluster: cluster, FreqMHz: freqMHz}
+		hm, err := hw.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := sim.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = hm.Seconds - sm.Seconds
+	}
+	return out, nil
+}

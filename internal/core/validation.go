@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gemstone/internal/stats"
+)
+
+// WorkloadError is the execution-time error of the model for one workload
+// at one operating point.
+type WorkloadError struct {
+	Workload   string
+	Cluster    string
+	FreqMHz    int
+	HWSeconds  float64
+	SimSeconds float64
+	// PE is the signed percentage error, paper convention: negative means
+	// the model overestimates execution time.
+	PE float64
+}
+
+// ValidationSummary aggregates the model-vs-hardware execution-time errors
+// of a campaign — the numbers behind the paper's headline Table (T1).
+type ValidationSummary struct {
+	Cluster string
+	// PerRun holds every per-workload, per-frequency error.
+	PerRun []WorkloadError
+	// MAPE and MPE aggregate PerRun.
+	MAPE, MPE float64
+	// ByFreq aggregates per DVFS point.
+	ByFreq map[int]struct{ MAPE, MPE float64 }
+}
+
+// Validate compares the gem5 run set against the hardware run set for one
+// cluster across the frequencies both sets contain.
+func Validate(hw, sim *RunSet, cluster string) (*ValidationSummary, error) {
+	vs := &ValidationSummary{
+		Cluster: cluster,
+		ByFreq:  map[int]struct{ MAPE, MPE float64 }{},
+	}
+	perFreq := map[int][]float64{}
+	for key, hm := range hw.Runs {
+		if key.Cluster != cluster {
+			continue
+		}
+		sm, ok := sim.Runs[key]
+		if !ok {
+			continue
+		}
+		pe := stats.PercentError(hm.Seconds, sm.Seconds)
+		vs.PerRun = append(vs.PerRun, WorkloadError{
+			Workload: key.Workload, Cluster: cluster, FreqMHz: key.FreqMHz,
+			HWSeconds: hm.Seconds, SimSeconds: sm.Seconds, PE: pe,
+		})
+		perFreq[key.FreqMHz] = append(perFreq[key.FreqMHz], pe)
+	}
+	if len(vs.PerRun) == 0 {
+		return nil, fmt.Errorf("core: no overlapping runs between %s and %s for cluster %s",
+			hw.Platform, sim.Platform, cluster)
+	}
+	sort.Slice(vs.PerRun, func(i, j int) bool {
+		a, b := vs.PerRun[i], vs.PerRun[j]
+		if a.FreqMHz != b.FreqMHz {
+			return a.FreqMHz < b.FreqMHz
+		}
+		return a.Workload < b.Workload
+	})
+	var all []float64
+	for _, e := range vs.PerRun {
+		all = append(all, e.PE)
+	}
+	vs.MPE = stats.Mean(all)
+	vs.MAPE = meanAbs(all)
+	for f, pes := range perFreq {
+		vs.ByFreq[f] = struct{ MAPE, MPE float64 }{MAPE: meanAbs(pes), MPE: stats.Mean(pes)}
+	}
+	return vs, nil
+}
+
+// ErrorsAt filters the per-run errors to one frequency, sorted by
+// workload name.
+func (vs *ValidationSummary) ErrorsAt(freqMHz int) []WorkloadError {
+	var out []WorkloadError
+	for _, e := range vs.PerRun {
+		if e.FreqMHz == freqMHz {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SuiteSummary aggregates errors for workloads whose name carries the
+// given prefix (e.g. "parsec-" for the PARSEC-only MAPE of Section IV).
+func (vs *ValidationSummary) SuiteSummary(prefix string) (mape, mpe float64, n int) {
+	var pes []float64
+	for _, e := range vs.PerRun {
+		if len(e.Workload) >= len(prefix) && e.Workload[:len(prefix)] == prefix {
+			pes = append(pes, e.PE)
+		}
+	}
+	return meanAbs(pes), stats.Mean(pes), len(pes)
+}
+
+func meanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			s -= x
+		} else {
+			s += x
+		}
+	}
+	return s / float64(len(xs))
+}

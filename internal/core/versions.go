@@ -1,0 +1,41 @@
+package core
+
+import (
+	"gemstone/internal/power"
+)
+
+// VersionComparison is the Section VII study: the same validation and
+// energy analysis run against two gem5 model versions, quantifying the
+// effect of the branch-predictor fix.
+type VersionComparison struct {
+	Cluster string
+	FreqMHz int
+	// V1 / V2 are the execution-time validation summaries.
+	V1, V2 *ValidationSummary
+	// EnergyV1 / EnergyV2 are the power/energy analyses at FreqMHz.
+	EnergyV1, EnergyV2 *PowerEnergyAnalysis
+}
+
+// CompareVersions runs the full validation + energy comparison of two
+// gem5 run sets against the same hardware reference.
+func CompareVersions(hw, v1, v2 *RunSet, cluster string, freqMHz int,
+	model *power.Model, mapping power.Mapping, labels map[string]int) (*VersionComparison, error) {
+
+	vc := &VersionComparison{Cluster: cluster, FreqMHz: freqMHz}
+	var err error
+	if vc.V1, err = Validate(hw, v1, cluster); err != nil {
+		return nil, err
+	}
+	if vc.V2, err = Validate(hw, v2, cluster); err != nil {
+		return nil, err
+	}
+	if model != nil {
+		if vc.EnergyV1, err = AnalyzePowerEnergy(model, mapping, hw, v1, cluster, freqMHz, labels); err != nil {
+			return nil, err
+		}
+		if vc.EnergyV2, err = AnalyzePowerEnergy(model, mapping, hw, v2, cluster, freqMHz, labels); err != nil {
+			return nil, err
+		}
+	}
+	return vc, nil
+}

@@ -1,0 +1,100 @@
+package gem5
+
+import (
+	"strings"
+	"testing"
+
+	"gemstone/internal/hw"
+	"gemstone/internal/mem"
+)
+
+func TestDefectsEnumeration(t *testing.T) {
+	ds := Defects()
+	if len(ds) != 10 {
+		t.Fatalf("defects = %d", len(ds))
+	}
+	var union Defect
+	for _, d := range ds {
+		if d&(d-1) != 0 {
+			t.Fatalf("defect %v is not a single bit", d)
+		}
+		union |= d
+	}
+	if union != AllDefects {
+		t.Fatalf("union %v != AllDefects %v", union, AllDefects)
+	}
+	if V2Defects != AllDefects&^DefectBP {
+		t.Fatal("V2 must be V1 minus the BP bug")
+	}
+}
+
+func TestDefectString(t *testing.T) {
+	if Defect(0).String() != "none" {
+		t.Fatal("zero defects")
+	}
+	if DefectBP.String() != "bp-bug" {
+		t.Fatalf("bp name = %q", DefectBP.String())
+	}
+	s := (DefectBP | DefectDRAM).String()
+	if !strings.Contains(s, "bp-bug") || !strings.Contains(s, "dram-latency") {
+		t.Fatalf("combined name = %q", s)
+	}
+}
+
+func TestZeroDefectsMatchesHardware(t *testing.T) {
+	clean := BigClusterWithDefects(0)
+	ref := hw.A15Cluster()
+	// Everything the defects touch must equal the hardware shape
+	// (gem5 names its TLBs differently; geometry is what matters).
+	sameGeom := func(a, b mem.TLBConfig) bool {
+		return a.Entries == b.Entries && a.Assoc == b.Assoc && a.LatencyCycles == b.LatencyCycles
+	}
+	if !sameGeom(clean.Hier.ITLB, ref.Hier.ITLB) {
+		t.Fatal("ITLB differs")
+	}
+	if !sameGeom(clean.Hier.DTLB, ref.Hier.DTLB) {
+		t.Fatal("DTLB differs")
+	}
+	if !clean.Hier.UnifiedL2TLB || !sameGeom(clean.Hier.L2TLB, ref.Hier.L2TLB) {
+		t.Fatal("L2 TLB differs")
+	}
+	if clean.Hier.DRAM != ref.Hier.DRAM {
+		t.Fatal("DRAM differs")
+	}
+	if !clean.Hier.StreamingStoreMerge {
+		t.Fatal("write merge differs")
+	}
+	if clean.Core.FetchPerInstruction {
+		t.Fatal("fetch policy differs")
+	}
+	if clean.Core.MispredictPenalty != ref.Core.MispredictPenalty ||
+		clean.Core.FrontendDepth != ref.Core.FrontendDepth {
+		t.Fatal("squash cost differs")
+	}
+	if clean.Branch.BugSkewedUpdate {
+		t.Fatal("BP bug present")
+	}
+	if clean.ContentionScale != 0 {
+		t.Fatal("contention scale differs")
+	}
+	// The only intended differences: no sensors.
+	if clean.Power != nil {
+		t.Fatal("gem5 cluster must not carry a power process")
+	}
+}
+
+func TestBigClusterVersionsMatchDefectSets(t *testing.T) {
+	v1 := BigCluster(V1)
+	all := BigClusterWithDefects(AllDefects)
+	if v1.Branch != all.Branch || v1.Hier.ITLB != all.Hier.ITLB ||
+		v1.Core.MispredictPenalty != all.Core.MispredictPenalty {
+		t.Fatal("BigCluster(V1) must equal the all-defects configuration")
+	}
+	v2 := BigCluster(V2)
+	if v2.Branch.BugSkewedUpdate {
+		t.Fatal("V2 must have the BP fix")
+	}
+	if !v2.Core.FetchPerInstruction {
+		t.Fatal("V2 keeps the non-BP defects")
+	}
+}

@@ -1,0 +1,131 @@
+package gem5
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements gem5's stats.txt on-disk format. The real GemStone
+// tool consumes the stats files a gem5 simulation dumps; reproducing the
+// format keeps the retrospective-analysis workflow intact: a simulation
+// can be run once, its statistics archived, and power models applied (or
+// re-applied with different voltages) later without re-running anything.
+
+const (
+	statsBegin = "---------- Begin Simulation Statistics ----------"
+	statsEnd   = "---------- End Simulation Statistics   ----------"
+)
+
+// WriteStatsFile renders a statistics map in gem5's stats.txt format:
+// a begin marker, one "name value" line per statistic (sorted), and an
+// end marker. NaN values are written as "nan" like gem5 does.
+func WriteStatsFile(w io.Writer, stats map[string]float64) error {
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, statsBegin); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+	for _, n := range names {
+		v := stats[n]
+		var rendered string
+		switch {
+		case math.IsNaN(v):
+			rendered = "nan"
+		case v == math.Trunc(v) && math.Abs(v) < 1e15:
+			rendered = strconv.FormatInt(int64(v), 10)
+		default:
+			rendered = strconv.FormatFloat(v, 'f', 6, 64)
+		}
+		if _, err := fmt.Fprintf(bw, "%-60s %20s\n", n, rendered); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, statsEnd); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ParseStatsFile parses a gem5 stats.txt dump. It accepts the common
+// variations gem5 produces: "# comment" suffixes, percentage annotations,
+// "nan"/"inf" values, and multiple dumps in one file (statistics from the
+// FIRST dump are returned, matching how GemStone consumes per-run files).
+func ParseStatsFile(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	inDump := false
+	sawDump := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "---------- Begin"):
+			if sawDump {
+				return out, nil // only the first dump
+			}
+			inDump = true
+			continue
+		case strings.HasPrefix(line, "---------- End"):
+			inDump = false
+			sawDump = true
+			continue
+		}
+		if !inDump && !sawDump {
+			// Tolerate headerless files (hand-edited extracts).
+			inDump = true
+		}
+		if !inDump {
+			continue
+		}
+		// Strip trailing "# comment".
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		name := fields[0]
+		raw := strings.TrimSuffix(fields[1], "%")
+		var v float64
+		switch strings.ToLower(raw) {
+		case "nan":
+			v = math.NaN()
+		case "inf", "+inf":
+			v = math.Inf(1)
+		case "-inf":
+			v = math.Inf(-1)
+		default:
+			parsed, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("gem5: bad statistic line %q: %w", line, err)
+			}
+			v = parsed
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gem5: no statistics found")
+	}
+	return out, nil
+}

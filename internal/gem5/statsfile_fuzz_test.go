@@ -1,0 +1,39 @@
+package gem5
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseStatsFile guards the stats.txt parser against malformed input:
+// it must either return an error or a well-formed map — never panic.
+// The seed corpus covers the format variations gem5 produces; `go test`
+// runs the seeds, `go test -fuzz=FuzzParseStatsFile` explores further.
+func FuzzParseStatsFile(f *testing.F) {
+	f.Add("sim_seconds 1.5\n")
+	f.Add("---------- Begin Simulation Statistics ----------\na.b 1 # c\n---------- End Simulation Statistics   ----------\n")
+	f.Add("x nan\ny inf\nz -inf\n")
+	f.Add("pct 97.5% # annotated\n")
+	f.Add("")
+	f.Add("name")
+	f.Add("name value")
+	f.Add(strings.Repeat("a.b 1\n", 1000))
+	f.Fuzz(func(t *testing.T, input string) {
+		stats, err := ParseStatsFile(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(stats) == 0 {
+			t.Fatal("nil-error parse must return statistics")
+		}
+		// A successful parse must round-trip through the writer.
+		var buf bytes.Buffer
+		if werr := WriteStatsFile(&buf, stats); werr != nil {
+			t.Fatalf("write after parse: %v", werr)
+		}
+		if _, rerr := ParseStatsFile(&buf); rerr != nil {
+			t.Fatalf("re-parse after write: %v", rerr)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package gem5
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gemstone/internal/hw"
+	"gemstone/internal/workload"
+)
+
+func TestStatsFileRoundTrip(t *testing.T) {
+	p := Platform(V1)
+	prof, err := workload.ByName("whetstone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Run(prof, hw.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Stats(&m.Sample)
+
+	var buf bytes.Buffer
+	if err := WriteStatsFile(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "Begin Simulation Statistics") ||
+		!strings.Contains(text, "End Simulation Statistics") {
+		t.Fatal("missing gem5 dump markers")
+	}
+
+	parsed, err := ParseStatsFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(stats) {
+		t.Fatalf("parsed %d stats, wrote %d", len(parsed), len(stats))
+	}
+	for name, want := range stats {
+		got, ok := parsed[name]
+		if !ok {
+			t.Fatalf("missing %q after round trip", name)
+		}
+		// Values render with 6 decimal places; integers exactly.
+		if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("%s: %v != %v", name, got, want)
+		}
+	}
+}
+
+func TestParseStatsFileVariations(t *testing.T) {
+	in := `
+---------- Begin Simulation Statistics ----------
+
+sim_seconds                      0.001234     # Number of seconds simulated
+sim_insts                        240000       # Number of instructions
+system.cpu.ipc                   1.5
+system.cpu.branchPred.BTBHitPct  97.5%        # hit percent
+system.cpu.cpi                   nan
+badline
+
+---------- End Simulation Statistics   ----------
+
+---------- Begin Simulation Statistics ----------
+sim_seconds                      9.9
+---------- End Simulation Statistics   ----------
+`
+	stats, err := ParseStatsFile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["sim_seconds"] != 0.001234 {
+		t.Fatalf("sim_seconds = %v (second dump must be ignored)", stats["sim_seconds"])
+	}
+	if stats["sim_insts"] != 240000 {
+		t.Fatalf("sim_insts = %v", stats["sim_insts"])
+	}
+	if stats["system.cpu.branchPred.BTBHitPct"] != 97.5 {
+		t.Fatalf("percent parsing: %v", stats["system.cpu.branchPred.BTBHitPct"])
+	}
+	if !math.IsNaN(stats["system.cpu.cpi"]) {
+		t.Fatal("nan must parse")
+	}
+}
+
+func TestParseStatsFileHeaderless(t *testing.T) {
+	stats, err := ParseStatsFile(strings.NewReader("a.b 1\nc.d 2.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["a.b"] != 1 || stats["c.d"] != 2.5 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+func TestParseStatsFileErrors(t *testing.T) {
+	if _, err := ParseStatsFile(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ParseStatsFile(strings.NewReader("x notanumber\n")); err == nil {
+		t.Fatal("malformed value must error")
+	}
+}

@@ -1,0 +1,235 @@
+// Package hw defines the reference hardware platform: a simulated
+// Hardkernel ODROID-XU3 (Samsung Exynos-5422) with a quad-core Cortex-A7
+// LITTLE cluster and a quad-core Cortex-A15 big cluster, on-board power
+// sensors and DVFS, standing in for the board the paper characterises.
+//
+// Geometry follows the Cortex-A7/A15 TRMs where the paper cites them —
+// notably the A15's 32-entry L1 ITLB and shared 512-entry 4-way L2 TLB,
+// the exact parameters whose divergence from the gem5 model Section IV
+// identifies.
+package hw
+
+import (
+	"gemstone/internal/branch"
+	"gemstone/internal/isa"
+	"gemstone/internal/mem"
+	"gemstone/internal/pipeline"
+	"gemstone/internal/platform"
+	"gemstone/internal/pmu"
+)
+
+// Cluster names used across the repository.
+const (
+	ClusterA7  = "a7"
+	ClusterA15 = "a15"
+)
+
+// a7Latencies returns Cortex-A7-class execute latencies.
+func a7Latencies() pipeline.Latencies {
+	var l pipeline.Latencies
+	l[isa.OpNop] = 1
+	l[isa.OpIntALU] = 1
+	l[isa.OpIntMul] = 3
+	l[isa.OpIntDiv] = 20
+	l[isa.OpFPAdd] = 4
+	l[isa.OpFPMul] = 4
+	l[isa.OpFPDiv] = 25
+	l[isa.OpSIMD] = 4
+	l[isa.OpLoad] = 1
+	l[isa.OpStore] = 1
+	l[isa.OpLoadEx] = 2
+	l[isa.OpStoreEx] = 2
+	l[isa.OpBarrier] = 2
+	l[isa.OpBranch] = 1
+	l[isa.OpCall] = 1
+	l[isa.OpReturn] = 1
+	l[isa.OpBranchInd] = 1
+	return l
+}
+
+// a15Latencies returns Cortex-A15-class execute latencies.
+func a15Latencies() pipeline.Latencies {
+	var l pipeline.Latencies
+	l[isa.OpNop] = 1
+	l[isa.OpIntALU] = 1
+	l[isa.OpIntMul] = 4
+	l[isa.OpIntDiv] = 18
+	l[isa.OpFPAdd] = 5
+	l[isa.OpFPMul] = 5
+	l[isa.OpFPDiv] = 30
+	l[isa.OpSIMD] = 4
+	l[isa.OpLoad] = 2
+	l[isa.OpStore] = 1
+	l[isa.OpLoadEx] = 2
+	l[isa.OpStoreEx] = 2
+	l[isa.OpBarrier] = 2
+	l[isa.OpBranch] = 1
+	l[isa.OpCall] = 1
+	l[isa.OpReturn] = 1
+	l[isa.OpBranchInd] = 1
+	return l
+}
+
+// dram returns the board's LPDDR3 model. These latencies are the "truth"
+// the gem5 model understates (Fig. 4).
+func dram() mem.DRAMConfig {
+	return mem.DRAMConfig{
+		Banks: 8, RowBytes: 2048,
+		RowHitNs: 45, RowMissNs: 115,
+		BandwidthBytesPerNs: 6.4,
+	}
+}
+
+// A7Cluster returns the LITTLE-cluster configuration.
+func A7Cluster() platform.ClusterConfig {
+	return platform.ClusterConfig{
+		Name: ClusterA7,
+		Core: pipeline.Config{
+			Name: "a7", Kind: pipeline.InOrder,
+			FetchWidth: 2, IssueWidth: 2,
+			FrontendDepth: 8, MispredictPenalty: 3,
+			Lat:                a7Latencies(),
+			BarrierDrainCycles: 10, StrexRetryCycles: 6,
+		},
+		Hier: mem.HierarchyConfig{
+			L1I: mem.CacheConfig{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 2, LatencyCycles: 1},
+			L1D: mem.CacheConfig{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 2,
+				WriteAllocate: true, NextLinePrefetch: true, PrefetchDegree: 1},
+			L2: mem.CacheConfig{Name: "l2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 8, LatencyCycles: 10,
+				WriteAllocate: true},
+			ITLB:              mem.TLBConfig{Name: "itlb", Entries: 16, Assoc: 16},
+			DTLB:              mem.TLBConfig{Name: "dtlb", Entries: 16, Assoc: 16},
+			UnifiedL2TLB:      true,
+			L2TLB:             mem.TLBConfig{Name: "l2tlb", Entries: 256, Assoc: 4, LatencyCycles: 2},
+			DRAM:              dram(),
+			WalkMemAccesses:   2,
+			WalkLatencyCycles: 10,
+
+			StreamingStoreMerge: true,
+			StreamDetectRun:     4,
+		},
+		Branch: branch.Config{
+			Name: "a7-bp", GlobalBits: 11, LocalBits: 11, ChoiceBits: 11,
+			BTBEntries: 1024, RASEntries: 8, IndirectEntries: 128,
+		},
+		DVFS: []platform.DVFSPoint{
+			{FreqMHz: 200, VoltageV: 0.90},
+			{FreqMHz: 600, VoltageV: 0.95},
+			{FreqMHz: 1000, VoltageV: 1.05},
+			{FreqMHz: 1400, VoltageV: 1.20},
+		},
+		Power:   a7Power(),
+		Thermal: platform.ThermalConfig{AmbientC: 24, RthCPerW: 25, TauSeconds: 10, ThrottleC: 85},
+	}
+}
+
+// A15Cluster returns the big-cluster configuration.
+func A15Cluster() platform.ClusterConfig {
+	return platform.ClusterConfig{
+		Name: ClusterA15,
+		Core: pipeline.Config{
+			Name: "a15", Kind: pipeline.OutOfOrder,
+			FetchWidth: 4, IssueWidth: 4,
+			ROBSize: 128, RetireWidth: 3,
+			FrontendDepth: 12, MispredictPenalty: 4,
+			Lat:                a15Latencies(),
+			BarrierDrainCycles: 14, StrexRetryCycles: 8,
+		},
+		Hier: mem.HierarchyConfig{
+			L1I: mem.CacheConfig{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 2, LatencyCycles: 1},
+			L1D: mem.CacheConfig{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 2,
+				WriteAllocate: true, NextLinePrefetch: true, PrefetchDegree: 2},
+			L2: mem.CacheConfig{Name: "l2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 16, LatencyCycles: 12,
+				WriteAllocate: true},
+			// The TLB shape the paper quotes from the A15 TRM: 32-entry L1
+			// ITLB, shared 512-entry 4-way L2 TLB with a short latency.
+			ITLB:              mem.TLBConfig{Name: "itlb", Entries: 32, Assoc: 32},
+			DTLB:              mem.TLBConfig{Name: "dtlb", Entries: 32, Assoc: 32},
+			UnifiedL2TLB:      true,
+			L2TLB:             mem.TLBConfig{Name: "l2tlb", Entries: 512, Assoc: 4, LatencyCycles: 2},
+			DRAM:              dram(),
+			WalkMemAccesses:   2,
+			WalkLatencyCycles: 12,
+
+			StreamingStoreMerge: true,
+			StreamDetectRun:     4,
+		},
+		Branch: branch.Config{
+			Name: "a15-bp", GlobalBits: 14, LocalBits: 13, ChoiceBits: 13,
+			BTBEntries: 8192, RASEntries: 16, IndirectEntries: 512,
+		},
+		DVFS: []platform.DVFSPoint{
+			{FreqMHz: 600, VoltageV: 0.90},
+			{FreqMHz: 1000, VoltageV: 1.00},
+			{FreqMHz: 1400, VoltageV: 1.10},
+			{FreqMHz: 1800, VoltageV: 1.25},
+			// 2 GHz exists but throttles thermally; the paper capped its
+			// experiments at 1.8 GHz for exactly this reason.
+			{FreqMHz: 2000, VoltageV: 1.45},
+		},
+		Power:   a15Power(),
+		Thermal: platform.ThermalConfig{AmbientC: 24, RthCPerW: 13, TauSeconds: 12, ThrottleC: 70},
+	}
+}
+
+// a15Power is the hidden ground-truth power process of the big cluster.
+// The empirical models of internal/power are validated against sensor
+// readings generated from this process; they never see these numbers.
+func a15Power() *platform.PowerProcess {
+	return &platform.PowerProcess{
+		ClockCV: 0.50,
+		EnergyNJ: map[pmu.Event]float64{
+			pmu.InstSpec:         0.10,
+			pmu.DpSpec:           0.05,
+			pmu.VfpSpec:          0.35,
+			pmu.AseSpec:          0.45,
+			pmu.L1DCache:         0.25,
+			pmu.L1DCacheWB:       0.80,
+			pmu.L2DCache:         1.80,
+			pmu.BusAccess:        6.00,
+			pmu.BrMisPred:        1.20,
+			pmu.L1DCacheRefillWr: 1.00,
+		},
+		Leak0: 0.35, LeakT: 0.004,
+		NoiseFrac: 0.004, QuantumW: 0.001,
+	}
+}
+
+// a7Power is the ground-truth power process of the LITTLE cluster.
+func a7Power() *platform.PowerProcess {
+	return &platform.PowerProcess{
+		ClockCV: 0.09,
+		EnergyNJ: map[pmu.Event]float64{
+			pmu.InstSpec:         0.025,
+			pmu.DpSpec:           0.012,
+			pmu.VfpSpec:          0.080,
+			pmu.AseSpec:          0.100,
+			pmu.L1DCache:         0.060,
+			pmu.L1DCacheWB:       0.250,
+			pmu.L2DCache:         0.500,
+			pmu.BusAccess:        2.000,
+			pmu.BrMisPred:        0.300,
+			pmu.L1DCacheRefillWr: 0.300,
+		},
+		Leak0: 0.040, LeakT: 0.0012,
+		NoiseFrac: 0.004, QuantumW: 0.001,
+	}
+}
+
+// Platform returns the simulated ODROID-XU3 reference board.
+func Platform() *platform.Platform {
+	return platform.New(platform.Config{
+		Name:       "odroid-xu3",
+		Clusters:   []platform.ClusterConfig{A7Cluster(), A15Cluster()},
+		HasSensors: true,
+	})
+}
+
+// ExperimentFrequencies returns the DVFS points the paper's Experiment 1
+// uses per cluster (2 GHz excluded on the A15 due to throttling).
+func ExperimentFrequencies(cluster string) []int {
+	if cluster == ClusterA7 {
+		return []int{200, 600, 1000, 1400}
+	}
+	return []int{600, 1000, 1400, 1800}
+}

@@ -1,0 +1,99 @@
+package hw
+
+import (
+	"testing"
+
+	"gemstone/internal/pipeline"
+)
+
+func TestPlatformValid(t *testing.T) {
+	p := Platform()
+	if err := p.Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Config().HasSensors {
+		t.Fatal("the reference board has power sensors")
+	}
+	if p.Name() != "odroid-xu3" {
+		t.Fatalf("platform name = %q", p.Name())
+	}
+}
+
+func TestClusterShapes(t *testing.T) {
+	a7, a15 := A7Cluster(), A15Cluster()
+	if a7.Core.Kind != pipeline.InOrder {
+		t.Fatal("A7 must be in-order")
+	}
+	if a15.Core.Kind != pipeline.OutOfOrder {
+		t.Fatal("A15 must be out-of-order")
+	}
+	// The paper's TRM-sourced TLB shape (Section IV-F).
+	if a15.Hier.ITLB.Entries != 32 {
+		t.Fatalf("A15 L1 ITLB = %d entries, TRM says 32", a15.Hier.ITLB.Entries)
+	}
+	if !a15.Hier.UnifiedL2TLB || a15.Hier.L2TLB.Entries != 512 || a15.Hier.L2TLB.Assoc != 4 {
+		t.Fatalf("A15 L2 TLB must be shared 512-entry 4-way, got %+v", a15.Hier.L2TLB)
+	}
+	if a15.Hier.L2.SizeBytes != 2<<20 || a7.Hier.L2.SizeBytes != 512<<10 {
+		t.Fatal("L2 sizes: A15 2 MiB, A7 512 KiB")
+	}
+	if !a7.Hier.StreamingStoreMerge || !a15.Hier.StreamingStoreMerge {
+		t.Fatal("hardware has merging write buffers")
+	}
+	if a7.Branch.BugSkewedUpdate || a15.Branch.BugSkewedUpdate {
+		t.Fatal("hardware predictors have no bug")
+	}
+}
+
+func TestExperimentFrequencies(t *testing.T) {
+	a7 := ExperimentFrequencies(ClusterA7)
+	a15 := ExperimentFrequencies(ClusterA15)
+	if len(a7) != 4 || a7[0] != 200 || a7[3] != 1400 {
+		t.Fatalf("A7 frequencies = %v", a7)
+	}
+	if len(a15) != 4 || a15[0] != 600 || a15[3] != 1800 {
+		t.Fatalf("A15 frequencies = %v (2 GHz must be excluded: throttling)", a15)
+	}
+	// 2 GHz exists on the platform but is not an experiment point.
+	cl := A15Cluster()
+	found2G := false
+	for _, pt := range cl.DVFS {
+		if pt.FreqMHz == 2000 {
+			found2G = true
+		}
+	}
+	if !found2G {
+		t.Fatal("the 2 GHz DVFS point must exist (it throttles)")
+	}
+}
+
+func TestVoltageLookup(t *testing.T) {
+	cl := A15Cluster()
+	v, err := cl.Voltage(1800)
+	if err != nil || v != 1.25 {
+		t.Fatalf("voltage(1800) = %v, %v", v, err)
+	}
+	if _, err := cl.Voltage(123); err == nil {
+		t.Fatal("unknown frequency must error")
+	}
+}
+
+func TestPowerProcessesValid(t *testing.T) {
+	for _, cl := range []string{ClusterA7, ClusterA15} {
+		cc, err := Platform().Cluster(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.Power == nil {
+			t.Fatalf("%s: no power process", cl)
+		}
+		if err := cc.Power.Validate(); err != nil {
+			t.Fatalf("%s: %v", cl, err)
+		}
+	}
+	// The big cluster burns more power per event than the LITTLE one.
+	a7, a15 := A7Cluster().Power, A15Cluster().Power
+	if a15.ClockCV <= a7.ClockCV || a15.Leak0 <= a7.Leak0 {
+		t.Fatal("A15 power process must dominate the A7's")
+	}
+}

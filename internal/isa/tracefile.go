@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace file format: instruction streams can be recorded once and replayed
+// many times (or inspected offline), the analogue of a simulator's trace
+// capture. The format is a fixed little-endian header followed by packed
+// 32-byte records:
+//
+//	magic  "GSTR"  (4 bytes)
+//	version uint32 (currently 1)
+//	count   uint64 (reserved; written as all-ones, readers stop at EOF)
+//	records: pc(8) addr(8) target(8) size(1) op(1) src1(1) src2(1)
+//	         dst(1) flags(1) pad(2)
+//
+// flags bit 0 = Taken, bit 1 = Unaligned.
+
+const (
+	traceMagic   = "GSTR"
+	traceVersion = 1
+	recordBytes  = 32
+)
+
+// WriteTrace records every instruction remaining in the stream to w and
+// returns the number written.
+func WriteTrace(w io.Writer, s Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return 0, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
+	// Streams are single-use and writers need not be seekable, so the
+	// count field is written as "unknown" (all ones); readers stop at EOF.
+	binary.LittleEndian.PutUint64(hdr[4:12], ^uint64(0))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	var rec [recordBytes]byte
+	n := 0
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], in.PC)
+		binary.LittleEndian.PutUint64(rec[8:16], in.Addr)
+		binary.LittleEndian.PutUint64(rec[16:24], in.Target)
+		rec[24] = in.Size
+		rec[25] = uint8(in.Op)
+		rec[26] = in.Src1
+		rec[27] = in.Src2
+		rec[28] = in.Dst
+		var flags uint8
+		if in.Taken {
+			flags |= 1
+		}
+		if in.Unaligned {
+			flags |= 2
+		}
+		rec[29] = flags
+		rec[30], rec[31] = 0, 0
+		if _, err := bw.Write(rec[:]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// TraceReader replays a recorded trace as an isa.Stream.
+type TraceReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewTraceReader validates the header and returns a replaying stream.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("isa: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("isa: not a trace file (magic %q)", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading trace header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != traceVersion {
+		return nil, fmt.Errorf("isa: unsupported trace version %d", v)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Next implements Stream.
+func (t *TraceReader) Next() (Inst, bool) {
+	if t.err != nil {
+		return Inst{}, false
+	}
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		t.err = err
+		return Inst{}, false
+	}
+	in := Inst{
+		PC:     binary.LittleEndian.Uint64(rec[0:8]),
+		Addr:   binary.LittleEndian.Uint64(rec[8:16]),
+		Target: binary.LittleEndian.Uint64(rec[16:24]),
+		Size:   rec[24],
+		Op:     Op(rec[25]),
+		Src1:   rec[26],
+		Src2:   rec[27],
+		Dst:    rec[28],
+	}
+	in.Taken = rec[29]&1 != 0
+	in.Unaligned = rec[29]&2 != 0
+	return in, true
+}
+
+// Err reports the terminal error, nil on clean EOF.
+func (t *TraceReader) Err() error {
+	if t.err == io.EOF {
+		return nil
+	}
+	return t.err
+}

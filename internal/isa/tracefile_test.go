@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() []Inst {
+	return []Inst{
+		{PC: 0x1000, Op: OpIntALU, Src1: 1, Src2: 2, Dst: 3},
+		{PC: 0x1004, Op: OpLoad, Addr: 0x2000_0000, Size: 4, Src1: 3, Dst: 4},
+		{PC: 0x1008, Op: OpStore, Addr: 0x2000_0040, Size: 4, Src1: 4, Unaligned: true},
+		{PC: 0x100C, Op: OpBranch, Taken: true, Target: 0x1000},
+		{PC: 0x1010, Op: OpBarrier},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	insts := sampleTrace()
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(insts) {
+		t.Fatalf("wrote %d records, want %d", n, len(insts))
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(tr, 0)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("read %d records, want %d", len(got), len(insts))
+	}
+	for i := range insts {
+		if got[i] != insts[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], insts[i])
+		}
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewTraceReader(strings.NewReader("not a trace")); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	if _, err := NewTraceReader(strings.NewReader("GS")); err == nil {
+		t.Fatal("truncated magic must error")
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	buf.WriteString("GSTR")
+	buf.Write([]byte{9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := NewTraceReader(&buf); err == nil {
+		t.Fatal("wrong version must error")
+	}
+}
+
+func TestTraceTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSliceStream(sampleTrace())); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record.
+	data := buf.Bytes()[:buf.Len()-7]
+	tr, err := NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(tr, 0)
+	if len(got) != len(sampleTrace())-1 {
+		t.Fatalf("collected %d complete records", len(got))
+	}
+	if tr.Err() == nil {
+		t.Fatal("truncated record must surface an error")
+	}
+}
+
+func TestTraceEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSliceStream(nil))
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	tr, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("empty trace must yield nothing")
+	}
+	if tr.Err() != nil {
+		t.Fatalf("clean EOF must not be an error: %v", tr.Err())
+	}
+}

@@ -1,0 +1,116 @@
+// Package lmbench reimplements the microbenchmarks the paper uses in
+// Section IV-A: lat_mem_rd-style memory-latency probing (Fig. 4) and
+// dependent-chain operation-latency probes. The same probe runs against
+// any platform cluster configuration, so hardware and gem5-model curves
+// come from identical measurement code — only the platform differs.
+package lmbench
+
+import (
+	"gemstone/internal/branch"
+	"gemstone/internal/isa"
+	"gemstone/internal/mem"
+	"gemstone/internal/pipeline"
+	"gemstone/internal/platform"
+)
+
+// Point is one memory-latency measurement.
+type Point struct {
+	WorkingSetBytes int
+	LatencyNs       float64
+}
+
+// DefaultSizes returns the working-set sweep of Fig. 4 (1 KiB – 64 MiB).
+func DefaultSizes() []int {
+	var sizes []int
+	for s := 1 << 10; s <= 64<<20; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// MemoryLatency measures the average dependent-load latency for each
+// working-set size, walking the set with the given stride (the paper uses
+// 256 bytes). The probe drives the cluster's memory hierarchy exactly as
+// lat_mem_rd drives real hardware: one load depends on the previous.
+func MemoryLatency(cl platform.ClusterConfig, freqMHz, strideBytes int, sizes []int) []Point {
+	ghz := float64(freqMHz) / 1000
+	points := make([]Point, 0, len(sizes))
+	for _, size := range sizes {
+		hier := mem.NewHierarchy(cl.Hier)
+		hier.SetFrequencyGHz(ghz)
+		const base = uint64(0x1000_0000)
+		// Warm-up pass: touch the whole set once.
+		addr := uint64(0)
+		steps := size / strideBytes
+		if steps < 1 {
+			steps = 1
+		}
+		for i := 0; i < steps; i++ {
+			hier.LoadAccess(base+addr, false)
+			addr = (addr + uint64(strideBytes)) % uint64(size)
+		}
+		// Measurement pass.
+		const probes = 20000
+		total := 0
+		for i := 0; i < probes; i++ {
+			total += hier.LoadAccess(base+addr, false)
+			addr = (addr + uint64(strideBytes)) % uint64(size)
+		}
+		cycles := float64(total) / probes
+		points = append(points, Point{WorkingSetBytes: size, LatencyNs: cycles / ghz})
+	}
+	return points
+}
+
+// MemoryBandwidth measures sustained sequential read bandwidth (GB/s)
+// through the cluster's memory hierarchy for the given working-set size —
+// the bcopy/bw_mem-style probe the paper corroborates against [11].
+func MemoryBandwidth(cl platform.ClusterConfig, freqMHz, sizeBytes int) float64 {
+	ghz := float64(freqMHz) / 1000
+	hier := mem.NewHierarchy(cl.Hier)
+	hier.SetFrequencyGHz(ghz)
+	const base = uint64(0x2000_0000)
+	line := uint64(cl.Hier.L1D.LineBytes)
+	// Warm-up pass.
+	for a := uint64(0); a < uint64(sizeBytes); a += line {
+		hier.LoadAccess(base+a, false)
+	}
+	// Measured passes: sequential line-granular reads; total cycles bound
+	// the achievable bandwidth.
+	const passes = 4
+	total := 0
+	for p := 0; p < passes; p++ {
+		for a := uint64(0); a < uint64(sizeBytes); a += line {
+			total += hier.LoadAccess(base+a, false)
+		}
+	}
+	bytes := float64(passes) * float64(sizeBytes)
+	seconds := float64(total) / (ghz * 1e9)
+	if seconds <= 0 {
+		return 0
+	}
+	return bytes / seconds / 1e9
+}
+
+// OpLatency measures the effective latency in cycles of a dependent chain
+// of the given instruction class on the cluster's timing model — the
+// "operation latency" microbenchmarks the paper corroborates against [11].
+func OpLatency(cl platform.ClusterConfig, op isa.Op, freqMHz int) float64 {
+	hier := mem.NewHierarchy(cl.Hier)
+	hier.SetFrequencyGHz(float64(freqMHz) / 1000)
+	pred := branch.New(cl.Branch)
+	core := pipeline.NewCore(cl.Core, hier, pred)
+
+	const n = 20000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		in := isa.Inst{PC: 0x4000 + uint64(i%512)*4, Op: op, Src1: 1, Src2: 1, Dst: 1}
+		if op.IsMem() {
+			in.Addr = 0x2000 // always L1-resident
+			in.Size = 4
+		}
+		insts[i] = in
+	}
+	tally := core.Run(isa.NewSliceStream(insts))
+	return float64(tally.Cycles) / n
+}

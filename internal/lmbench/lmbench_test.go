@@ -1,0 +1,93 @@
+package lmbench
+
+import (
+	"testing"
+
+	"gemstone/internal/gem5"
+	"gemstone/internal/hw"
+	"gemstone/internal/isa"
+)
+
+func TestMemoryLatencyCurveShape(t *testing.T) {
+	sizes := []int{16 << 10, 256 << 10, 16 << 20}
+	pts := MemoryLatency(hw.A15Cluster(), 1000, 256, sizes)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	l1, l2, dram := pts[0].LatencyNs, pts[1].LatencyNs, pts[2].LatencyNs
+	if !(l1 < l2 && l2 < dram) {
+		t.Fatalf("latency must increase along the hierarchy: %.1f, %.1f, %.1f ns", l1, l2, dram)
+	}
+	// L1 hit latency at 1 GHz is a few ns; DRAM tens of ns.
+	if l1 > 10 {
+		t.Fatalf("L1-resident latency %.1f ns too high", l1)
+	}
+	if dram < 40 {
+		t.Fatalf("DRAM-resident latency %.1f ns too low", dram)
+	}
+}
+
+// The paper's Fig. 4 findings: the gem5 model's DRAM latency is too low,
+// and the gem5 LITTLE model's L2 latency is too high.
+func TestGem5DRAMLatencyTooLow(t *testing.T) {
+	size := []int{32 << 20}
+	hwPt := MemoryLatency(hw.A15Cluster(), 1000, 256, size)[0]
+	g5Pt := MemoryLatency(gem5.BigCluster(gem5.V1), 1000, 256, size)[0]
+	if g5Pt.LatencyNs >= hwPt.LatencyNs {
+		t.Fatalf("gem5 DRAM latency (%.1f ns) must be below HW (%.1f ns)", g5Pt.LatencyNs, hwPt.LatencyNs)
+	}
+}
+
+func TestGem5LittleL2LatencyTooHigh(t *testing.T) {
+	size := []int{128 << 10} // L2-resident on the A7 (512 KiB L2)
+	hwPt := MemoryLatency(hw.A7Cluster(), 1000, 256, size)[0]
+	g5Pt := MemoryLatency(gem5.LITTLECluster(gem5.V1), 1000, 256, size)[0]
+	if g5Pt.LatencyNs <= hwPt.LatencyNs {
+		t.Fatalf("gem5 A7 L2 latency (%.1f ns) must exceed HW (%.1f ns)", g5Pt.LatencyNs, hwPt.LatencyNs)
+	}
+}
+
+func TestOpLatencyOrdering(t *testing.T) {
+	cl := hw.A15Cluster()
+	alu := OpLatency(cl, isa.OpIntALU, 1000)
+	mul := OpLatency(cl, isa.OpIntMul, 1000)
+	div := OpLatency(cl, isa.OpIntDiv, 1000)
+	fdiv := OpLatency(cl, isa.OpFPDiv, 1000)
+	if !(alu < mul && mul < div && div < fdiv) {
+		t.Fatalf("op latencies out of order: alu=%.1f mul=%.1f div=%.1f fdiv=%.1f", alu, mul, div, fdiv)
+	}
+	if alu > 2.5 {
+		t.Fatalf("dependent ALU chain latency %.2f cycles, want ~1", alu)
+	}
+}
+
+func TestMemoryLatencyDeterminism(t *testing.T) {
+	a := MemoryLatency(hw.A7Cluster(), 600, 256, []int{64 << 10})
+	b := MemoryLatency(hw.A7Cluster(), 600, 256, []int{64 << 10})
+	if a[0] != b[0] {
+		t.Fatal("non-deterministic latency probe")
+	}
+}
+
+func TestMemoryBandwidthHierarchy(t *testing.T) {
+	cl := hw.A15Cluster()
+	l1 := MemoryBandwidth(cl, 1000, 16<<10)
+	dram := MemoryBandwidth(cl, 1000, 32<<20)
+	if l1 <= dram {
+		t.Fatalf("L1 bandwidth (%.1f GB/s) must exceed DRAM bandwidth (%.1f GB/s)", l1, dram)
+	}
+	if dram <= 0 || dram > 30 {
+		t.Fatalf("DRAM-resident bandwidth %.1f GB/s implausible", dram)
+	}
+}
+
+func TestGem5BandwidthHigherThanHW(t *testing.T) {
+	// The model's DRAM is faster (Fig. 4), so its streaming bandwidth is
+	// higher too — the memory-bandwidth corroboration of Section IV-A.
+	size := 32 << 20
+	hwBW := MemoryBandwidth(hw.A15Cluster(), 1000, size)
+	g5BW := MemoryBandwidth(gem5.BigCluster(gem5.V1), 1000, size)
+	if g5BW <= hwBW {
+		t.Fatalf("gem5 bandwidth (%.1f) should exceed HW (%.1f)", g5BW, hwBW)
+	}
+}

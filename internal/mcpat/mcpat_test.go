@@ -1,0 +1,129 @@
+package mcpat
+
+import (
+	"sync"
+	"testing"
+
+	"gemstone/internal/core"
+	"gemstone/internal/hw"
+	"gemstone/internal/pmu"
+	"gemstone/internal/power"
+	"gemstone/internal/workload"
+)
+
+func pmuInst() pmu.Event { return pmu.InstSpec }
+func pmuL2() pmu.Event   { return pmu.L2DCache }
+
+var (
+	obsOnce sync.Once
+	obsErr  error
+	a15Obs  []power.Observation
+	a15Runs *core.RunSet
+)
+
+func a15Observations(t *testing.T) []power.Observation {
+	t.Helper()
+	obsOnce.Do(func() {
+		a15Runs, obsErr = core.Collect(hw.Platform(), core.CollectOptions{
+			Workloads: workload.All(), Clusters: []string{hw.ClusterA15}})
+		if obsErr != nil {
+			return
+		}
+		for _, m := range a15Runs.Runs {
+			a15Obs = append(a15Obs, core.PowerObservation(m))
+		}
+	})
+	if obsErr != nil {
+		t.Fatal(obsErr)
+	}
+	return a15Obs
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(hw.A15Cluster(), Config{}); err == nil {
+		t.Fatal("zero config must error")
+	}
+	if _, err := New(hw.A15Cluster(), DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuralScaling(t *testing.T) {
+	big, err := New(hw.A15Cluster(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	little, err := New(hw.A7Cluster(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure drives the analytical model: the wide out-of-order core
+	// with the 2 MiB L2 must cost more per instruction and leak more.
+	if big.energyNJ[pmuInst()] <= little.energyNJ[pmuInst()] {
+		t.Fatal("A15 per-instruction energy must exceed A7's")
+	}
+	if big.leakW <= little.leakW {
+		t.Fatal("A15 leakage must exceed A7's")
+	}
+	if big.energyNJ[pmuL2()] <= little.energyNJ[pmuL2()] {
+		t.Fatal("2 MiB L2 access must cost more than 512 KiB")
+	}
+}
+
+func TestAnalyticalModelInBallparkButWorseThanEmpirical(t *testing.T) {
+	obs := a15Observations(t)
+	analytical, err := New(hw.A15Cluster(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := analytical.Validate(obs)
+	// An uncalibrated analytical model lands in the right ballpark —
+	// useful for design-space exploration — but nowhere near sensor
+	// accuracy (the paper cites ~25 % MAPE for McPAT on this board).
+	if qa.MAPE < 5 {
+		t.Fatalf("analytical MAPE %.1f%% implausibly good for an uncalibrated model", qa.MAPE)
+	}
+	if qa.MAPE > 80 {
+		t.Fatalf("analytical MAPE %.1f%% outside any useful ballpark", qa.MAPE)
+	}
+
+	empirical, err := power.Build(hw.ClusterA15, obs, power.BuildOptions{Pool: power.RestrictedPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empirical.Quality.MAPE*3 > qa.MAPE {
+		t.Fatalf("empirical model (%.2f%%) should beat analytical (%.1f%%) by a wide margin — the paper's Section II claim",
+			empirical.Quality.MAPE, qa.MAPE)
+	}
+}
+
+func TestComponentsSumToEstimate(t *testing.T) {
+	obs := a15Observations(t)
+	m, err := New(hw.A15Cluster(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &obs[0]
+	sum := 0.0
+	for _, c := range m.Components(o) {
+		sum += c.Watts
+	}
+	if d := sum - m.Estimate(o); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("components sum %v != estimate %v", sum, m.Estimate(o))
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	obs := a15Observations(t)
+	m, err := New(hw.A15Cluster(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs[0]
+	lo := m.Estimate(&o)
+	o.VoltageV *= 1.2
+	hi := m.Estimate(&o)
+	if hi <= lo {
+		t.Fatal("power must grow with voltage")
+	}
+}

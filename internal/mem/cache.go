@@ -1,0 +1,318 @@
+// Package mem implements the memory-system substrate shared by every CPU
+// model in the repository: set-associative write-back caches, TLBs, a
+// banked DRAM model and the composed cache/TLB hierarchy the pipeline
+// models access.
+//
+// The same implementation is configured twice — once as the reference
+// "hardware" platform and once as the "gem5" model with the specification
+// defects the paper documents (see internal/hw and internal/gem5). Keeping
+// a single implementation means every divergence between the two platforms
+// is attributable to an explicit configuration knob, which is exactly the
+// property the GemStone methodology is designed to detect.
+package mem
+
+import "fmt"
+
+// CacheConfig describes the geometry and policies of one cache level.
+type CacheConfig struct {
+	// Name identifies the cache in statistics output (e.g. "l1d").
+	Name string
+	// SizeBytes is the total capacity. Must be a multiple of LineBytes*Assoc.
+	SizeBytes int
+	// LineBytes is the line size (power of two).
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyCycles is the hit latency in core cycles.
+	LatencyCycles int
+	// WriteAllocate controls whether write misses allocate a line.
+	WriteAllocate bool
+	// NextLinePrefetch enables a simple next-line prefetcher on read misses.
+	NextLinePrefetch bool
+	// PrefetchDegree is the number of sequential lines fetched per trigger.
+	PrefetchDegree int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c CacheConfig) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: cache %q: line size %d is not a positive power of two", c.Name, c.LineBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("mem: cache %q: associativity %d must be positive", c.Name, c.Assoc)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("mem: cache %q: size %d is not a multiple of line*assoc", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: cache %q: set count %d is not a power of two", c.Name, sets)
+	}
+	if c.LatencyCycles < 0 {
+		return fmt.Errorf("mem: cache %q: negative latency", c.Name)
+	}
+	return nil
+}
+
+// CacheStats accumulates the raw event counts a cache produces. The PMU and
+// gem5 statistics layers derive their event values from these fields.
+type CacheStats struct {
+	ReadAccesses  uint64 // demand read lookups
+	WriteAccesses uint64 // demand write lookups
+	ReadMisses    uint64 // demand read lookups that missed
+	WriteMisses   uint64 // demand write lookups that missed
+	ReadRefills   uint64 // lines allocated due to read misses
+	WriteRefills  uint64 // lines allocated due to write misses
+	Writebacks    uint64 // dirty lines evicted to the next level
+	Prefetches    uint64 // prefetch fills issued
+	PrefetchHits  uint64 // demand hits on prefetched-but-unused lines
+	Invalidations uint64 // lines removed by coherence snoops
+}
+
+// Accesses returns total demand lookups.
+func (s *CacheStats) Accesses() uint64 { return s.ReadAccesses + s.WriteAccesses }
+
+// Misses returns total demand misses.
+func (s *CacheStats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// Refills returns total demand line fills.
+func (s *CacheStats) Refills() uint64 { return s.ReadRefills + s.WriteRefills }
+
+type cacheLine struct {
+	tag        uint64
+	lastUse    uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by prefetch and not yet demand-touched
+}
+
+// AccessResult reports the outcome of a cache access to the caller, which
+// is responsible for charging latency and propagating traffic downstream.
+type AccessResult struct {
+	Hit bool
+	// WritebackAddr is the line-aligned address of a dirty victim that must
+	// be written to the next level. Valid only when Writeback is true.
+	Writeback     bool
+	WritebackAddr uint64
+	// PrefetchAddrs are line-aligned addresses the prefetcher wants filled.
+	PrefetchAddrs []uint64
+}
+
+// Cache is a set-associative write-back cache with true-LRU replacement.
+// It is a pure state machine: it records hits/misses and reports required
+// downstream actions, but never touches other levels itself.
+type Cache struct {
+	cfg      CacheConfig
+	Stats    CacheStats
+	lines    []cacheLine
+	sets     int
+	assoc    int
+	lineMask uint64
+	setShift uint
+	setMask  uint64
+	tick     uint64
+	pfBuf    [8]uint64 // reusable prefetch-address buffer
+}
+
+// NewCache builds a cache from cfg. It panics if cfg is invalid; callers
+// construct configurations from code, not user input, so an invalid config
+// is a programming error.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	setShift := uint(0)
+	for 1<<setShift != cfg.LineBytes {
+		setShift++
+	}
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]cacheLine, sets*cfg.Assoc),
+		sets:     sets,
+		assoc:    cfg.Assoc,
+		lineMask: ^uint64(cfg.LineBytes - 1),
+		setShift: setShift,
+		setMask:  uint64(sets - 1),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// LatencyCycles returns the configured hit latency.
+func (c *Cache) LatencyCycles() int { return c.cfg.LatencyCycles }
+
+func (c *Cache) set(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+// lookup returns the way index holding addr's line, or -1.
+func (c *Cache) lookup(addr uint64) int {
+	tag := addr & c.lineMask
+	base := c.set(addr) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if l := &c.lines[base+w]; l.valid && l.tag == tag {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// victim returns the LRU way index in addr's set, preferring invalid ways.
+func (c *Cache) victim(addr uint64) int {
+	base := c.set(addr) * c.assoc
+	best := base
+	var bestUse uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		l := &c.lines[base+w]
+		if !l.valid {
+			return base + w
+		}
+		if l.lastUse < bestUse {
+			bestUse = l.lastUse
+			best = base + w
+		}
+	}
+	return best
+}
+
+// fill installs addr's line, returning any dirty victim.
+func (c *Cache) fill(addr uint64, dirty, prefetched bool) (wbAddr uint64, wb bool) {
+	idx := c.victim(addr)
+	l := &c.lines[idx]
+	if l.valid && l.dirty {
+		wbAddr, wb = l.tag, true
+		c.Stats.Writebacks++
+	}
+	c.tick++
+	*l = cacheLine{tag: addr & c.lineMask, lastUse: c.tick, valid: true, dirty: dirty, prefetched: prefetched}
+	return wbAddr, wb
+}
+
+// Access performs a demand read or write lookup. On a miss with allocation
+// the line is installed (the caller is assumed to fetch it from the next
+// level and charge the appropriate latency). The returned AccessResult
+// lists the dirty victim, if any, and prefetch requests to issue.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	var res AccessResult
+	if write {
+		c.Stats.WriteAccesses++
+	} else {
+		c.Stats.ReadAccesses++
+	}
+	if idx := c.lookup(addr); idx >= 0 {
+		l := &c.lines[idx]
+		c.tick++
+		l.lastUse = c.tick
+		if l.prefetched {
+			c.Stats.PrefetchHits++
+			l.prefetched = false
+		}
+		if write {
+			l.dirty = true
+		}
+		res.Hit = true
+		return res
+	}
+	// Miss.
+	if write {
+		c.Stats.WriteMisses++
+		if c.cfg.WriteAllocate {
+			c.Stats.WriteRefills++
+			res.WritebackAddr, res.Writeback = c.fill(addr, true, false)
+		}
+		// Write-no-allocate misses pass through to the next level; the
+		// hierarchy handles that traffic.
+	} else {
+		c.Stats.ReadMisses++
+		c.Stats.ReadRefills++
+		res.WritebackAddr, res.Writeback = c.fill(addr, false, false)
+		if c.cfg.NextLinePrefetch {
+			deg := c.cfg.PrefetchDegree
+			if deg <= 0 {
+				deg = 1
+			}
+			if deg > len(c.pfBuf) {
+				deg = len(c.pfBuf)
+			}
+			line := uint64(c.cfg.LineBytes)
+			base := addr & c.lineMask
+			n := 0
+			for i := 1; i <= deg; i++ {
+				pa := base + uint64(i)*line
+				if c.lookup(pa) < 0 {
+					c.pfBuf[n] = pa
+					n++
+				}
+			}
+			res.PrefetchAddrs = c.pfBuf[:n]
+		}
+	}
+	return res
+}
+
+// AccessWriteNoAlloc performs a write lookup that never allocates on a
+// miss, regardless of the configured write-allocate policy. The merging
+// write buffer in the hierarchy uses this for detected streaming stores.
+func (c *Cache) AccessWriteNoAlloc(addr uint64) AccessResult {
+	var res AccessResult
+	c.Stats.WriteAccesses++
+	if idx := c.lookup(addr); idx >= 0 {
+		l := &c.lines[idx]
+		c.tick++
+		l.lastUse = c.tick
+		l.dirty = true
+		if l.prefetched {
+			c.Stats.PrefetchHits++
+			l.prefetched = false
+		}
+		res.Hit = true
+		return res
+	}
+	c.Stats.WriteMisses++
+	return res
+}
+
+// Prefetch installs a line speculatively (no demand stats recorded). The
+// returned values describe a dirty victim writeback, if one occurred.
+func (c *Cache) Prefetch(addr uint64) (wbAddr uint64, wb bool) {
+	if c.lookup(addr) >= 0 {
+		return 0, false
+	}
+	c.Stats.Prefetches++
+	return c.fill(addr, false, true)
+}
+
+// Contains reports whether addr's line is resident. Used by tests and by
+// the snoop filter.
+func (c *Cache) Contains(addr uint64) bool { return c.lookup(addr) >= 0 }
+
+// Invalidate removes addr's line if present, returning whether it was dirty
+// (in which case the caller must write it back).
+func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
+	idx := c.lookup(addr)
+	if idx < 0 {
+		return false, false
+	}
+	l := &c.lines[idx]
+	c.Stats.Invalidations++
+	dirty := l.dirty
+	l.valid = false
+	l.dirty = false
+	return dirty, true
+}
+
+// ResidentLines returns the number of valid lines. Used by property tests.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

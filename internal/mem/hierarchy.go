@@ -1,0 +1,422 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// HierarchyConfig assembles the per-core and per-cluster memory system.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	ITLB TLBConfig
+	DTLB TLBConfig
+
+	// UnifiedL2TLB selects the hardware shape (one shared second-level TLB
+	// for instruction and data translations). When false, L2TLBI/L2TLBD
+	// model gem5's split walker caches.
+	UnifiedL2TLB bool
+	L2TLB        TLBConfig // used when UnifiedL2TLB
+	L2TLBI       TLBConfig // used when split
+	L2TLBD       TLBConfig // used when split
+
+	DRAM DRAMConfig
+
+	// WalkMemAccesses is the number of page-table memory accesses charged
+	// per hardware page-table walk (2 for a 2-level table).
+	WalkMemAccesses int
+	// WalkLatencyCycles is fixed walker overhead per walk.
+	WalkLatencyCycles int
+
+	// StreamingStoreMerge enables the merging write buffer: runs of
+	// sequential stores covering whole lines bypass L1D allocation and are
+	// sent to L2 as merged line writes. Real Cortex cores have this; the
+	// gem5 model's lack of it is what inflates L1D write refills (9.9x)
+	// and writebacks (19x) in the paper's Fig. 6.
+	StreamingStoreMerge bool
+	// StreamDetectRun is the number of consecutive sequential stores that
+	// triggers streaming mode.
+	StreamDetectRun int
+}
+
+// Validate checks every sub-configuration.
+func (c HierarchyConfig) Validate() error {
+	for _, cc := range []CacheConfig{c.L1I, c.L1D, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	tlbs := []TLBConfig{c.ITLB, c.DTLB}
+	if c.UnifiedL2TLB {
+		tlbs = append(tlbs, c.L2TLB)
+	} else {
+		tlbs = append(tlbs, c.L2TLBI, c.L2TLBD)
+	}
+	for _, tc := range tlbs {
+		if err := tc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if c.WalkMemAccesses <= 0 {
+		return fmt.Errorf("mem: hierarchy: WalkMemAccesses must be positive")
+	}
+	return nil
+}
+
+// HierarchyStats gathers counters that do not belong to a single component.
+type HierarchyStats struct {
+	ITLBWalks       uint64 // full page-table walks on the instruction side
+	DTLBWalks       uint64
+	Snoops          uint64 // coherence snoops observed
+	SnoopHits       uint64 // snoops that invalidated a resident line
+	MergedStores    uint64 // stores absorbed by the merging write buffer
+	UnalignedAccess uint64 // unaligned data accesses (extra L1D access)
+	ExclusiveLoads  uint64
+	ExclusiveStores uint64
+	ExclusivePasses uint64 // store-exclusives that succeeded
+	ExclusiveFails  uint64
+	Barriers        uint64
+	BusAccesses     uint64 // L2<->DRAM transfers (reads + writebacks)
+}
+
+// Hierarchy composes the full memory system for one simulated core plus its
+// cluster-shared L2 and DRAM. It converts DRAM nanoseconds into core cycles
+// at the currently configured frequency.
+type Hierarchy struct {
+	cfg HierarchyConfig
+
+	L1I, L1D, L2 *Cache
+	ITLB, DTLB   *TLB
+	L2TLBI       *TLB // == L2TLBD when unified
+	L2TLBD       *TLB
+	DRAM         *DRAM
+
+	Stats HierarchyStats
+
+	freqGHz float64
+
+	// Streaming-store detector: a small write-combining buffer tracking
+	// several independent store streams (real merging write buffers have
+	// 4-8 line entries, so interleaved scattered stores do not destroy a
+	// detected stream).
+	wcb     [8]wcbEntry
+	wcbTick uint64
+
+	// exclusive monitor
+	monitorValid bool
+	monitorAddr  uint64
+
+	// page-table region base for synthetic walk addresses
+	ptBase uint64
+}
+
+// NewHierarchy builds the hierarchy, panicking on invalid configuration.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg:     cfg,
+		L1I:     NewCache(cfg.L1I),
+		L1D:     NewCache(cfg.L1D),
+		L2:      NewCache(cfg.L2),
+		ITLB:    NewTLB(cfg.ITLB),
+		DTLB:    NewTLB(cfg.DTLB),
+		DRAM:    NewDRAM(cfg.DRAM),
+		freqGHz: 1.0,
+		ptBase:  0x7f00_0000_0000,
+	}
+	if cfg.UnifiedL2TLB {
+		u := NewTLB(cfg.L2TLB)
+		h.L2TLBI, h.L2TLBD = u, u
+	} else {
+		h.L2TLBI = NewTLB(cfg.L2TLBI)
+		h.L2TLBD = NewTLB(cfg.L2TLBD)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// SetFrequencyGHz sets the core clock used to convert DRAM ns to cycles.
+func (h *Hierarchy) SetFrequencyGHz(ghz float64) {
+	if ghz <= 0 {
+		panic("mem: non-positive frequency")
+	}
+	h.freqGHz = ghz
+}
+
+// FrequencyGHz returns the current core clock.
+func (h *Hierarchy) FrequencyGHz() float64 { return h.freqGHz }
+
+func (h *Hierarchy) nsToCycles(ns float64) int {
+	return int(math.Ceil(ns * h.freqGHz))
+}
+
+// l2Fill performs an L2 lookup for a line fill on behalf of an L1 miss and
+// returns the added latency in cycles beyond the L1 hit latency.
+func (h *Hierarchy) l2Fill(addr uint64, write bool) int {
+	res := h.L2.Access(addr, write)
+	lat := h.L2.LatencyCycles()
+	if res.Writeback {
+		h.Stats.BusAccesses++
+		lat += 0 // writeback is off the critical path
+		h.DRAM.Access(res.WritebackAddr, true, h.L2.LineBytes())
+	}
+	if !res.Hit {
+		h.Stats.BusAccesses++
+		lat += h.nsToCycles(h.DRAM.Access(addr, write, h.L2.LineBytes()))
+	}
+	for _, pa := range res.PrefetchAddrs {
+		wbAddr, wb := h.L2.Prefetch(pa)
+		if wb {
+			h.Stats.BusAccesses++
+			h.DRAM.Access(wbAddr, true, h.L2.LineBytes())
+		}
+		h.Stats.BusAccesses++
+		h.DRAM.Access(pa, false, h.L2.LineBytes())
+	}
+	return lat
+}
+
+// translate performs a TLB lookup on the given side and returns the added
+// latency in cycles. L1 TLB lookups are free (folded into the cache
+// pipeline); L2 TLB hits charge the L2 TLB latency; misses charge a walk.
+func (h *Hierarchy) translate(addr uint64, l1 *TLB, l2 *TLB, walks *uint64) int {
+	if l1.Lookup(addr) {
+		return 0
+	}
+	lat := l2.LatencyCycles()
+	if l2.Lookup(addr) {
+		l1.Refill(addr)
+		return lat
+	}
+	// Full page-table walk.
+	*walks++
+	lat += h.cfg.WalkLatencyCycles
+	vpn := addr >> PageShift
+	for i := 0; i < h.cfg.WalkMemAccesses; i++ {
+		pta := h.ptBase + vpn*8 + uint64(i)*(1<<20)
+		lat += h.l2Fill(pta, false)
+	}
+	l2.Refill(addr)
+	l1.Refill(addr)
+	return lat
+}
+
+// FetchAccess charges one instruction-side access for the line containing
+// pc and returns its latency in cycles (L1I hit latency included).
+func (h *Hierarchy) FetchAccess(pc uint64) int {
+	lat := h.translate(pc, h.ITLB, h.L2TLBI, &h.Stats.ITLBWalks)
+	res := h.L1I.Access(pc, false)
+	lat += h.L1I.LatencyCycles()
+	if !res.Hit {
+		lat += h.l2Fill(pc, false)
+	}
+	for _, pa := range res.PrefetchAddrs {
+		if _, wb := h.L1I.Prefetch(pa); wb {
+			// L1I lines are never dirty; ignore.
+			_ = wb
+		}
+		h.l2Fill(pa, false)
+	}
+	return lat
+}
+
+// LoadAccess charges one data load and returns its latency in cycles.
+// Loads do not disturb the streaming-store detector: a merging write
+// buffer coalesces store runs regardless of interleaved reads.
+func (h *Hierarchy) LoadAccess(addr uint64, unaligned bool) int {
+	lat := h.translate(addr, h.DTLB, h.L2TLBD, &h.Stats.DTLBWalks)
+	res := h.L1D.Access(addr, false)
+	lat += h.L1D.LatencyCycles()
+	if res.Writeback {
+		h.l2WriteBack(res.WritebackAddr)
+	}
+	if !res.Hit {
+		lat += h.l2Fill(addr, false)
+	}
+	for _, pa := range res.PrefetchAddrs {
+		wbAddr, wb := h.L1D.Prefetch(pa)
+		if wb {
+			h.l2WriteBack(wbAddr)
+		}
+		h.l2Fill(pa, false)
+	}
+	if unaligned {
+		h.Stats.UnalignedAccess++
+		// Second access for the straddling part.
+		res2 := h.L1D.Access(addr+uint64(h.L1D.LineBytes()), false)
+		lat += h.L1D.LatencyCycles()
+		if res2.Writeback {
+			h.l2WriteBack(res2.WritebackAddr)
+		}
+		if !res2.Hit {
+			lat += h.l2Fill(addr+uint64(h.L1D.LineBytes()), false)
+		}
+	}
+	return lat
+}
+
+func (h *Hierarchy) l2WriteBack(addr uint64) {
+	res := h.L2.Access(addr, true)
+	if res.Writeback {
+		h.Stats.BusAccesses++
+		h.DRAM.Access(res.WritebackAddr, true, h.L2.LineBytes())
+	}
+	if !res.Hit {
+		// Write-allocate in L2 for the victim line; DRAM fill off the
+		// critical path, but the traffic is real.
+		h.Stats.BusAccesses++
+		h.DRAM.Access(addr, true, h.L2.LineBytes())
+	}
+}
+
+// wcbEntry is one write-combining-buffer stream tracker.
+type wcbEntry struct {
+	end      uint64 // address the stream's next sequential store would hit
+	runBytes int    // contiguous bytes written so far
+	lastUse  uint64
+}
+
+// noteStore updates the write-combining buffer and reports whether addr
+// belongs to an established store stream (a run at least StreamDetectRun
+// stores long).
+func (h *Hierarchy) noteStore(addr uint64, size int) bool {
+	h.wcbTick++
+	need := h.cfg.StreamDetectRun * size
+	for i := range h.wcb {
+		e := &h.wcb[i]
+		if e.end == addr && e.runBytes > 0 {
+			e.end += uint64(size)
+			e.runBytes += size
+			e.lastUse = h.wcbTick
+			return e.runBytes >= need
+		}
+	}
+	// New stream: replace the LRU entry.
+	victim := 0
+	for i := 1; i < len(h.wcb); i++ {
+		if h.wcb[i].lastUse < h.wcb[victim].lastUse {
+			victim = i
+		}
+	}
+	h.wcb[victim] = wcbEntry{end: addr + uint64(size), runBytes: size, lastUse: h.wcbTick}
+	return false
+}
+
+// StoreAccess charges one data store and returns its visible latency in
+// cycles (usually small: stores retire through the store buffer).
+func (h *Hierarchy) StoreAccess(addr uint64, size int, unaligned bool) int {
+	lat := h.translate(addr, h.DTLB, h.L2TLBD, &h.Stats.DTLBWalks)
+
+	inStream := h.noteStore(addr, size)
+	streaming := h.cfg.StreamingStoreMerge && inStream &&
+		!h.L1D.Contains(addr)
+	if streaming {
+		// Merging write buffer: the store bypasses L1D allocation and is
+		// merged into a line write sent to L2 once per line.
+		h.Stats.MergedStores++
+		res := h.L1D.AccessWriteNoAlloc(addr)
+		lat += h.L1D.LatencyCycles()
+		if res.Writeback {
+			h.l2WriteBack(res.WritebackAddr)
+		}
+		lineOff := addr & uint64(h.L1D.LineBytes()-1)
+		if lineOff < uint64(size) {
+			// First store touching this line: emit the merged line write.
+			h.l2WriteBack(addr)
+		}
+		return lat
+	}
+
+	res := h.L1D.Access(addr, true)
+	lat += h.L1D.LatencyCycles()
+	if res.Writeback {
+		h.l2WriteBack(res.WritebackAddr)
+	}
+	if !res.Hit && h.L1D.Config().WriteAllocate {
+		// Write-allocate: fetch the line from L2 before merging the store.
+		lat += h.l2Fill(addr, false)
+	} else if !res.Hit {
+		// Write-no-allocate: the store goes straight to L2.
+		h.l2WriteBack(addr)
+	}
+	if unaligned {
+		h.Stats.UnalignedAccess++
+		res2 := h.L1D.Access(addr+uint64(h.L1D.LineBytes()), true)
+		if res2.Writeback {
+			h.l2WriteBack(res2.WritebackAddr)
+		}
+		if !res2.Hit && h.L1D.Config().WriteAllocate {
+			h.l2Fill(addr+uint64(h.L1D.LineBytes()), false)
+		}
+	}
+	return lat
+}
+
+// LoadExclusive performs a load-exclusive: a normal load that also arms the
+// local exclusive monitor.
+func (h *Hierarchy) LoadExclusive(addr uint64) int {
+	h.Stats.ExclusiveLoads++
+	h.monitorValid = true
+	h.monitorAddr = addr &^ uint64(h.L1D.LineBytes()-1)
+	return h.LoadAccess(addr, false)
+}
+
+// StoreExclusive performs a store-exclusive. It succeeds if the monitor is
+// still armed for addr's line; contention (snoops) clears the monitor.
+// It returns the latency and whether the store succeeded.
+func (h *Hierarchy) StoreExclusive(addr uint64) (int, bool) {
+	h.Stats.ExclusiveStores++
+	line := addr &^ uint64(h.L1D.LineBytes()-1)
+	ok := h.monitorValid && h.monitorAddr == line
+	h.monitorValid = false
+	if !ok {
+		h.Stats.ExclusiveFails++
+		return h.L1D.LatencyCycles(), false
+	}
+	h.Stats.ExclusivePasses++
+	return h.StoreAccess(addr, 4, false), true
+}
+
+// Barrier records a memory barrier. The timing cost is charged by the
+// pipeline model (drain); the hierarchy only counts the event.
+func (h *Hierarchy) Barrier() { h.Stats.Barriers++ }
+
+// WrongPathProbe models the instruction-side translation attempt of a
+// squashed wrong-path fetch: the L1 ITLB is probed, and on a miss the
+// request reaches the second-level TLB / walker cache (counting an access
+// and a hit or miss there) before the squash cancels it — nothing is
+// refilled. This is the paper's Cluster A mechanism: branch mispredictions
+// drive L2 ITLB traffic.
+func (h *Hierarchy) WrongPathProbe(pc uint64) {
+	if !h.ITLB.Probe(pc) {
+		h.L2TLBI.Lookup(pc)
+	}
+}
+
+// InjectSnoop models a coherence request from another core for addr's
+// line: the line is invalidated if resident and the exclusive monitor for
+// that line is cleared. Returns true if the snoop hit.
+func (h *Hierarchy) InjectSnoop(addr uint64) bool {
+	h.Stats.Snoops++
+	line := addr &^ uint64(h.L1D.LineBytes()-1)
+	if h.monitorValid && h.monitorAddr == line {
+		h.monitorValid = false
+	}
+	dirty, present := h.L1D.Invalidate(addr)
+	if dirty {
+		h.l2WriteBack(addr)
+	}
+	if present {
+		h.Stats.SnoopHits++
+	}
+	return present
+}

@@ -1,0 +1,163 @@
+package mem
+
+import "fmt"
+
+// PageBytes is the virtual-memory page size used throughout the models.
+const PageBytes = 4096
+
+// PageShift is log2(PageBytes).
+const PageShift = 12
+
+// TLBConfig describes one translation lookaside buffer.
+//
+// The paper's central TLB finding is a geometry divergence: the Cortex-A15
+// hardware has a 32-entry L1 ITLB backed by a shared 512-entry 4-way L2 TLB
+// (2-cycle access), while the gem5 model has a 64-entry L1 ITLB backed by
+// two *split* 8-way walker caches with a 4-cycle access latency. Both
+// shapes are expressible with this config.
+type TLBConfig struct {
+	// Name identifies the TLB in statistics output (e.g. "itb").
+	Name string
+	// Entries is the total entry count.
+	Entries int
+	// Assoc is the associativity; Entries/Assoc sets must be a power of two.
+	// Assoc == Entries gives a fully-associative TLB.
+	Assoc int
+	// LatencyCycles is charged on a hit in this level beyond the L1 lookup
+	// (zero for L1 TLBs, whose lookup is folded into the cache access).
+	LatencyCycles int
+}
+
+// Validate checks the configuration.
+func (c TLBConfig) Validate() error {
+	if c.Entries <= 0 || c.Assoc <= 0 || c.Entries%c.Assoc != 0 {
+		return fmt.Errorf("mem: tlb %q: bad geometry entries=%d assoc=%d", c.Name, c.Entries, c.Assoc)
+	}
+	sets := c.Entries / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: tlb %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// TLBStats accumulates raw TLB event counts.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+	Refills  uint64
+	Flushes  uint64
+	// SpecProbes counts speculative (wrong-path) translation attempts
+	// that were squashed before resolving: they occupy TLB ports and are
+	// visible in access statistics but never refill.
+	SpecProbes uint64
+}
+
+// Hits returns Accesses - Misses.
+func (s *TLBStats) Hits() uint64 { return s.Accesses - s.Misses }
+
+type tlbEntry struct {
+	vpn     uint64
+	lastUse uint64
+	valid   bool
+}
+
+// TLB is a set-associative translation buffer with LRU replacement. Like
+// Cache it is a pure state machine; the hierarchy charges walk latency.
+type TLB struct {
+	cfg     TLBConfig
+	Stats   TLBStats
+	entries []tlbEntry
+	sets    int
+	assoc   int
+	setMask uint64
+	tick    uint64
+}
+
+// NewTLB builds a TLB from cfg, panicking on invalid configuration.
+func NewTLB(cfg TLBConfig) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Entries / cfg.Assoc
+	return &TLB{
+		cfg:     cfg,
+		entries: make([]tlbEntry, cfg.Entries),
+		sets:    sets,
+		assoc:   cfg.Assoc,
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// LatencyCycles returns the configured hit latency.
+func (t *TLB) LatencyCycles() int { return t.cfg.LatencyCycles }
+
+// Lookup translates the page containing addr. It returns true on a hit.
+// On a miss the entry is NOT installed; call Refill once the walk (or the
+// next TLB level) provides the translation.
+func (t *TLB) Lookup(addr uint64) bool {
+	t.Stats.Accesses++
+	vpn := addr >> PageShift
+	base := int(vpn&t.setMask) * t.assoc
+	for w := 0; w < t.assoc; w++ {
+		if e := &t.entries[base+w]; e.valid && e.vpn == vpn {
+			t.tick++
+			e.lastUse = t.tick
+			return true
+		}
+	}
+	t.Stats.Misses++
+	return false
+}
+
+// Refill installs the translation for addr's page, evicting LRU if needed.
+func (t *TLB) Refill(addr uint64) {
+	t.Stats.Refills++
+	vpn := addr >> PageShift
+	base := int(vpn&t.setMask) * t.assoc
+	best := base
+	var bestUse uint64 = ^uint64(0)
+	for w := 0; w < t.assoc; w++ {
+		e := &t.entries[base+w]
+		if !e.valid {
+			best = base + w
+			break
+		}
+		if e.lastUse < bestUse {
+			bestUse = e.lastUse
+			best = base + w
+		}
+	}
+	t.tick++
+	t.entries[best] = tlbEntry{vpn: vpn, lastUse: t.tick, valid: true}
+}
+
+// Probe performs a speculative lookup: it records a SpecProbe and reports
+// residency without counting a hit/miss or installing anything. Wrong-path
+// fetches use this — the squash cancels the translation before it refills.
+func (t *TLB) Probe(addr uint64) bool {
+	t.Stats.SpecProbes++
+	return t.Contains(addr)
+}
+
+// Contains reports whether addr's page is resident (no stats recorded).
+func (t *TLB) Contains(addr uint64) bool {
+	vpn := addr >> PageShift
+	base := int(vpn&t.setMask) * t.assoc
+	for w := 0; w < t.assoc; w++ {
+		if e := &t.entries[base+w]; e.valid && e.vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry (context-switch behaviour).
+func (t *TLB) Flush() {
+	t.Stats.Flushes++
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}

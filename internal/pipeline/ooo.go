@@ -1,0 +1,177 @@
+package pipeline
+
+import "gemstone/internal/isa"
+
+// runOutOfOrder is the bounded-dataflow out-of-order model (Cortex-A15
+// class). Each instruction's issue time is the maximum of:
+//
+//   - its dispatch time (fetch-group delivery + frontend depth, gated by
+//     reorder-buffer occupancy),
+//   - its operands' ready times,
+//   - a free issue port.
+//
+// Completion feeds the register scoreboard; retirement is in order and
+// bounded by the retire width. Branch mispredictions stall the frontend
+// until the branch resolves, which is how out-of-order cores convert bad
+// prediction into execution time: the deeper the window, the more work a
+// squash discards. This is the model through which the gem5-v1 BP defect
+// becomes the paper's -51% execution-time MPE.
+func (c *Core) runOutOfOrder(stream isa.Stream) Tally {
+	var t Tally
+	var regReady [isa.NumRegs]uint64
+
+	robRetire := make([]uint64, c.cfg.ROBSize) // retire time, ring by index
+	ports := make([]uint64, c.cfg.IssueWidth)  // next-free time per port
+	sb := newStoreBuffer(16)
+
+	fetchBytes := uint64(c.cfg.FetchWidth) * 4
+	curGroup := ^uint64(0)
+	baseFetchLat := c.Hier.L1I.LatencyCycles()
+
+	groupTime := uint64(0)  // cycle the current fetch group is delivered
+	redirect := uint64(0)   // frontend resume time after a mispredict
+	lastRetire := uint64(0) // retire time of the previous instruction
+	retiredInCycle := 0
+	idx := 0 // dynamic instruction index
+
+	for {
+		in, ok := stream.Next()
+		if !ok {
+			break
+		}
+
+		// Frontend delivery.
+		group := in.PC / fetchBytes
+		if group != curGroup {
+			curGroup = group
+			t.FetchAccesses++
+			next := groupTime + 1
+			if redirect > next {
+				t.FetchStallCycles += redirect - next
+				next = redirect
+			}
+			lat := c.Hier.FetchAccess(in.PC)
+			if extra := lat - baseFetchLat; extra > 0 {
+				next += uint64(extra)
+				t.FetchStallCycles += uint64(extra)
+			}
+			groupTime = next
+		} else if c.cfg.FetchPerInstruction {
+			// gem5 defect: the model performs an I-side lookup for every
+			// instruction instead of once per fetch group. The repeated
+			// lookups hit the line just fetched, so timing is unaffected,
+			// but the access counts (L1I, ITLB) are inflated — the paper's
+			// Fig. 6 shows >2x L1I accesses for exactly this reason.
+			t.FetchAccesses++
+			c.Hier.FetchAccess(in.PC)
+		}
+		fetchReady := groupTime
+
+		// Dispatch: bounded by ROB occupancy (the instruction ROBSize
+		// older must have retired).
+		dispatch := fetchReady + uint64(c.cfg.FrontendDepth)
+		if older := robRetire[idx%c.cfg.ROBSize]; older > dispatch {
+			t.ROBStallCycles += older - dispatch
+			dispatch = older
+		}
+
+		// Operand readiness.
+		ready := dispatch
+		if r := regReady[in.Src1]; r > ready {
+			ready = r
+		}
+		if r := regReady[in.Src2]; r > ready {
+			ready = r
+		}
+
+		// Issue port: pick the earliest-free port.
+		p := 0
+		for i := 1; i < len(ports); i++ {
+			if ports[i] < ports[p] {
+				p = i
+			}
+		}
+		issue := ready
+		if ports[p] > issue {
+			issue = ports[p]
+		}
+		lat := c.cfg.Lat[in.Op]
+		// Divides are unpipelined; everything else is fully pipelined.
+		busyFor := uint64(1)
+		if in.Op == isa.OpIntDiv || in.Op == isa.OpFPDiv {
+			busyFor = uint64(lat)
+		}
+		ports[p] = issue + busyFor
+
+		complete := issue + uint64(lat)
+		switch {
+		case in.Op.IsLoad():
+			dlat, _ := c.dataAccess(in)
+			complete = issue + uint64(lat+dlat)
+			if dlat > c.Hier.L1D.LatencyCycles() {
+				t.MemStallCycles += uint64(dlat - c.Hier.L1D.LatencyCycles())
+			}
+		case in.Op.IsStore():
+			dlat, failed := c.dataAccess(in)
+			st := sb.push(issue, dlat)
+			if st > issue {
+				t.MemStallCycles += st - issue
+				complete = st + uint64(lat)
+			}
+			if failed {
+				t.StrexRetries++
+				complete += uint64(c.cfg.StrexRetryCycles)
+			}
+		case in.Op == isa.OpBarrier:
+			c.Hier.Barrier()
+			wait := c.barrierWait()
+			// A barrier drains the window: it completes after everything
+			// older has retired, plus the synchronisation wait.
+			if lastRetire > complete {
+				complete = lastRetire
+			}
+			complete += wait
+			t.BarrierStallCycles += wait
+		case in.Op.IsBranch():
+			correct := c.predict(in)
+			if !correct {
+				// The frontend refetches from the resolved target.
+				r := complete + uint64(c.cfg.MispredictPenalty)
+				if r > redirect {
+					redirect = r
+				}
+				t.BranchStallCycles += uint64(c.cfg.MispredictPenalty)
+				c.chargeWrongPath(&t, in)
+				curGroup = ^uint64(0)
+			}
+		}
+
+		if in.Op != isa.OpBranch && in.Op != isa.OpBarrier && !in.Op.IsStore() {
+			regReady[in.Dst] = complete
+		}
+
+		// In-order retirement, RetireWidth per cycle.
+		retire := complete
+		if retire < lastRetire {
+			retire = lastRetire
+		}
+		if retire == lastRetire {
+			retiredInCycle++
+			if retiredInCycle >= c.cfg.RetireWidth {
+				retire++
+				retiredInCycle = 0
+			}
+		} else {
+			retiredInCycle = 1
+		}
+		lastRetire = retire
+		robRetire[idx%c.cfg.ROBSize] = retire
+
+		t.Committed++
+		t.OpCounts[in.Op]++
+		idx++
+	}
+
+	t.Cycles = lastRetire
+	return t
+}

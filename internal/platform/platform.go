@@ -1,0 +1,246 @@
+// Package platform assembles cores, memory hierarchies, branch predictors,
+// DVFS tables, a thermal model and power sensors into a runnable system —
+// the simulated stand-in for both the ODROID-XU3 hardware board and the
+// gem5 simulator. A platform executes one workload at one DVFS point on
+// one cluster and returns a Measurement: execution time, the full PMU
+// sample and (on platforms with sensors) the measured average power.
+//
+// The reference ("HW") platform carries a hidden ground-truth power
+// process; the gem5-model platforms have no sensors, exactly like the real
+// tools: gem5 produces event statistics, never power.
+package platform
+
+import (
+	"fmt"
+
+	"gemstone/internal/branch"
+	"gemstone/internal/mem"
+	"gemstone/internal/pipeline"
+	"gemstone/internal/pmu"
+	"gemstone/internal/workload"
+	"gemstone/internal/xrand"
+)
+
+// DVFSPoint is one operating point of a cluster.
+type DVFSPoint struct {
+	FreqMHz  int
+	VoltageV float64
+}
+
+// ClusterConfig describes one CPU cluster of the platform.
+type ClusterConfig struct {
+	// Name identifies the cluster ("a7" or "a15").
+	Name string
+	// Core is the timing-model configuration.
+	Core pipeline.Config
+	// Hier is the memory-system configuration.
+	Hier mem.HierarchyConfig
+	// Branch is the predictor configuration.
+	Branch branch.Config
+	// DVFS lists the supported operating points, ascending by frequency.
+	DVFS []DVFSPoint
+	// Power is the hidden ground-truth power process; nil on platforms
+	// without power sensors (the gem5 models).
+	Power *PowerProcess
+	// Thermal describes the cluster's thermal behaviour; only meaningful
+	// when Power is non-nil.
+	Thermal ThermalConfig
+	// ContentionScale scales the multi-threaded contention model (snoop
+	// probability, barrier wait, store-exclusive failures). 0 means 1.0
+	// (full fidelity). The gem5 models use a value well below 1: their
+	// idealised interconnect makes inter-core communication too cheap,
+	// which is why the paper finds barrier/exclusive-heavy workloads'
+	// execution times underestimated (Fig. 5, Cluster 1).
+	ContentionScale float64
+}
+
+// Validate checks the cluster configuration.
+func (c ClusterConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("platform: cluster with empty name")
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.Hier.Validate(); err != nil {
+		return err
+	}
+	if err := c.Branch.Validate(); err != nil {
+		return err
+	}
+	if len(c.DVFS) == 0 {
+		return fmt.Errorf("platform: cluster %q has no DVFS points", c.Name)
+	}
+	for i, pt := range c.DVFS {
+		if pt.FreqMHz <= 0 || pt.VoltageV <= 0 {
+			return fmt.Errorf("platform: cluster %q: bad DVFS point %+v", c.Name, pt)
+		}
+		if i > 0 && pt.FreqMHz <= c.DVFS[i-1].FreqMHz {
+			return fmt.Errorf("platform: cluster %q: DVFS points not ascending", c.Name)
+		}
+	}
+	return nil
+}
+
+// Voltage returns the supply voltage for freqMHz.
+func (c ClusterConfig) Voltage(freqMHz int) (float64, error) {
+	for _, pt := range c.DVFS {
+		if pt.FreqMHz == freqMHz {
+			return pt.VoltageV, nil
+		}
+	}
+	return 0, fmt.Errorf("platform: cluster %q: no DVFS point at %d MHz", c.Name, freqMHz)
+}
+
+// Frequencies returns the cluster's frequency list in MHz.
+func (c ClusterConfig) Frequencies() []int {
+	out := make([]int, len(c.DVFS))
+	for i, pt := range c.DVFS {
+		out[i] = pt.FreqMHz
+	}
+	return out
+}
+
+// Config describes a complete platform.
+type Config struct {
+	// Name identifies the platform ("odroid-xu3", "gem5-ex5-v1", ...).
+	Name string
+	// Clusters lists the CPU clusters.
+	Clusters []ClusterConfig
+	// HasSensors marks platforms with power instrumentation.
+	HasSensors bool
+}
+
+// Validate checks the platform configuration.
+func (c Config) Validate() error {
+	if c.Name == "" || len(c.Clusters) == 0 {
+		return fmt.Errorf("platform: incomplete configuration")
+	}
+	names := map[string]bool{}
+	for _, cl := range c.Clusters {
+		if err := cl.Validate(); err != nil {
+			return err
+		}
+		if names[cl.Name] {
+			return fmt.Errorf("platform: duplicate cluster %q", cl.Name)
+		}
+		names[cl.Name] = true
+		if c.HasSensors && cl.Power == nil {
+			return fmt.Errorf("platform: sensored platform %q cluster %q lacks a power process", c.Name, cl.Name)
+		}
+	}
+	return nil
+}
+
+// Platform is a runnable system.
+type Platform struct {
+	cfg Config
+}
+
+// New builds a platform, panicking on invalid configuration (platform
+// configurations are code).
+func New(cfg Config) *Platform {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Platform{cfg: cfg}
+}
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Name returns the platform name.
+func (p *Platform) Name() string { return p.cfg.Name }
+
+// Cluster returns the configuration of the named cluster.
+func (p *Platform) Cluster(name string) (ClusterConfig, error) {
+	for _, cl := range p.cfg.Clusters {
+		if cl.Name == name {
+			return cl, nil
+		}
+	}
+	return ClusterConfig{}, fmt.Errorf("platform %q: unknown cluster %q", p.cfg.Name, name)
+}
+
+// Measurement is the result of running one workload at one DVFS point.
+type Measurement struct {
+	Platform string
+	Cluster  string
+	Workload string
+	FreqMHz  int
+	VoltageV float64
+
+	// Sample holds the full event record of one workload pass.
+	Sample pmu.Sample
+	// Seconds is the single-pass execution time.
+	Seconds float64
+	// PowerWatts is the sensor-measured average power (sensored platforms
+	// only; zero otherwise).
+	PowerWatts float64
+	// EnergyJoules is PowerWatts x Seconds (one pass).
+	EnergyJoules float64
+	// TemperatureC is the final cluster temperature of the measurement
+	// window (sensored platforms only).
+	TemperatureC float64
+	// Throttled reports that the thermal limit was exceeded during the
+	// measurement (the paper hit this at 2 GHz on the Cortex-A15).
+	Throttled bool
+}
+
+// Run executes the workload on the named cluster at freqMHz.
+//
+// Sensored platforms emulate the paper's measurement procedure: the
+// workload is repeated until it has exercised the CPU for at least 30
+// seconds of simulated time, and the on-board sensor (3.8 Hz) averages
+// power over that window while the thermal state evolves.
+func (p *Platform) Run(prof workload.Profile, cluster string, freqMHz int) (Measurement, error) {
+	cl, err := p.Cluster(cluster)
+	if err != nil {
+		return Measurement{}, err
+	}
+	volt, err := cl.Voltage(freqMHz)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := prof.Validate(); err != nil {
+		return Measurement{}, err
+	}
+
+	hier := mem.NewHierarchy(cl.Hier)
+	ghz := float64(freqMHz) / 1000
+	hier.SetFrequencyGHz(ghz)
+	pred := branch.New(cl.Branch)
+	core := pipeline.NewCore(cl.Core, hier, pred)
+	if prof.IsParallel() {
+		scale := cl.ContentionScale
+		if scale == 0 {
+			scale = 1
+		}
+		core.Sync = pipeline.NewSyncModel(
+			prof.Seed()^0xC0FFEE,
+			prof.SnoopProb*scale, prof.BarrierWaitMean*scale, prof.StrexFailProb*scale)
+	}
+
+	tally := core.Run(workload.NewGenerator(prof))
+	sample := pmu.Capture(tally, hier, pred, ghz)
+
+	m := Measurement{
+		Platform: p.cfg.Name,
+		Cluster:  cluster,
+		Workload: prof.Name,
+		FreqMHz:  freqMHz,
+		VoltageV: volt,
+		Sample:   sample,
+		Seconds:  sample.Seconds(),
+	}
+
+	if p.cfg.HasSensors && cl.Power != nil {
+		noise := xrand.New(prof.Seed() ^ uint64(freqMHz)<<20 ^ xrand.HashString(cluster))
+		pw, temp, throttled := MeasurePower(cl.Power, cl.Thermal, &sample, volt, ghz, noise)
+		m.PowerWatts = pw
+		m.TemperatureC = temp
+		m.Throttled = throttled
+		m.EnergyJoules = pw * m.Seconds
+	}
+	return m, nil
+}

@@ -1,0 +1,186 @@
+package platform_test
+
+import (
+	"math"
+	"testing"
+
+	"gemstone/internal/gem5"
+	"gemstone/internal/hw"
+	"gemstone/internal/platform"
+	"gemstone/internal/workload"
+)
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformConfigsValid(t *testing.T) {
+	for _, p := range []*platform.Platform{hw.Platform(), gem5.Platform(gem5.V1), gem5.Platform(gem5.V2)} {
+		if err := p.Config().Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestRunProducesMeasurement(t *testing.T) {
+	board := hw.Platform()
+	m, err := board.Run(mustProfile(t, "dhrystone"), hw.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seconds <= 0 {
+		t.Fatal("non-positive execution time")
+	}
+	if m.PowerWatts <= 0 {
+		t.Fatal("sensored platform must measure power")
+	}
+	if math.Abs(m.EnergyJoules-m.PowerWatts*m.Seconds) > 1e-12 {
+		t.Fatal("energy must equal power x time")
+	}
+	if m.Sample.Tally.Committed == 0 {
+		t.Fatal("empty sample")
+	}
+	if m.VoltageV != 1.00 {
+		t.Fatalf("voltage = %v, want 1.00 at 1 GHz", m.VoltageV)
+	}
+}
+
+func TestGem5HasNoPower(t *testing.T) {
+	sim := gem5.Platform(gem5.V1)
+	m, err := sim.Run(mustProfile(t, "dhrystone"), hw.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerWatts != 0 || m.EnergyJoules != 0 {
+		t.Fatal("gem5 platform must not produce sensor power")
+	}
+}
+
+func TestRunRejectsUnknownClusterAndFreq(t *testing.T) {
+	board := hw.Platform()
+	if _, err := board.Run(mustProfile(t, "dhrystone"), "m4", 1000); err == nil {
+		t.Fatal("unknown cluster must error")
+	}
+	if _, err := board.Run(mustProfile(t, "dhrystone"), hw.ClusterA15, 333); err == nil {
+		t.Fatal("unknown DVFS point must error")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	board := hw.Platform()
+	p := mustProfile(t, "mi-qsort")
+	a, err := board.Run(p, hw.ClusterA7, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := board.Run(p, hw.ClusterA7, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seconds != b.Seconds || a.PowerWatts != b.PowerWatts {
+		t.Fatalf("non-deterministic measurement: %v/%v vs %v/%v",
+			a.Seconds, a.PowerWatts, b.Seconds, b.PowerWatts)
+	}
+}
+
+func TestFrequencyScalingMonotonic(t *testing.T) {
+	board := hw.Platform()
+	p := mustProfile(t, "dhrystone") // compute-bound: near-linear scaling
+	var prev float64 = math.Inf(1)
+	for _, f := range hw.ExperimentFrequencies(hw.ClusterA15) {
+		m, err := board.Run(p, hw.ClusterA15, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seconds >= prev {
+			t.Fatalf("execution time must fall with frequency (%d MHz: %v >= %v)", f, m.Seconds, prev)
+		}
+		prev = m.Seconds
+	}
+}
+
+func TestMemoryBoundScalesSublinearly(t *testing.T) {
+	board := hw.Platform()
+	compute := mustProfile(t, "long-int-alu")
+	memory := mustProfile(t, "long-chase-dram")
+	speedup := func(p workload.Profile) float64 {
+		lo, err := board.Run(p, hw.ClusterA15, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := board.Run(p, hw.ClusterA15, 1800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lo.Seconds / hi.Seconds
+	}
+	sc, sm := speedup(compute), speedup(memory)
+	if sc < 2.5 {
+		t.Fatalf("compute-bound speedup 600->1800 = %.2f, want near 3x", sc)
+	}
+	if sm > sc-0.5 {
+		t.Fatalf("memory-bound speedup %.2f should be well below compute-bound %.2f", sm, sc)
+	}
+}
+
+func TestBigBeatsLittle(t *testing.T) {
+	board := hw.Platform()
+	p := mustProfile(t, "parsec-blackscholes-1")
+	little, err := board.Run(p, hw.ClusterA7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := board.Run(p, hw.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Seconds >= little.Seconds {
+		t.Fatalf("A15 (%v s) must outperform A7 (%v s) at equal frequency", big.Seconds, little.Seconds)
+	}
+	if big.PowerWatts <= little.PowerWatts {
+		t.Fatalf("A15 (%v W) must consume more than A7 (%v W)", big.PowerWatts, little.PowerWatts)
+	}
+}
+
+func TestThermalThrottleAt2GHz(t *testing.T) {
+	board := hw.Platform()
+	p := mustProfile(t, "long-fp-mul") // hot workload
+	m, err := board.Run(p, hw.ClusterA15, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Throttled {
+		t.Fatalf("2 GHz run should hit the thermal throttle (T=%.1fC, P=%.2fW)", m.TemperatureC, m.PowerWatts)
+	}
+	m18, err := board.Run(p, hw.ClusterA15, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m18.Throttled {
+		t.Fatalf("1.8 GHz run should stay under the throttle (T=%.1fC)", m18.TemperatureC)
+	}
+}
+
+func TestPowerRangesPlausible(t *testing.T) {
+	board := hw.Platform()
+	p := mustProfile(t, "whetstone")
+	a7, err := board.Run(p, hw.ClusterA7, 1400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a15, err := board.Run(p, hw.ClusterA15, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a7.PowerWatts < 0.05 || a7.PowerWatts > 1.5 {
+		t.Fatalf("A7 power %.3f W outside plausible ODROID range", a7.PowerWatts)
+	}
+	if a15.PowerWatts < 0.8 || a15.PowerWatts > 8 {
+		t.Fatalf("A15 power %.3f W outside plausible ODROID range", a15.PowerWatts)
+	}
+}

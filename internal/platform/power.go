@@ -1,0 +1,120 @@
+package platform
+
+import (
+	"fmt"
+
+	"gemstone/internal/pmu"
+	"gemstone/internal/xrand"
+)
+
+// PowerProcess is the hidden ground-truth power behaviour of a sensored
+// cluster. It plays the role physics plays on the real board: the
+// empirical power models of internal/power are fitted to *measurements*
+// produced by this process and never see its coefficients.
+//
+// The functional form is the standard CMOS decomposition:
+//
+//	P = V²·f·ClockCV  +  V²·Σ_e rate_e·EnergyNJ[e]·1e-9  +  V·(Leak0 + LeakT·(T−25))
+//
+// where rates are events per second. Dynamic energy per event scales with
+// V² (charge moved at supply voltage); leakage grows with voltage and
+// temperature, which is what couples the thermal model into the readings.
+type PowerProcess struct {
+	// ClockCV is the clock-tree/base switched capacitance term in W per
+	// (GHz · V²).
+	ClockCV float64
+	// EnergyNJ gives nanojoules consumed per event at 1 V.
+	EnergyNJ map[pmu.Event]float64
+	// Leak0 is the leakage coefficient in W/V at 25 degC.
+	Leak0 float64
+	// LeakT is the additional leakage in W/V per degC above 25.
+	LeakT float64
+	// NoiseFrac is the relative standard deviation of a sensor sample.
+	NoiseFrac float64
+	// QuantumW is the sensor quantisation step in watts.
+	QuantumW float64
+}
+
+// Validate checks the process parameters.
+func (pp *PowerProcess) Validate() error {
+	if pp.ClockCV < 0 || pp.Leak0 < 0 || pp.LeakT < 0 || pp.NoiseFrac < 0 || pp.QuantumW < 0 {
+		return fmt.Errorf("platform: negative power-process parameter")
+	}
+	for e, c := range pp.EnergyNJ {
+		if c < 0 {
+			return fmt.Errorf("platform: negative energy for event %v", e)
+		}
+	}
+	return nil
+}
+
+// DynamicPower returns the activity power (no leakage) for the sample's
+// event rates at the given operating point.
+func (pp *PowerProcess) DynamicPower(s *pmu.Sample, voltV, freqGHz float64) float64 {
+	p := pp.ClockCV * freqGHz * voltV * voltV
+	for e, nj := range pp.EnergyNJ {
+		p += s.Rate(e) * nj * 1e-9 * voltV * voltV
+	}
+	return p
+}
+
+// LeakagePower returns the static power at the given voltage and
+// temperature.
+func (pp *PowerProcess) LeakagePower(voltV, tempC float64) float64 {
+	dt := tempC - 25
+	if dt < 0 {
+		dt = 0
+	}
+	return voltV * (pp.Leak0 + pp.LeakT*dt)
+}
+
+// ThermalConfig is a first-order (RC) thermal model of a cluster.
+type ThermalConfig struct {
+	// AmbientC is the ambient/idle temperature.
+	AmbientC float64
+	// RthCPerW is the thermal resistance junction-to-ambient.
+	RthCPerW float64
+	// TauSeconds is the thermal time constant.
+	TauSeconds float64
+	// ThrottleC is the temperature at which DVFS throttling engages.
+	ThrottleC float64
+}
+
+// SensorHz is the sampling rate of the ODROID-XU3's on-board power
+// sensors (the paper: "readings at 3.8 Hz").
+const SensorHz = 3.8
+
+// MinMeasureSeconds is the minimum CPU-busy window per measurement; the
+// paper repeats workloads so they exercise the CPU for at least 30 s.
+const MinMeasureSeconds = 30.0
+
+// MeasurePower reproduces the board's measurement procedure: the workload
+// (whose steady-state behaviour is the sample) runs repeatedly for at
+// least MinMeasureSeconds while the thermal state evolves; the sensor
+// integrates power per 1/3.8 s window, quantises, and adds noise. The
+// return values are the mean of the sensor samples, the final temperature,
+// and whether the thermal throttle engaged.
+func MeasurePower(pp *PowerProcess, th ThermalConfig, s *pmu.Sample, voltV, freqGHz float64, rng *xrand.RNG) (watts, tempC float64, throttled bool) {
+	dyn := pp.DynamicPower(s, voltV, freqGHz)
+	temp := th.AmbientC + 8 // the board never fully cools between runs
+	dt := 1 / SensorHz
+	n := int(MinMeasureSeconds * SensorHz)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		leak := pp.LeakagePower(voltV, temp)
+		true_ := dyn + leak
+		// First-order thermal step toward the steady state for this power.
+		steady := th.AmbientC + true_*th.RthCPerW
+		temp += dt * (steady - temp) / th.TauSeconds
+		if th.ThrottleC > 0 && temp >= th.ThrottleC {
+			throttled = true
+		}
+		reading := true_ * (1 + pp.NoiseFrac*rng.Norm())
+		if pp.QuantumW > 0 {
+			steps := int(reading/pp.QuantumW + 0.5)
+			reading = float64(steps) * pp.QuantumW
+		}
+		sum += reading
+	}
+	return sum / float64(n), temp, throttled
+}

@@ -1,0 +1,188 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"gemstone/internal/branch"
+	"gemstone/internal/mem"
+	"gemstone/internal/pipeline"
+	"gemstone/internal/pmu"
+	"gemstone/internal/workload"
+	"gemstone/internal/xrand"
+)
+
+func testProcess() *PowerProcess {
+	return &PowerProcess{
+		ClockCV: 0.5,
+		EnergyNJ: map[pmu.Event]float64{
+			pmu.InstSpec: 0.1,
+			pmu.L2DCache: 1.8,
+		},
+		Leak0: 0.35, LeakT: 0.004,
+		NoiseFrac: 0.004, QuantumW: 0.001,
+	}
+}
+
+func testSample(cycles, insts, l2 uint64, freqGHz float64) pmu.Sample {
+	var s pmu.Sample
+	s.Tally.Cycles = cycles
+	s.Tally.Committed = insts
+	s.L2.ReadAccesses = l2
+	s.FreqGHz = freqGHz
+	return s
+}
+
+func TestPowerProcessValidate(t *testing.T) {
+	if err := testProcess().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testProcess()
+	bad.Leak0 = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative leakage must be invalid")
+	}
+	bad2 := testProcess()
+	bad2.EnergyNJ[pmu.InstSpec] = -0.1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative event energy must be invalid")
+	}
+}
+
+func TestDynamicPowerScalesWithActivityAndVoltage(t *testing.T) {
+	pp := testProcess()
+	idle := testSample(1e9, 1e8, 1e5, 1.0)
+	busy := testSample(1e9, 2e9, 5e7, 1.0)
+	pIdle := pp.DynamicPower(&idle, 1.0, 1.0)
+	pBusy := pp.DynamicPower(&busy, 1.0, 1.0)
+	if pBusy <= pIdle {
+		t.Fatalf("activity must increase power: %v vs %v", pBusy, pIdle)
+	}
+	// V^2 scaling: +20% voltage = +44% dynamic power.
+	hi := pp.DynamicPower(&busy, 1.2, 1.0)
+	if r := hi / pBusy; math.Abs(r-1.44) > 1e-9 {
+		t.Fatalf("voltage scaling ratio = %v, want 1.44", r)
+	}
+}
+
+func TestLeakageMonotonicInTemperature(t *testing.T) {
+	pp := testProcess()
+	cold := pp.LeakagePower(1.0, 25)
+	warm := pp.LeakagePower(1.0, 60)
+	hot := pp.LeakagePower(1.0, 85)
+	if !(cold < warm && warm < hot) {
+		t.Fatalf("leakage must grow with temperature: %v %v %v", cold, warm, hot)
+	}
+	// Below the reference temperature, leakage clamps at the base value.
+	if pp.LeakagePower(1.0, 10) != pp.LeakagePower(1.0, 25) {
+		t.Fatal("sub-reference temperatures must not reduce leakage below base")
+	}
+}
+
+func TestMeasurePowerWindow(t *testing.T) {
+	pp := testProcess()
+	th := ThermalConfig{AmbientC: 24, RthCPerW: 13, TauSeconds: 12, ThrottleC: 200}
+	s := testSample(1e9, 1e9, 1e7, 1.0)
+	rng := xrand.New(1)
+	watts, temp, throttled := MeasurePower(pp, th, &s, 1.0, 1.0, rng)
+	if throttled {
+		t.Fatal("unreachable throttle must not trip")
+	}
+	if watts <= 0 {
+		t.Fatal("non-positive measured power")
+	}
+	if temp <= th.AmbientC {
+		t.Fatal("a busy CPU must heat up")
+	}
+	// The mean sensor reading sits near truth: dynamic + leak at the
+	// window's temperatures.
+	dyn := pp.DynamicPower(&s, 1.0, 1.0)
+	if watts < dyn || watts > dyn+2*pp.LeakagePower(1.0, temp) {
+		t.Fatalf("measured %v W implausible for dyn %v W", watts, dyn)
+	}
+	// Determinism for a fixed noise stream.
+	w2, _, _ := MeasurePower(pp, th, &s, 1.0, 1.0, xrand.New(1))
+	if w2 != watts {
+		t.Fatal("measurement must be deterministic for a fixed seed")
+	}
+}
+
+func TestThrottleTripsAtHighPower(t *testing.T) {
+	pp := testProcess()
+	th := ThermalConfig{AmbientC: 24, RthCPerW: 13, TauSeconds: 5, ThrottleC: 60}
+	s := testSample(2e9, 6e9, 1e8, 2.0) // hot: ~4+ W
+	_, _, throttled := MeasurePower(pp, th, &s, 1.45, 2.0, xrand.New(2))
+	if !throttled {
+		t.Fatal("hot run must hit the 60C throttle")
+	}
+}
+
+func TestContentionScaleReducesParallelCost(t *testing.T) {
+	// Two otherwise identical clusters, one with the idealised
+	// interconnect: the parallel workload must run faster there.
+	full := testClusterForContention(1.0)
+	ideal := testClusterForContention(0.25)
+	prof := parallelProfile()
+	pf := New(Config{Name: "full", Clusters: []ClusterConfig{full}})
+	pi := New(Config{Name: "ideal", Clusters: []ClusterConfig{ideal}})
+	mf, err := pf.Run(prof, full.Name, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := pi.Run(prof, ideal.Name, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Seconds >= mf.Seconds {
+		t.Fatalf("idealised contention (%v s) must beat full contention (%v s)",
+			mi.Seconds, mf.Seconds)
+	}
+	if mi.Sample.Hier.Snoops >= mf.Sample.Hier.Snoops {
+		t.Fatal("idealised interconnect must see fewer snoops")
+	}
+}
+
+// testClusterForContention builds a minimal valid cluster with the given
+// contention scale (platform_test.go's configs live in an external test
+// package; these tests need in-package access).
+func testClusterForContention(scale float64) ClusterConfig {
+	var lat pipeline.Latencies
+	for i := range lat {
+		lat[i] = 1
+	}
+	return ClusterConfig{
+		Name: "c",
+		Core: pipeline.Config{
+			Name: "c", Kind: pipeline.InOrder, FetchWidth: 2, IssueWidth: 2,
+			FrontendDepth: 4, MispredictPenalty: 4, Lat: lat,
+			BarrierDrainCycles: 8, StrexRetryCycles: 6,
+		},
+		Hier: mem.HierarchyConfig{
+			L1I:  mem.CacheConfig{Name: "l1i", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 2, LatencyCycles: 1},
+			L1D:  mem.CacheConfig{Name: "l1d", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 2, WriteAllocate: true},
+			L2:   mem.CacheConfig{Name: "l2", SizeBytes: 512 << 10, LineBytes: 64, Assoc: 8, LatencyCycles: 12, WriteAllocate: true},
+			ITLB: mem.TLBConfig{Name: "itb", Entries: 32, Assoc: 32},
+			DTLB: mem.TLBConfig{Name: "dtb", Entries: 32, Assoc: 32},
+
+			UnifiedL2TLB:      true,
+			L2TLB:             mem.TLBConfig{Name: "l2tlb", Entries: 512, Assoc: 4, LatencyCycles: 2},
+			DRAM:              mem.DRAMConfig{Banks: 8, RowBytes: 2048, RowHitNs: 40, RowMissNs: 100, BandwidthBytesPerNs: 8},
+			WalkMemAccesses:   2,
+			WalkLatencyCycles: 8,
+		},
+		Branch: branch.Config{
+			Name: "bp", GlobalBits: 12, LocalBits: 12, ChoiceBits: 12,
+			BTBEntries: 1024, RASEntries: 16, IndirectEntries: 256,
+		},
+		DVFS:            []DVFSPoint{{FreqMHz: 1000, VoltageV: 1.0}},
+		ContentionScale: scale,
+	}
+}
+
+func parallelProfile() workload.Profile {
+	p, err := workload.ByName("parsec-fluidanimate-4")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

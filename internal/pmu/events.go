@@ -1,0 +1,343 @@
+// Package pmu models the ARMv7 Performance Monitoring Unit of the
+// reference hardware platform: the architectural event namespace, the
+// derivation of event counts from the raw simulation tallies, and the
+// counter multiplexing that forces real measurement campaigns to repeat
+// workloads (the paper repeats Experiment 1 to cover 68 events with only a
+// handful of hardware counters).
+package pmu
+
+import (
+	"fmt"
+	"sort"
+
+	"gemstone/internal/branch"
+	"gemstone/internal/isa"
+	"gemstone/internal/mem"
+	"gemstone/internal/pipeline"
+)
+
+// Event is an ARMv7 PMU event number. Values follow the ARM ARM / Cortex-A15
+// TRM encoding for architectural events; implementation-defined events used
+// by the paper (e.g. SNOOPS) live in the 0xC0+ space.
+type Event uint16
+
+// Architectural and implementation-defined events implemented by the
+// reference platform. The comments give the ARM mnemonic.
+const (
+	L1ICacheRefill  Event = 0x01 // L1I_CACHE_REFILL
+	ITLBRefill      Event = 0x02 // ITLB_REFILL (L1 instruction TLB miss)
+	L1DCacheRefill  Event = 0x03 // L1D_CACHE_REFILL
+	L1DCache        Event = 0x04 // L1D_CACHE (access)
+	DTLBRefill      Event = 0x05 // DTLB_REFILL (L1 data TLB miss)
+	LDRetired       Event = 0x06 // LD_RETIRED
+	STRetired       Event = 0x07 // ST_RETIRED
+	InstRetired     Event = 0x08 // INST_RETIRED
+	PCWriteRetired  Event = 0x0C // PC_WRITE_RETIRED (branches retired)
+	BrImmedRetired  Event = 0x0D // BR_IMMED_RETIRED
+	BrReturnRetired Event = 0x0E // BR_RETURN_RETIRED
+	UnalignedLdSt   Event = 0x0F // UNALIGNED_LDST_RETIRED
+	BrMisPred       Event = 0x10 // BR_MIS_PRED
+	CPUCycles       Event = 0x11 // CPU_CYCLES
+	BrPred          Event = 0x12 // BR_PRED (predictable branches spec'd)
+	MemAccess       Event = 0x13 // MEM_ACCESS
+	L1ICache        Event = 0x14 // L1I_CACHE (access)
+	L1DCacheWB      Event = 0x15 // L1D_CACHE_WB
+	L2DCache        Event = 0x16 // L2D_CACHE (access)
+	L2DCacheRefill  Event = 0x17 // L2D_CACHE_REFILL
+	L2DCacheWB      Event = 0x18 // L2D_CACHE_WB
+	BusAccess       Event = 0x19 // BUS_ACCESS
+	InstSpec        Event = 0x1B // INST_SPEC (speculatively executed)
+	BusCycles       Event = 0x1D // BUS_CYCLES
+
+	L1DCacheLd       Event = 0x40 // L1D_CACHE_LD
+	L1DCacheSt       Event = 0x41 // L1D_CACHE_ST
+	L1DCacheRefillLd Event = 0x42 // L1D_CACHE_REFILL_LD
+	L1DCacheRefillWr Event = 0x43 // L1D_CACHE_REFILL_WR
+	L1DTLBRefillLd   Event = 0x4C // L1D_TLB_REFILL_LD
+	L1DTLBRefillSt   Event = 0x4D // L1D_TLB_REFILL_ST
+	L2DCacheLd       Event = 0x50 // L2D_CACHE_LD
+	L2DCacheSt       Event = 0x51 // L2D_CACHE_ST
+	L2DCacheRefillLd Event = 0x52 // L2D_CACHE_REFILL_LD
+	L2DCacheRefillSt Event = 0x53 // L2D_CACHE_REFILL_ST
+	BusAccessLd      Event = 0x60 // BUS_ACCESS_LD
+	BusAccessSt      Event = 0x61 // BUS_ACCESS_ST
+	MemAccessLd      Event = 0x66 // MEM_ACCESS_LD
+	MemAccessSt      Event = 0x67 // MEM_ACCESS_ST
+	UnalignedLdSpec  Event = 0x68 // UNALIGNED_LD_SPEC
+	UnalignedStSpec  Event = 0x69 // UNALIGNED_ST_SPEC
+	LdrexSpec        Event = 0x6C // LDREX_SPEC
+	StrexPassSpec    Event = 0x6D // STREX_PASS_SPEC
+	StrexFailSpec    Event = 0x6E // STREX_FAIL_SPEC
+	LdSpec           Event = 0x70 // LD_SPEC
+	StSpec           Event = 0x71 // ST_SPEC
+	LdStSpec         Event = 0x72 // LDST_SPEC
+	DpSpec           Event = 0x73 // DP_SPEC (integer data processing)
+	AseSpec          Event = 0x74 // ASE_SPEC (advanced SIMD)
+	VfpSpec          Event = 0x75 // VFP_SPEC (floating point)
+	PCWriteSpec      Event = 0x76 // PC_WRITE_SPEC (software PC change)
+	BrImmedSpec      Event = 0x78 // BR_IMMED_SPEC
+	BrReturnSpec     Event = 0x79 // BR_RETURN_SPEC
+	BrIndirectSpec   Event = 0x7A // BR_INDIRECT_SPEC
+	IsbSpec          Event = 0x7C // ISB_SPEC
+	DsbSpec          Event = 0x7D // DSB_SPEC
+	DmbSpec          Event = 0x7E // DMB_SPEC
+
+	Snoops       Event = 0xC0 // SNOOPS (implementation defined)
+	SnoopHits    Event = 0xC1 // SNOOP_HITS (implementation defined)
+	ITLBWalk     Event = 0xC2 // ITLB page-table walks
+	DTLBWalk     Event = 0xC3 // DTLB page-table walks
+	L2TLBAccessI Event = 0xC4 // L2 TLB accesses, instruction side
+	L2TLBAccessD Event = 0xC5 // L2 TLB accesses, data side
+)
+
+var eventNames = map[Event]string{
+	L1ICacheRefill: "L1I_CACHE_REFILL", ITLBRefill: "ITLB_REFILL",
+	L1DCacheRefill: "L1D_CACHE_REFILL", L1DCache: "L1D_CACHE",
+	DTLBRefill: "DTLB_REFILL", LDRetired: "LD_RETIRED", STRetired: "ST_RETIRED",
+	InstRetired: "INST_RETIRED", PCWriteRetired: "PC_WRITE_RETIRED",
+	BrImmedRetired: "BR_IMMED_RETIRED", BrReturnRetired: "BR_RETURN_RETIRED",
+	UnalignedLdSt: "UNALIGNED_LDST_RETIRED", BrMisPred: "BR_MIS_PRED",
+	CPUCycles: "CPU_CYCLES", BrPred: "BR_PRED", MemAccess: "MEM_ACCESS",
+	L1ICache: "L1I_CACHE", L1DCacheWB: "L1D_CACHE_WB", L2DCache: "L2D_CACHE",
+	L2DCacheRefill: "L2D_CACHE_REFILL", L2DCacheWB: "L2D_CACHE_WB",
+	BusAccess: "BUS_ACCESS", InstSpec: "INST_SPEC", BusCycles: "BUS_CYCLES",
+	L1DCacheLd: "L1D_CACHE_LD", L1DCacheSt: "L1D_CACHE_ST",
+	L1DCacheRefillLd: "L1D_CACHE_REFILL_LD", L1DCacheRefillWr: "L1D_CACHE_REFILL_WR",
+	L1DTLBRefillLd: "L1D_TLB_REFILL_LD", L1DTLBRefillSt: "L1D_TLB_REFILL_ST",
+	L2DCacheLd: "L2D_CACHE_LD", L2DCacheSt: "L2D_CACHE_ST",
+	L2DCacheRefillLd: "L2D_CACHE_REFILL_LD", L2DCacheRefillSt: "L2D_CACHE_REFILL_ST",
+	BusAccessLd: "BUS_ACCESS_LD", BusAccessSt: "BUS_ACCESS_ST",
+	MemAccessLd: "MEM_ACCESS_LD", MemAccessSt: "MEM_ACCESS_ST",
+	UnalignedLdSpec: "UNALIGNED_LD_SPEC", UnalignedStSpec: "UNALIGNED_ST_SPEC",
+	LdrexSpec: "LDREX_SPEC", StrexPassSpec: "STREX_PASS_SPEC",
+	StrexFailSpec: "STREX_FAIL_SPEC", LdSpec: "LD_SPEC", StSpec: "ST_SPEC",
+	LdStSpec: "LDST_SPEC", DpSpec: "DP_SPEC", AseSpec: "ASE_SPEC",
+	VfpSpec: "VFP_SPEC", PCWriteSpec: "PC_WRITE_SPEC",
+	BrImmedSpec: "BR_IMMED_SPEC", BrReturnSpec: "BR_RETURN_SPEC",
+	BrIndirectSpec: "BR_INDIRECT_SPEC", IsbSpec: "ISB_SPEC",
+	DsbSpec: "DSB_SPEC", DmbSpec: "DMB_SPEC",
+	Snoops: "SNOOPS", SnoopHits: "SNOOP_HITS",
+	ITLBWalk: "ITLB_WALK", DTLBWalk: "DTLB_WALK",
+	L2TLBAccessI: "L2TLB_ACCESS_I", L2TLBAccessD: "L2TLB_ACCESS_D",
+}
+
+// Name returns the ARM mnemonic for the event.
+func (e Event) Name() string {
+	if n, ok := eventNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("EVENT_0x%02x", uint16(e))
+}
+
+// String returns "MNEMONIC:0xNN", the labelling used in the paper's figures.
+func (e Event) String() string { return fmt.Sprintf("%s:0x%02x", e.Name(), uint16(e)) }
+
+// AllEvents returns every implemented event in ascending numeric order.
+func AllEvents() []Event {
+	evs := make([]Event, 0, len(eventNames))
+	for e := range eventNames {
+		evs = append(evs, e)
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i] < evs[j] })
+	return evs
+}
+
+// Sample bundles the raw counters of one workload run; Value derives any
+// PMU event from it. Copies (not pointers) keep samples immutable records.
+type Sample struct {
+	Tally   pipeline.Tally
+	L1I     mem.CacheStats
+	L1D     mem.CacheStats
+	L2      mem.CacheStats
+	ITLB    mem.TLBStats
+	DTLB    mem.TLBStats
+	L2TLBI  mem.TLBStats
+	L2TLBD  mem.TLBStats
+	DRAM    mem.DRAMStats
+	Hier    mem.HierarchyStats
+	Branch  branch.Stats
+	FreqGHz float64
+}
+
+// Capture snapshots the counters of a finished run.
+func Capture(t pipeline.Tally, h *mem.Hierarchy, b *branch.Predictor, freqGHz float64) Sample {
+	s := Sample{
+		Tally: t,
+		L1I:   h.L1I.Stats, L1D: h.L1D.Stats, L2: h.L2.Stats,
+		ITLB: h.ITLB.Stats, DTLB: h.DTLB.Stats,
+		L2TLBI: h.L2TLBI.Stats, L2TLBD: h.L2TLBD.Stats,
+		DRAM: h.DRAM.Stats, Hier: h.Stats,
+		Branch:  b.Stats,
+		FreqGHz: freqGHz,
+	}
+	return s
+}
+
+// Seconds returns the run's execution time.
+func (s *Sample) Seconds() float64 {
+	return float64(s.Tally.Cycles) / (s.FreqGHz * 1e9)
+}
+
+// specFactor scales retired counts to speculative counts using the
+// wrong-path instruction estimate.
+func (s *Sample) specFactor() float64 {
+	if s.Tally.Committed == 0 {
+		return 1
+	}
+	return 1 + float64(s.Tally.WrongPathInsts)/float64(s.Tally.Committed)
+}
+
+// Value derives the count of event e from the sample. Unknown events
+// return 0 — mirroring a PMU that reads zero for unimplemented events.
+func (s *Sample) Value(e Event) float64 {
+	t := &s.Tally
+	op := func(o isa.Op) float64 { return float64(t.OpCounts[o]) }
+	spec := s.specFactor()
+	switch e {
+	case L1ICacheRefill:
+		return float64(s.L1I.Misses())
+	case ITLBRefill:
+		return float64(s.ITLB.Misses)
+	case L1DCacheRefill:
+		return float64(s.L1D.Refills())
+	case L1DCache:
+		return float64(s.L1D.Accesses())
+	case DTLBRefill:
+		return float64(s.DTLB.Misses)
+	case LDRetired:
+		return op(isa.OpLoad) + op(isa.OpLoadEx)
+	case STRetired:
+		return op(isa.OpStore) + op(isa.OpStoreEx)
+	case InstRetired:
+		return float64(t.Committed)
+	case PCWriteRetired:
+		return op(isa.OpBranch) + op(isa.OpCall) + op(isa.OpReturn) + op(isa.OpBranchInd)
+	case BrImmedRetired:
+		return op(isa.OpBranch) + op(isa.OpCall)
+	case BrReturnRetired:
+		return op(isa.OpReturn)
+	case UnalignedLdSt:
+		return float64(s.Hier.UnalignedAccess)
+	case BrMisPred:
+		return float64(s.Branch.Mispredicts)
+	case CPUCycles:
+		return float64(t.Cycles)
+	case BrPred:
+		return float64(s.Branch.Lookups)
+	case MemAccess:
+		return float64(s.L1D.Accesses())
+	case L1ICache:
+		return float64(s.L1I.Accesses())
+	case L1DCacheWB:
+		return float64(s.L1D.Writebacks)
+	case L2DCache:
+		return float64(s.L2.Accesses())
+	case L2DCacheRefill:
+		return float64(s.L2.Refills())
+	case L2DCacheWB:
+		return float64(s.L2.Writebacks)
+	case BusAccess:
+		return float64(s.Hier.BusAccesses)
+	case InstSpec:
+		return float64(t.Committed) * spec
+	case BusCycles:
+		return float64(t.Cycles) / 2
+	case L1DCacheLd:
+		return float64(s.L1D.ReadAccesses)
+	case L1DCacheSt:
+		return float64(s.L1D.WriteAccesses)
+	case L1DCacheRefillLd:
+		return float64(s.L1D.ReadRefills)
+	case L1DCacheRefillWr:
+		return float64(s.L1D.WriteRefills)
+	case L1DTLBRefillLd:
+		return float64(s.DTLB.Misses) * 0.6
+	case L1DTLBRefillSt:
+		return float64(s.DTLB.Misses) * 0.4
+	case L2DCacheLd:
+		return float64(s.L2.ReadAccesses)
+	case L2DCacheSt:
+		return float64(s.L2.WriteAccesses)
+	case L2DCacheRefillLd:
+		return float64(s.L2.ReadRefills)
+	case L2DCacheRefillSt:
+		return float64(s.L2.WriteRefills)
+	case BusAccessLd:
+		return float64(s.DRAM.Reads)
+	case BusAccessSt:
+		return float64(s.DRAM.Writes)
+	case MemAccessLd:
+		return float64(s.L1D.ReadAccesses)
+	case MemAccessSt:
+		return float64(s.L1D.WriteAccesses)
+	case UnalignedLdSpec:
+		return float64(s.Hier.UnalignedAccess) * 0.6 * spec
+	case UnalignedStSpec:
+		return float64(s.Hier.UnalignedAccess) * 0.4 * spec
+	case LdrexSpec:
+		return float64(s.Hier.ExclusiveLoads) * spec
+	case StrexPassSpec:
+		return float64(s.Hier.ExclusivePasses)
+	case StrexFailSpec:
+		return float64(s.Hier.ExclusiveFails)
+	case LdSpec:
+		return (op(isa.OpLoad) + op(isa.OpLoadEx)) * spec
+	case StSpec:
+		return (op(isa.OpStore) + op(isa.OpStoreEx)) * spec
+	case LdStSpec:
+		return (op(isa.OpLoad) + op(isa.OpLoadEx) + op(isa.OpStore) + op(isa.OpStoreEx)) * spec
+	case DpSpec:
+		return (op(isa.OpIntALU) + op(isa.OpIntMul) + op(isa.OpIntDiv)) * spec
+	case AseSpec:
+		return op(isa.OpSIMD) * spec
+	case VfpSpec:
+		return (op(isa.OpFPAdd) + op(isa.OpFPMul) + op(isa.OpFPDiv)) * spec
+	case PCWriteSpec:
+		return (op(isa.OpBranch) + op(isa.OpCall) + op(isa.OpReturn) + op(isa.OpBranchInd)) * spec
+	case BrImmedSpec:
+		return (op(isa.OpBranch) + op(isa.OpCall)) * spec
+	case BrReturnSpec:
+		return op(isa.OpReturn) * spec
+	case BrIndirectSpec:
+		return (op(isa.OpBranchInd) + op(isa.OpReturn)) * spec
+	case IsbSpec:
+		return op(isa.OpBarrier) * 0.1
+	case DsbSpec:
+		return op(isa.OpBarrier) * 0.3
+	case DmbSpec:
+		return op(isa.OpBarrier) * 0.6
+	case Snoops:
+		return float64(s.Hier.Snoops)
+	case SnoopHits:
+		return float64(s.Hier.SnoopHits)
+	case ITLBWalk:
+		return float64(s.Hier.ITLBWalks)
+	case DTLBWalk:
+		return float64(s.Hier.DTLBWalks)
+	case L2TLBAccessI:
+		return float64(s.L2TLBI.Accesses)
+	case L2TLBAccessD:
+		return float64(s.L2TLBD.Accesses)
+	}
+	return 0
+}
+
+// Rate returns the event count per second of execution time — the
+// normalisation the power models and the correlation analyses use.
+func (s *Sample) Rate(e Event) float64 {
+	secs := s.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return s.Value(e) / secs
+}
+
+// Counts returns all implemented events as a map, as a measurement
+// campaign would deliver them after multiplexed collection.
+func (s *Sample) Counts() map[Event]float64 {
+	out := make(map[Event]float64, len(eventNames))
+	for e := range eventNames {
+		out[e] = s.Value(e)
+	}
+	return out
+}

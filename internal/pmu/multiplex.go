@@ -1,0 +1,42 @@
+package pmu
+
+// The ARMv7 PMU exposes a small number of programmable counters (six on
+// the Cortex-A15) plus the fixed cycle counter. Covering the 68 events of
+// the paper's Experiment 1 therefore requires repeating each workload with
+// different counter programmings — exactly what the Multiplexer plans.
+//
+// Because the simulated platform is deterministic the repeated runs return
+// identical tallies, but the planner is still exercised by the experiment
+// runner so that the collection procedure matches the paper's.
+
+// CountersPerRun is the number of simultaneously programmable counters.
+const CountersPerRun = 6
+
+// Plan partitions the requested events into per-run groups of at most
+// CountersPerRun events. CPUCycles is excluded from groups (it has a
+// dedicated counter and is captured on every run). The input order is
+// preserved; duplicates are collapsed.
+func Plan(events []Event) [][]Event {
+	seen := make(map[Event]bool, len(events))
+	var groups [][]Event
+	var cur []Event
+	for _, e := range events {
+		if e == CPUCycles || seen[e] {
+			continue
+		}
+		seen[e] = true
+		cur = append(cur, e)
+		if len(cur) == CountersPerRun {
+			groups = append(groups, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// RunsNeeded returns the number of workload repetitions required to
+// collect the given events.
+func RunsNeeded(events []Event) int { return len(Plan(events)) }

@@ -1,0 +1,159 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"gemstone/internal/pmu"
+	"gemstone/internal/stats"
+)
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// BuildOptions controls the Powmon model-building process.
+type BuildOptions struct {
+	// Pool is the set of candidate PMC events the selection may choose
+	// from. The paper restricts this pool to events that are readily
+	// available and accurate in gem5 (Section V); an unrestricted pool
+	// gives the baseline model.
+	Pool []pmu.Event
+	// MaxEvents bounds the number of selected events; 0 applies
+	// DefaultMaxEvents (the paper's models use ~7 events), negative
+	// removes the bound.
+	MaxEvents int
+	// PEnter is the stepwise significance threshold.
+	PEnter float64
+}
+
+// DefaultPool returns the candidate events a power-characterisation
+// campaign on the reference platform would offer.
+func DefaultPool() []pmu.Event {
+	return []pmu.Event{
+		pmu.CPUCycles, pmu.InstRetired, pmu.InstSpec, pmu.DpSpec,
+		pmu.VfpSpec, pmu.AseSpec, pmu.LdSpec, pmu.StSpec,
+		pmu.L1DCache, pmu.L1DCacheRefill, pmu.L1DCacheRefillWr, pmu.L1DCacheWB,
+		pmu.L1ICache, pmu.L1ICacheRefill,
+		pmu.L2DCache, pmu.L2DCacheRefill, pmu.L2DCacheWB,
+		pmu.BusAccess, pmu.BrMisPred, pmu.BrPred,
+		pmu.UnalignedLdSt, pmu.ITLBRefill, pmu.DTLBRefill,
+		pmu.DmbSpec, pmu.LdrexSpec,
+	}
+}
+
+// RestrictedPool returns DefaultPool minus the events the paper found
+// unavailable or badly modelled in gem5: unaligned accesses have no gem5
+// statistic, VFP is mis-classified as SIMD, and the L1D writeback count
+// (0x15) had an MPE over 1000%.
+func RestrictedPool() []pmu.Event {
+	bad := map[pmu.Event]bool{
+		pmu.UnalignedLdSt:  true, // not readily available in gem5
+		pmu.VfpSpec:        true, // misclassified as SIMD FP
+		pmu.L1DCacheWB:     true, // MPE > 1000% for total and rate
+		pmu.BrMisPred:      true, // ~21x in the model (the BP bug)
+		pmu.ITLBRefill:     true, // ~0.06x (wrong L1 ITLB size)
+		pmu.L1ICache:       true, // >2x (per-instruction fetch)
+		pmu.L1ICacheRefill: true, // follows the inflated access stream
+	}
+	var out []pmu.Event
+	for _, e := range DefaultPool() {
+		if !bad[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DefaultMaxEvents is the event cap applied when BuildOptions.MaxEvents
+// is zero; the paper's Cortex-A15 model selects seven events.
+const DefaultMaxEvents = 8
+
+// Build fits an empirical power model to the observations using forward
+// stepwise selection over opt.Pool.
+func Build(cluster string, obs []Observation, opt BuildOptions) (*Model, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("power: no observations")
+	}
+	pool := opt.Pool
+	if len(pool) == 0 {
+		pool = DefaultPool()
+	}
+	pEnter := opt.PEnter
+	if pEnter == 0 {
+		pEnter = 0.05
+	}
+	maxEvents := opt.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = DefaultMaxEvents
+	} else if maxEvents < 0 {
+		maxEvents = 0
+	}
+
+	// Candidate columns: V²·rate for each pool event.
+	cands := make([][]float64, len(pool))
+	for c, e := range pool {
+		col := make([]float64, len(obs))
+		for i := range obs {
+			col[i] = regressor(&obs[i], e)
+		}
+		cands[c] = col
+	}
+	y := make([]float64, len(obs))
+	for i := range obs {
+		y[i] = obs[i].PowerW
+	}
+
+	res, err := stats.Stepwise(cands, y, stats.StepwiseOptions{
+		PEnter: pEnter, MaxTerms: maxEvents, MinR2Gain: 1e-4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("power: stepwise selection failed: %w", err)
+	}
+	if len(res.Selected) == 0 {
+		return nil, fmt.Errorf("power: no event survived selection")
+	}
+
+	m := &Model{
+		Cluster:   cluster,
+		Intercept: res.Fit.Coef[0],
+	}
+	selCols := make([][]float64, 0, len(res.Selected))
+	for i, ci := range res.Selected {
+		m.Events = append(m.Events, pool[ci])
+		m.Coef = append(m.Coef, res.Fit.Coef[i+1])
+		m.PValues = append(m.PValues, res.Fit.PValue[i+1])
+		selCols = append(selCols, cands[ci])
+	}
+
+	// Quality statistics.
+	q := Validate(m, obs)
+	q.R2 = res.Fit.R2
+	q.AdjR2 = res.Fit.AdjR2
+	q.SER = res.Fit.SER
+	q.MaxP = 0
+	for _, p := range m.PValues {
+		if p > q.MaxP {
+			q.MaxP = p
+		}
+	}
+	// VIFs over the selected regressors (observations × events).
+	X := make([][]float64, len(obs))
+	for r := range obs {
+		X[r] = make([]float64, len(selCols))
+		for c := range selCols {
+			X[r][c] = selCols[c][r]
+		}
+	}
+	m.VIFs = stats.VIF(X)
+	sum, n := 0.0, 0
+	for _, v := range m.VIFs {
+		if !math.IsInf(v, 1) {
+			sum += v
+			n++
+		}
+	}
+	if n > 0 {
+		q.MeanVIF = sum / float64(n)
+	}
+	m.Quality = q
+	return m, nil
+}

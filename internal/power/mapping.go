@@ -1,0 +1,150 @@
+package power
+
+import (
+	"fmt"
+
+	"gemstone/internal/pmu"
+)
+
+// Mapping relates PMC events to gem5 statistics — the "equivalent gem5
+// events" table of the paper's box l (Fig. 1). A mapping entry evaluates
+// the gem5 stats map to a count; events with no reliable gem5 equivalent
+// (e.g. unaligned accesses) have no entry.
+type Mapping struct {
+	entries map[pmu.Event]mapEntry
+}
+
+type mapEntry struct {
+	expr string // human-readable stat expression
+	eval func(stats map[string]float64) float64
+}
+
+// DefaultMapping returns the gem5 equivalences used throughout the paper's
+// Section IV-E/V/VI analyses, including the deliberate divergences:
+// hardware L2 data cache loads are equated to gem5 L2 cache accesses, and
+// VFP maps to the (near-empty) Float* functional-unit statistics because
+// the model misclassifies FP as SIMD.
+func DefaultMapping() Mapping {
+	m := Mapping{entries: map[pmu.Event]mapEntry{}}
+	add := func(e pmu.Event, stats ...string) {
+		// The displayed expression uses the full statistic names so the
+		// exported run-time equation can be pasted into gem5 directly.
+		expr := ""
+		for i, name := range stats {
+			if i > 0 {
+				expr += " + "
+			}
+			expr += name
+		}
+		m.entries[e] = mapEntry{expr: expr, eval: func(sm map[string]float64) float64 {
+			s := 0.0
+			for _, name := range stats {
+				s += sm[name]
+			}
+			return s
+		}}
+	}
+	add(pmu.CPUCycles,
+		"system.cpu.numCycles")
+	add(pmu.InstRetired,
+		"system.cpu.committedInsts")
+	add(pmu.InstSpec,
+		"system.cpu.iew.iewExecutedInsts")
+	add(pmu.DpSpec,
+		"system.cpu.iq.FU_type::IntAlu", "system.cpu.iq.FU_type::IntMult", "system.cpu.iq.FU_type::IntDiv")
+	// The misclassification: VFP reads the empty Float* FUs; SIMD absorbs
+	// both FP and SIMD work.
+	add(pmu.VfpSpec,
+		"system.cpu.iq.FU_type::FloatAdd", "system.cpu.iq.FU_type::FloatMult", "system.cpu.iq.FU_type::FloatDiv")
+	add(pmu.AseSpec,
+		"system.cpu.iq.FU_type::SimdAlu", "system.cpu.iq.FU_type::SimdFloatAdd",
+		"system.cpu.iq.FU_type::SimdFloatMult", "system.cpu.iq.FU_type::SimdFloatDiv")
+	add(pmu.LdSpec,
+		"system.cpu.iq.FU_type::MemRead")
+	add(pmu.StSpec,
+		"system.cpu.iq.FU_type::MemWrite")
+	add(pmu.L1DCache,
+		"system.cpu.dcache.overall_accesses")
+	add(pmu.L1DCacheRefill,
+		"system.cpu.dcache.overall_mshr_misses")
+	add(pmu.L1DCacheRefillWr,
+		"system.cpu.dcache.WriteReq_mshr_misses")
+	add(pmu.L1DCacheWB,
+		"system.cpu.dcache.writebacks")
+	add(pmu.L1ICache,
+		"system.cpu.icache.overall_accesses")
+	add(pmu.L1ICacheRefill,
+		"system.cpu.icache.overall_misses")
+	// HW L2 data loads are equated to gem5 L2 accesses (see Section II).
+	add(pmu.L2DCache,
+		"system.l2.overall_accesses")
+	add(pmu.L2DCacheRefill,
+		"system.l2.overall_misses")
+	add(pmu.L2DCacheWB,
+		"system.l2.writebacks")
+	add(pmu.BusAccess,
+		"system.mem_ctrls.readReqs", "system.mem_ctrls.writeReqs")
+	add(pmu.BrMisPred,
+		"system.cpu.commit.branchMispredicts")
+	add(pmu.BrPred,
+		"system.cpu.branchPred.lookups")
+	add(pmu.ITLBRefill,
+		"system.cpu.itb.misses")
+	add(pmu.DTLBRefill,
+		"system.cpu.dtb.misses")
+	add(pmu.LdrexSpec,
+		"system.cpu.ldrex_count")
+	add(pmu.StrexPassSpec,
+		"system.cpu.strex_pass_count")
+	add(pmu.StrexFailSpec,
+		"system.cpu.strex_fail_count")
+	// Barriers: gem5 counts them together; DMB is the dominant kind.
+	add(pmu.DmbSpec,
+		"system.cpu.commit.membars")
+	add(pmu.PCWriteRetired,
+		"system.cpu.commit.branches")
+	// No entries for UnalignedLdSt / UnalignedLdSpec / UnalignedStSpec:
+	// the paper found no readily available gem5 equivalent.
+	return m
+}
+
+// Available reports whether event e has a gem5 equivalent.
+func (m Mapping) Available(e pmu.Event) bool {
+	_, ok := m.entries[e]
+	return ok
+}
+
+// Expr returns the stat expression for e.
+func (m Mapping) Expr(e pmu.Event) (string, bool) {
+	en, ok := m.entries[e]
+	return en.expr, ok
+}
+
+// Count evaluates the gem5 equivalent count of e against a stats map.
+func (m Mapping) Count(e pmu.Event, stats map[string]float64) (float64, error) {
+	en, ok := m.entries[e]
+	if !ok {
+		return 0, fmt.Errorf("power: event %s has no gem5 equivalent", e)
+	}
+	return en.eval(stats), nil
+}
+
+// ObservationFromGem5 converts a gem5 statistics map into a power-model
+// Observation: every mappable event's count becomes a rate over
+// sim_seconds. This is the "apply power models to gem5 output files"
+// path of the paper's Fig. 2 tool.
+func (m Mapping) ObservationFromGem5(workload, cluster string, freqMHz int, voltageV float64, stats map[string]float64) (Observation, error) {
+	secs := stats["sim_seconds"]
+	if secs <= 0 {
+		return Observation{}, fmt.Errorf("power: gem5 stats have non-positive sim_seconds")
+	}
+	rates := make(map[pmu.Event]float64, len(m.entries))
+	for e, en := range m.entries {
+		rates[e] = en.eval(stats) / secs
+	}
+	return Observation{
+		Workload: workload, Cluster: cluster,
+		FreqMHz: freqMHz, VoltageV: voltageV,
+		Rates: rates,
+	}, nil
+}

@@ -1,0 +1,187 @@
+package power
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"gemstone/internal/pmu"
+)
+
+// The paper publishes its models and datasets alongside the GemStone tool;
+// this file provides the corresponding serialisation: power models as JSON
+// documents and characterisation datasets as CSV tables.
+
+// modelJSON is the on-disk representation of a Model.
+type modelJSON struct {
+	Cluster   string             `json:"cluster"`
+	Intercept float64            `json:"intercept_watts"`
+	Events    []modelTerm        `json:"events"`
+	Quality   map[string]float64 `json:"quality"`
+}
+
+type modelTerm struct {
+	Event  uint16  `json:"event"`
+	Name   string  `json:"name"`
+	Coef   float64 `json:"coefficient"`
+	PValue float64 `json:"p_value"`
+	VIF    float64 `json:"vif"`
+}
+
+// SaveModel writes the model as indented JSON.
+func SaveModel(w io.Writer, m *Model) error {
+	doc := modelJSON{
+		Cluster:   m.Cluster,
+		Intercept: m.Intercept,
+		Quality: map[string]float64{
+			"mape":     m.Quality.MAPE,
+			"mpe":      m.Quality.MPE,
+			"max_ape":  m.Quality.MaxAPE,
+			"ser":      m.Quality.SER,
+			"r2":       m.Quality.R2,
+			"adj_r2":   m.Quality.AdjR2,
+			"mean_vif": m.Quality.MeanVIF,
+			"n":        float64(m.Quality.N),
+		},
+	}
+	for i, e := range m.Events {
+		term := modelTerm{Event: uint16(e), Name: e.Name(), Coef: m.Coef[i]}
+		if i < len(m.PValues) {
+			term.PValue = m.PValues[i]
+		}
+		if i < len(m.VIFs) {
+			term.VIF = m.VIFs[i]
+		}
+		doc.Events = append(doc.Events, term)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadModel reads a model saved by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) {
+	var doc modelJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("power: decoding model: %w", err)
+	}
+	if doc.Cluster == "" || len(doc.Events) == 0 {
+		return nil, fmt.Errorf("power: model document incomplete")
+	}
+	m := &Model{Cluster: doc.Cluster, Intercept: doc.Intercept}
+	for _, t := range doc.Events {
+		m.Events = append(m.Events, pmu.Event(t.Event))
+		m.Coef = append(m.Coef, t.Coef)
+		m.PValues = append(m.PValues, t.PValue)
+		m.VIFs = append(m.VIFs, t.VIF)
+	}
+	q := doc.Quality
+	m.Quality = Quality{
+		MAPE: q["mape"], MPE: q["mpe"], MaxAPE: q["max_ape"], SER: q["ser"],
+		R2: q["r2"], AdjR2: q["adj_r2"], MeanVIF: q["mean_vif"], N: int(q["n"]),
+	}
+	return m, nil
+}
+
+// WriteObservationsCSV exports a characterisation dataset. Columns:
+// workload, cluster, freq_mhz, voltage_v, power_w, then one rate column
+// per event present in any observation (sorted by event number).
+func WriteObservationsCSV(w io.Writer, obs []Observation) error {
+	eventSet := map[pmu.Event]bool{}
+	for i := range obs {
+		for e := range obs[i].Rates {
+			eventSet[e] = true
+		}
+	}
+	events := make([]pmu.Event, 0, len(eventSet))
+	for e := range eventSet {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "cluster", "freq_mhz", "voltage_v", "power_w"}
+	for _, e := range events {
+		header = append(header, fmt.Sprintf("rate_0x%02x", uint16(e)))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range obs {
+		o := &obs[i]
+		row := []string{
+			o.Workload, o.Cluster,
+			strconv.Itoa(o.FreqMHz),
+			strconv.FormatFloat(o.VoltageV, 'g', -1, 64),
+			strconv.FormatFloat(o.PowerW, 'g', -1, 64),
+		}
+		for _, e := range events {
+			row = append(row, strconv.FormatFloat(o.Rates[e], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadObservationsCSV imports a dataset written by WriteObservationsCSV.
+func ReadObservationsCSV(r io.Reader) ([]Observation, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("power: reading dataset: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("power: dataset has no rows")
+	}
+	header := records[0]
+	const fixed = 5
+	if len(header) < fixed {
+		return nil, fmt.Errorf("power: dataset header too short")
+	}
+	events := make([]pmu.Event, 0, len(header)-fixed)
+	for _, col := range header[fixed:] {
+		var id uint16
+		if _, err := fmt.Sscanf(col, "rate_0x%x", &id); err != nil {
+			return nil, fmt.Errorf("power: bad rate column %q", col)
+		}
+		events = append(events, pmu.Event(id))
+	}
+	var obs []Observation
+	for ln, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("power: row %d has %d fields, want %d", ln+2, len(rec), len(header))
+		}
+		freq, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("power: row %d freq: %w", ln+2, err)
+		}
+		volt, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: row %d voltage: %w", ln+2, err)
+		}
+		pw, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: row %d power: %w", ln+2, err)
+		}
+		o := Observation{
+			Workload: rec[0], Cluster: rec[1],
+			FreqMHz: freq, VoltageV: volt, PowerW: pw,
+			Rates: make(map[pmu.Event]float64, len(events)),
+		}
+		for i, e := range events {
+			v, err := strconv.ParseFloat(rec[fixed+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("power: row %d rate %s: %w", ln+2, e, err)
+			}
+			o.Rates[e] = v
+		}
+		obs = append(obs, o)
+	}
+	return obs, nil
+}

@@ -1,0 +1,110 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gemstone/internal/pmu"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	obs := synthObs(120, 0.004, 9)
+	m, err := Build("a15", obs, BuildOptions{Pool: DefaultPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cluster != m.Cluster || loaded.Intercept != m.Intercept {
+		t.Fatal("header mismatch")
+	}
+	if len(loaded.Events) != len(m.Events) {
+		t.Fatalf("events %d != %d", len(loaded.Events), len(m.Events))
+	}
+	for i := range m.Events {
+		if loaded.Events[i] != m.Events[i] || loaded.Coef[i] != m.Coef[i] {
+			t.Fatalf("term %d mismatch", i)
+		}
+	}
+	if loaded.Quality.MAPE != m.Quality.MAPE || loaded.Quality.N != m.Quality.N {
+		t.Fatal("quality mismatch")
+	}
+	// A loaded model estimates identically.
+	for i := range obs[:10] {
+		a, b := m.Estimate(&obs[i]), loaded.Estimate(&obs[i])
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("estimate diverges: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("{")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"cluster":"","events":[]}`)); err == nil {
+		t.Fatal("incomplete document must error")
+	}
+}
+
+func TestObservationsCSVRoundTrip(t *testing.T) {
+	obs := synthObs(25, 0.004, 10)
+	var buf bytes.Buffer
+	if err := WriteObservationsCSV(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadObservationsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(obs) {
+		t.Fatalf("rows %d != %d", len(loaded), len(obs))
+	}
+	for i := range obs {
+		a, b := obs[i], loaded[i]
+		if a.Workload != b.Workload || a.FreqMHz != b.FreqMHz ||
+			a.VoltageV != b.VoltageV || a.PowerW != b.PowerW {
+			t.Fatalf("row %d header mismatch", i)
+		}
+		for e, v := range a.Rates {
+			if b.Rates[e] != v {
+				t.Fatalf("row %d rate %s: %v != %v", i, e, b.Rates[e], v)
+			}
+		}
+	}
+	// A model built from the round-tripped data is identical.
+	m1, err := Build("a15", obs, BuildOptions{Pool: DefaultPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build("a15", loaded, BuildOptions{Pool: DefaultPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.String() != m2.String() {
+		t.Fatalf("models differ:\n%s\n%s", m1, m2)
+	}
+}
+
+func TestReadObservationsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"workload,cluster,freq_mhz,voltage_v,power_w\n", // no rows
+		"workload,cluster,freq_mhz,voltage_v,power_w,bogus\nw,a15,600,0.9,1,2\n",
+		"workload,cluster,freq_mhz,voltage_v,power_w\nw,a15,NOTANUM,0.9,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadObservationsCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	_ = pmu.CPUCycles
+}

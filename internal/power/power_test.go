@@ -1,0 +1,214 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gemstone/internal/pmu"
+	"gemstone/internal/xrand"
+)
+
+// synthObs generates observations from a known ground-truth linear power
+// process: P = 0.3 + V²(0.5·cyc + 2.0·l2 + 0.15·inst)·1e-9 + noise.
+func synthObs(n int, noise float64, seed uint64) []Observation {
+	rng := xrand.New(seed)
+	freqs := []struct {
+		mhz int
+		v   float64
+	}{{600, 0.9}, {1000, 1.0}, {1400, 1.1}, {1800, 1.25}}
+	obs := make([]Observation, n)
+	for i := range obs {
+		f := freqs[i%len(freqs)]
+		cyc := float64(f.mhz) * 1e6
+		inst := cyc * (0.5 + rng.Float64()) // IPC 0.5..1.5
+		l2 := inst * (0.001 + 0.05*rng.Float64())
+		br := inst * 0.1 * rng.Float64()
+		rates := map[pmu.Event]float64{
+			pmu.CPUCycles: cyc,
+			pmu.InstSpec:  inst,
+			pmu.L2DCache:  l2,
+			pmu.BrPred:    br, // irrelevant to power
+		}
+		v2 := f.v * f.v
+		p := 0.3 + v2*(0.5*cyc+2.0*l2+0.15*inst)*1e-9
+		p *= 1 + noise*rng.Norm()
+		obs[i] = Observation{
+			Workload: "w", Cluster: "a15", FreqMHz: f.mhz, VoltageV: f.v,
+			Rates: rates, PowerW: p,
+		}
+	}
+	return obs
+}
+
+func TestBuildRecoversGroundTruth(t *testing.T) {
+	obs := synthObs(200, 0.004, 1)
+	m, err := Build("a15", obs, BuildOptions{
+		Pool: []pmu.Event{pmu.CPUCycles, pmu.InstSpec, pmu.L2DCache, pmu.BrPred},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Quality.MAPE > 2 {
+		t.Fatalf("MAPE = %.2f%%, want < 2%%", m.Quality.MAPE)
+	}
+	if m.Quality.AdjR2 < 0.98 {
+		t.Fatalf("adj R2 = %v", m.Quality.AdjR2)
+	}
+	// The true events must be selected; the irrelevant one must not.
+	found := map[pmu.Event]bool{}
+	for _, e := range m.Events {
+		found[e] = true
+	}
+	for _, want := range []pmu.Event{pmu.CPUCycles, pmu.InstSpec, pmu.L2DCache} {
+		if !found[want] {
+			t.Fatalf("true event %s not selected: %v", want, m.Events)
+		}
+	}
+	if found[pmu.BrPred] {
+		t.Fatalf("irrelevant event selected: %v", m.Events)
+	}
+	if math.Abs(m.Intercept-0.3) > 0.05 {
+		t.Fatalf("intercept = %v, want ~0.3", m.Intercept)
+	}
+}
+
+func TestBuildRespectsPool(t *testing.T) {
+	obs := synthObs(100, 0.004, 2)
+	m, err := Build("a15", obs, BuildOptions{
+		Pool: []pmu.Event{pmu.CPUCycles, pmu.InstSpec}, // L2 excluded
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Events {
+		if e == pmu.L2DCache {
+			t.Fatal("event outside the pool selected")
+		}
+	}
+}
+
+func TestRestrictedPoolExcludesBadEvents(t *testing.T) {
+	r := RestrictedPool()
+	for _, e := range r {
+		switch e {
+		case pmu.UnalignedLdSt, pmu.VfpSpec, pmu.L1DCacheWB,
+			pmu.BrMisPred, pmu.ITLBRefill, pmu.L1ICache, pmu.L1ICacheRefill:
+			t.Fatalf("restricted pool contains excluded event %s", e)
+		}
+	}
+	if len(r) != len(DefaultPool())-7 {
+		t.Fatalf("restricted pool size %d, want %d", len(r), len(DefaultPool())-7)
+	}
+}
+
+func TestValidateAndComponents(t *testing.T) {
+	obs := synthObs(120, 0.004, 3)
+	m, err := Build("a15", obs, BuildOptions{Pool: DefaultPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Validate(m, obs)
+	if q.N != 120 || q.MAPE < 0 || q.MaxAPE < q.MAPE {
+		t.Fatalf("quality = %+v", q)
+	}
+	comps := m.Components(&obs[0])
+	if comps[0].Name != "intercept" {
+		t.Fatal("first component must be the intercept")
+	}
+	sum := 0.0
+	for _, c := range comps {
+		sum += c.Watts
+	}
+	if math.Abs(sum-m.Estimate(&obs[0])) > 1e-9 {
+		t.Fatal("components must sum to the estimate")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("a15", nil, BuildOptions{}); err == nil {
+		t.Fatal("no observations must error")
+	}
+}
+
+func TestMappingAvailability(t *testing.T) {
+	m := DefaultMapping()
+	if !m.Available(pmu.CPUCycles) || !m.Available(pmu.L2DCache) {
+		t.Fatal("core events must be mappable")
+	}
+	if m.Available(pmu.UnalignedLdSt) {
+		t.Fatal("unaligned accesses have no gem5 equivalent (paper Section V)")
+	}
+	if _, err := m.Count(pmu.UnalignedLdSt, nil); err == nil {
+		t.Fatal("unmapped count must error")
+	}
+}
+
+func TestMappingEvaluation(t *testing.T) {
+	m := DefaultMapping()
+	stats := map[string]float64{
+		"sim_seconds":                    2,
+		"system.cpu.numCycles":           2e9,
+		"system.mem_ctrls.readReqs":      100,
+		"system.mem_ctrls.writeReqs":     50,
+		"system.cpu.iq.FU_type::IntAlu":  1000,
+		"system.cpu.iq.FU_type::IntMult": 200,
+		"system.cpu.iq.FU_type::IntDiv":  10,
+	}
+	if c, err := m.Count(pmu.BusAccess, stats); err != nil || c != 150 {
+		t.Fatalf("bus = %v, %v", c, err)
+	}
+	if c, _ := m.Count(pmu.DpSpec, stats); c != 1210 {
+		t.Fatalf("dp = %v", c)
+	}
+	obs, err := m.ObservationFromGem5("w", "a15", 1000, 1.0, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Rates[pmu.CPUCycles] != 1e9 {
+		t.Fatalf("cycle rate = %v", obs.Rates[pmu.CPUCycles])
+	}
+	if _, err := m.ObservationFromGem5("w", "a15", 1000, 1.0, map[string]float64{}); err == nil {
+		t.Fatal("missing sim_seconds must error")
+	}
+}
+
+func TestMisclassificationVisibleThroughMapping(t *testing.T) {
+	// FP work lands in SIMD stats: the VFP mapping reads ~0 while the ASE
+	// mapping absorbs the FP counts — the defect the paper reports.
+	m := DefaultMapping()
+	stats := map[string]float64{
+		"system.cpu.iq.FU_type::FloatAdd":     0,
+		"system.cpu.iq.FU_type::SimdFloatAdd": 5000,
+		"system.cpu.iq.FU_type::SimdAlu":      1000,
+	}
+	vfp, _ := m.Count(pmu.VfpSpec, stats)
+	ase, _ := m.Count(pmu.AseSpec, stats)
+	if vfp != 0 || ase != 6000 {
+		t.Fatalf("vfp=%v ase=%v; misclassification not reproduced", vfp, ase)
+	}
+}
+
+func TestEquationExport(t *testing.T) {
+	obs := synthObs(100, 0.004, 4)
+	m, err := Build("a15", obs, BuildOptions{Pool: []pmu.Event{pmu.CPUCycles, pmu.L2DCache}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := m.Equation(DefaultMapping())
+	if !strings.Contains(eq, "power = ") || !strings.Contains(eq, "system.cpu.numCycles") {
+		t.Fatalf("equation = %q", eq)
+	}
+	if !strings.Contains(eq, "voltage^2") || !strings.Contains(eq, "sim_seconds") {
+		t.Fatalf("equation lacks scaling terms: %q", eq)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{Cluster: "a7", Intercept: 0.1,
+		Events: []pmu.Event{pmu.CPUCycles}, Coef: []float64{0.5}}
+	s := m.String()
+	if !strings.Contains(s, "P(a7)") || !strings.Contains(s, "CPU_CYCLES") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"gemstone/internal/stats"
+)
+
+// Dendrogram renders an agglomerative merge tree as ASCII, leaves ordered
+// by the dendrogram (so visually adjacent leaves merged early) — the
+// hierarchical view behind the Fig. 3 and Fig. 5 cluster labels.
+//
+// Example output for four leaves:
+//
+//	alpha ──┐
+//	beta  ──┴─┐ (0.12)
+//	gamma ──┐ │
+//	delta ──┴─┴─ (0.80)
+func Dendrogram(d *stats.Dendrogram, names []string) string {
+	if d.N == 0 {
+		return "(empty dendrogram)\n"
+	}
+	if len(names) != d.N {
+		panic(fmt.Sprintf("report: %d names for %d leaves", len(names), d.N))
+	}
+	order := leafOrder(d)
+
+	var b strings.Builder
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	// Depth per leaf: number of merges until the leaf's cluster id is
+	// absorbed, measured as merge index — used for simple indentation.
+	mergeOf := make([]int, d.N) // first merge step that absorbs this leaf's current cluster
+	cluster := make([]int, d.N)
+	for i := range cluster {
+		cluster[i] = i
+	}
+	for i := 0; i < d.N; i++ {
+		mergeOf[i] = -1
+	}
+	for step, m := range d.Merges {
+		for leaf := 0; leaf < d.N; leaf++ {
+			if cluster[leaf] == m.A || cluster[leaf] == m.B {
+				if mergeOf[leaf] == -1 {
+					mergeOf[leaf] = step
+				}
+				cluster[leaf] = d.N + step
+			}
+		}
+	}
+	for _, leaf := range order {
+		step := mergeOf[leaf]
+		dist := 0.0
+		if step >= 0 {
+			dist = d.Merges[step].Dist
+		}
+		depth := 1
+		if step >= 0 {
+			depth = 1 + step*2/maxInt(1, len(d.Merges))
+		}
+		fmt.Fprintf(&b, "%-*s %s┐ joined at %.3f\n", width, names[leaf],
+			strings.Repeat("─", 2+depth), dist)
+	}
+	return b.String()
+}
+
+// leafOrder returns the leaves in dendrogram order: a depth-first walk of
+// the merge tree so that early-merged leaves sit next to each other.
+func leafOrder(d *stats.Dendrogram) []int {
+	if len(d.Merges) == 0 {
+		out := make([]int, d.N)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// children of internal node N+k are Merges[k].A and Merges[k].B.
+	var walk func(id int, out *[]int)
+	walk = func(id int, out *[]int) {
+		if id < d.N {
+			*out = append(*out, id)
+			return
+		}
+		m := d.Merges[id-d.N]
+		walk(m.A, out)
+		walk(m.B, out)
+	}
+	root := d.N + len(d.Merges) - 1
+	out := make([]int, 0, d.N)
+	walk(root, &out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

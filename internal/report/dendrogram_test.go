@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"gemstone/internal/stats"
+)
+
+func TestDendrogramRendering(t *testing.T) {
+	// Two tight pairs far apart: (a,b) and (c,d).
+	X := [][]float64{{0}, {0.1}, {10}, {10.1}}
+	d := stats.Agglomerate(stats.EuclideanDist(X), stats.AverageLinkage)
+	out := Dendrogram(d, []string{"a", "b", "c", "d"})
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing leaf %q:\n%s", name, out)
+		}
+	}
+	// Dendrogram order keeps each pair adjacent.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	pos := map[string]int{}
+	for i, l := range lines {
+		pos[strings.Fields(l)[0]] = i
+	}
+	if abs(pos["a"]-pos["b"]) != 1 || abs(pos["c"]-pos["d"]) != 1 {
+		t.Fatalf("pairs not adjacent:\n%s", out)
+	}
+}
+
+func TestDendrogramDegenerate(t *testing.T) {
+	if out := Dendrogram(&stats.Dendrogram{}, nil); !strings.Contains(out, "empty") {
+		t.Fatalf("empty output = %q", out)
+	}
+	// Single leaf, no merges.
+	d := stats.Agglomerate(stats.EuclideanDist([][]float64{{1}}), stats.AverageLinkage)
+	out := Dendrogram(d, []string{"only"})
+	if !strings.Contains(out, "only") {
+		t.Fatalf("single-leaf output = %q", out)
+	}
+}
+
+func TestDendrogramPanicsOnNameMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on name/leaf mismatch")
+		}
+	}()
+	X := [][]float64{{0}, {1}}
+	d := stats.Agglomerate(stats.EuclideanDist(X), stats.AverageLinkage)
+	Dendrogram(d, []string{"just-one"})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

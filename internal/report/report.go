@@ -1,0 +1,343 @@
+// Package report renders GemStone's analyses as plain-text tables and
+// ASCII charts (all of the paper's figures are regenerated in this form)
+// and as CSV for downstream plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"gemstone/internal/core"
+	"gemstone/internal/lmbench"
+	"gemstone/internal/power"
+)
+
+// bar renders a signed horizontal ASCII bar of v scaled so that `scale`
+// maps to width characters.
+func bar(v, scale float64, width int) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(math.Round(math.Abs(v) / scale * float64(width)))
+	if n > width {
+		n = width
+	}
+	b := strings.Repeat("#", n)
+	if v < 0 {
+		return fmt.Sprintf("%*s|", width, b)
+	}
+	return fmt.Sprintf("%*s|%-*s", width, "", width, b)
+}
+
+// ValidationSummary renders the execution-time error summary (Table T1).
+func ValidationSummary(title string, vs *core.ValidationSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — execution-time error (%s) ===\n", title, vs.Cluster)
+	fmt.Fprintf(&b, "overall: MAPE %6.1f%%   MPE %+6.1f%%   (%d runs)\n", vs.MAPE, vs.MPE, len(vs.PerRun))
+	var freqs []int
+	for f := range vs.ByFreq {
+		freqs = append(freqs, f)
+	}
+	sort.Ints(freqs)
+	for _, f := range freqs {
+		s := vs.ByFreq[f]
+		fmt.Fprintf(&b, "  %4d MHz: MAPE %6.1f%%   MPE %+6.1f%%\n", f, s.MAPE, s.MPE)
+	}
+	return b.String()
+}
+
+// Fig3 renders the per-workload MPE chart ordered by HCA cluster.
+func Fig3(wc *core.WorkloadClustering) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Fig. 3 — execution-time MPE per workload @ %d MHz (%s), by HCA cluster ===\n",
+		wc.FreqMHz, wc.Cluster)
+	maxAbs := 1.0
+	for _, r := range wc.Rows {
+		if a := math.Abs(r.PE); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	last := -1
+	for _, r := range wc.Rows {
+		if r.Cluster != last {
+			last = r.Cluster
+			fmt.Fprintf(&b, "-- cluster %d --\n", r.Cluster+1)
+		}
+		fmt.Fprintf(&b, "%-26s %+8.1f%% %s\n", r.Workload, r.PE, bar(r.PE, maxAbs, 28))
+	}
+	fmt.Fprintf(&b, "clusters: %d\n", wc.K)
+	return b.String()
+}
+
+// Fig4 renders the memory-latency curves for a set of labelled platforms.
+func Fig4(curves map[string][]lmbench.Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Fig. 4 — measured memory latency (stride 256) ===\n")
+	var labels []string
+	for l := range curves {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	fmt.Fprintf(&b, "%12s", "working set")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %14s", l)
+	}
+	fmt.Fprintln(&b)
+	if len(labels) == 0 {
+		return b.String()
+	}
+	for i := range curves[labels[0]] {
+		fmt.Fprintf(&b, "%12s", sizeLabel(curves[labels[0]][i].WorkingSetBytes))
+		for _, l := range labels {
+			fmt.Fprintf(&b, " %11.1f ns", curves[l][i].LatencyNs)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func sizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%d MiB", bytes>>20)
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%d KiB", bytes>>10)
+	}
+	return fmt.Sprintf("%d B", bytes)
+}
+
+// Fig5 renders the PMC-vs-error correlation chart with cluster labels.
+func Fig5(rows []core.EventCorr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Fig. 5 — correlation of HW PMC rates with execution-time MPE ===\n")
+	fmt.Fprintf(&b, "%-4s %-28s %7s %7s\n", "", "", "pearson", "rank")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "c%-3d %-28s %+6.2f %+6.2f %s\n",
+			r.Cluster+1, r.Event.String(), r.Corr, r.Spearman, bar(r.Corr, 1, 24))
+	}
+	return b.String()
+}
+
+// Gem5Correlation renders the Section IV-C table, grouped by cluster.
+func Gem5Correlation(rows []core.Gem5EventCorr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Section IV-C — gem5 statistics with |r| >= 0.3 vs execution-time MPE ===\n")
+	byCluster := map[int][]core.Gem5EventCorr{}
+	for _, r := range rows {
+		byCluster[r.Cluster] = append(byCluster[r.Cluster], r)
+	}
+	var labels []int
+	for l := range byCluster {
+		labels = append(labels, l)
+	}
+	// Order clusters by their most negative member (Cluster A first).
+	sort.Slice(labels, func(i, j int) bool {
+		return minCorr(byCluster[labels[i]]) < minCorr(byCluster[labels[j]])
+	})
+	for rank, l := range labels {
+		grp := byCluster[l]
+		sort.Slice(grp, func(i, j int) bool { return grp[i].Corr < grp[j].Corr })
+		fmt.Fprintf(&b, "-- Cluster %c (%d stats) --\n", 'A'+rank%26, len(grp))
+		for _, r := range grp {
+			fmt.Fprintf(&b, "  %-52s %+6.2f\n", r.Stat, r.Corr)
+		}
+	}
+	return b.String()
+}
+
+func minCorr(rows []core.Gem5EventCorr) float64 {
+	m := math.Inf(1)
+	for _, r := range rows {
+		if r.Corr < m {
+			m = r.Corr
+		}
+	}
+	return m
+}
+
+// Regression renders the Section IV-D stepwise-regression reports.
+func Regression(pmcRep, g5Rep *core.RegressionReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Section IV-D — stepwise regression of the gem5 error ===\n")
+	fmt.Fprintf(&b, "on HW PMC events: %d terms, R2 %.3f, adj R2 %.3f\n",
+		len(pmcRep.Selected), pmcRep.R2, pmcRep.AdjR2)
+	for i, s := range pmcRep.Selected {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, s)
+	}
+	fmt.Fprintf(&b, "on gem5 statistics: %d terms, R2 %.3f, adj R2 %.3f\n",
+		len(g5Rep.Selected), g5Rep.R2, g5Rep.AdjR2)
+	for i, s := range g5Rep.Selected {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, s)
+	}
+	return b.String()
+}
+
+// Fig6 renders the matched-event ratio chart.
+func Fig6(ratios []core.EventRatio, bp *core.BPComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Fig. 6 — gem5 events normalised to HW PMC equivalents (mean; >1 = gem5 overestimates) ===\n")
+	for _, r := range ratios {
+		fmt.Fprintf(&b, "%-28s %8.2fx  (clusters:", r.Event.String(), r.MeanRatio)
+		var labels []int
+		for l := range r.ByCluster {
+			labels = append(labels, l)
+		}
+		sort.Ints(labels)
+		shown := 0
+		for _, l := range labels {
+			if shown >= 5 {
+				fmt.Fprintf(&b, " ...")
+				break
+			}
+			fmt.Fprintf(&b, " c%d=%.2fx", l+1, r.ByCluster[l])
+			shown++
+		}
+		fmt.Fprintf(&b, ")\n")
+	}
+	fmt.Fprintf(&b, "branch predictor: HW mean accuracy %.1f%%, gem5 %.1f%%\n",
+		100*bp.HWMeanAccuracy, 100*bp.Gem5MeanAccuracy)
+	fmt.Fprintf(&b, "  worst gem5 accuracy %.2f%% (%s); that workload's HW accuracy: best-in-class\n",
+		100*bp.Gem5WorstAccuracy, bp.Gem5WorstWorkload)
+	fmt.Fprintf(&b, "  mean mispredict ratio gem5/HW: %.1fx\n", bp.MispredictRatio)
+	return b.String()
+}
+
+// PowerModel renders the Section V model-quality summary (Table T4).
+func PowerModel(m *power.Model) string {
+	var b strings.Builder
+	q := m.Quality
+	fmt.Fprintf(&b, "=== Section V — empirical power model (%s) ===\n", m.Cluster)
+	fmt.Fprintf(&b, "MAPE %.2f%%   MPE %+.2f%%   max APE %.1f%%   SER %.3f W\n",
+		q.MAPE, q.MPE, q.MaxAPE, q.SER)
+	fmt.Fprintf(&b, "R2 %.4f   adj R2 %.4f   mean VIF %.1f   max p-value %.4f   (%d observations)\n",
+		q.R2, q.AdjR2, q.MeanVIF, q.MaxP, q.N)
+	fmt.Fprintf(&b, "intercept: %.4f W\n", m.Intercept)
+	for i, e := range m.Events {
+		fmt.Fprintf(&b, "  %-28s coef %.4g  p %.2g  VIF %.1f\n", e.String(), m.Coef[i], m.PValues[i], m.VIFs[i])
+	}
+	return b.String()
+}
+
+// Fig7 renders the per-cluster power/energy error table.
+func Fig7(an *core.PowerEnergyAnalysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Fig. 7 — power/energy from HW PMCs vs gem5 events (%s @ %d MHz) ===\n",
+		an.Cluster, an.FreqMHz)
+	fmt.Fprintf(&b, "overall: power MAPE %5.1f%% MPE %+5.1f%% | energy MAPE %5.1f%% MPE %+5.1f%%\n",
+		an.PowerMAPE, an.PowerMPE, an.EnergyMAPE, an.EnergyMPE)
+	fmt.Fprintf(&b, "%-10s %3s | %-10s %-10s | %-10s %-10s | %s\n",
+		"cluster", "n", "pwr MAPE", "pwr MPE", "en MAPE", "en MPE", "mean HW power (components)")
+	for _, row := range an.Rows {
+		total := 0.0
+		for _, c := range row.HWComponents {
+			total += c.Watts
+		}
+		fmt.Fprintf(&b, "c%-9d %3d | %8.1f%% %+8.1f%% | %8.1f%% %+8.1f%% | %.2f W\n",
+			row.ClusterLabel+1, row.Workloads,
+			row.PowerMAPE, row.PowerMPE, row.EnergyMAPE, row.EnergyMPE, total)
+	}
+	return b.String()
+}
+
+// Fig8 renders the DVFS-scaling curves of two platforms side by side.
+func Fig8(hwCurve, simCurve *core.ScalingCurve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Fig. 8 — performance/power/energy scaling (normalised to baseline) ===\n")
+	fmt.Fprintf(&b, "%-8s %8s | %-24s | %-24s\n", "cluster", "freq", hwCurve.Platform, simCurve.Platform)
+	fmt.Fprintf(&b, "%-8s %8s | %7s %7s %7s | %7s %7s %7s\n",
+		"", "", "perf", "power", "energy", "perf", "power", "energy")
+	simAt := map[string]core.ScalingPoint{}
+	for _, p := range simCurve.Mean {
+		simAt[fmt.Sprintf("%s/%d", p.Cluster, p.FreqMHz)] = p
+	}
+	for _, p := range hwCurve.Mean {
+		s := simAt[fmt.Sprintf("%s/%d", p.Cluster, p.FreqMHz)]
+		fmt.Fprintf(&b, "%-8s %5d MHz | %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f\n",
+			p.Cluster, p.FreqMHz, p.Perf, p.Power, p.Energy, s.Perf, s.Power, s.Energy)
+	}
+	return b.String()
+}
+
+// Speedups renders the Section VI A15 speedup/energy spread comparison.
+func Speedups(label string, perf, energy core.SpeedupStats) string {
+	return fmt.Sprintf("%-12s speedup mean %.2fx (range %.2f–%.2fx, min c%d max c%d); energy increase mean %.2fx (range %.2f–%.2fx)\n",
+		label, perf.Mean, perf.Min, perf.Max, perf.MinLabel+1, perf.MaxLabel+1,
+		energy.Mean, energy.Min, energy.Max)
+}
+
+// Versions renders the Section VII model-version comparison (Table T5).
+func Versions(vc *core.VersionComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Section VII — gem5 model versions (%s) ===\n", vc.Cluster)
+	fmt.Fprintf(&b, "%-22s %10s %10s\n", "", "v1 (bug)", "v2 (fixed)")
+	fmt.Fprintf(&b, "%-22s %9.1f%% %9.1f%%\n", "exec-time MAPE", vc.V1.MAPE, vc.V2.MAPE)
+	fmt.Fprintf(&b, "%-22s %+9.1f%% %+9.1f%%\n", "exec-time MPE", vc.V1.MPE, vc.V2.MPE)
+	if vc.EnergyV1 != nil && vc.EnergyV2 != nil {
+		fmt.Fprintf(&b, "%-22s %9.1f%% %9.1f%%\n", "energy MAPE", vc.EnergyV1.EnergyMAPE, vc.EnergyV2.EnergyMAPE)
+		fmt.Fprintf(&b, "%-22s %9.1f%% %9.1f%%\n", "power MAPE", vc.EnergyV1.PowerMAPE, vc.EnergyV2.PowerMAPE)
+	}
+	return b.String()
+}
+
+// Ablation renders a defect-ablation study.
+func Ablation(title string, rows []core.AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Ablation — %s ===\n", title)
+	fmt.Fprintf(&b, "%-28s %10s %10s\n", "configuration", "MAPE", "MPE")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %9.1f%% %+9.1f%%\n", r.Label, r.MAPE, r.MPE)
+	}
+	return b.String()
+}
+
+// Improvements renders the greedy repair loop's trajectory.
+func Improvements(steps []core.ImprovementStep) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Iterative improvement (fix the biggest error source first) ===\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s\n", "fixed", "MAPE", "MPE")
+	for i, s := range steps {
+		label := "(baseline: all defects)"
+		if i > 0 {
+			label = s.Fixed.String()
+		}
+		fmt.Fprintf(&b, "%-22s %9.1f%% %+9.1f%%\n", label, s.MAPE, s.MPE)
+	}
+	return b.String()
+}
+
+// WriteCSV writes a header plus rows to w in CSV form.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig3CSV converts the Fig. 3 rows for CSV export.
+func Fig3CSV(wc *core.WorkloadClustering) (header []string, rows [][]string) {
+	header = []string{"workload", "cluster", "mpe_percent"}
+	for _, r := range wc.Rows {
+		rows = append(rows, []string{r.Workload, fmt.Sprint(r.Cluster + 1), fmt.Sprintf("%.2f", r.PE)})
+	}
+	return header, rows
+}
+
+// Fig5CSV converts the Fig. 5 rows for CSV export.
+func Fig5CSV(rows []core.EventCorr) (header []string, out [][]string) {
+	header = []string{"event", "correlation", "cluster"}
+	for _, r := range rows {
+		out = append(out, []string{r.Event.String(), fmt.Sprintf("%.4f", r.Corr), fmt.Sprint(r.Cluster + 1)})
+	}
+	return header, out
+}

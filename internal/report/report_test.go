@@ -1,0 +1,223 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gemstone/internal/core"
+	"gemstone/internal/lmbench"
+	"gemstone/internal/pmu"
+	"gemstone/internal/power"
+)
+
+func TestBar(t *testing.T) {
+	pos := bar(0.5, 1, 10)
+	if !strings.Contains(pos, "|#####") {
+		t.Fatalf("positive bar = %q", pos)
+	}
+	neg := bar(-0.5, 1, 10)
+	if !strings.HasSuffix(neg, "#####|") {
+		t.Fatalf("negative bar = %q", neg)
+	}
+	// Clamped at width.
+	huge := bar(99, 1, 10)
+	if strings.Count(huge, "#") != 10 {
+		t.Fatalf("bar not clamped: %q", huge)
+	}
+	// Degenerate scale must not panic or divide by zero.
+	if z := bar(1, 0, 10); !strings.Contains(z, "#") {
+		t.Fatalf("zero-scale bar = %q", z)
+	}
+}
+
+func TestValidationSummaryRendering(t *testing.T) {
+	vs := &core.ValidationSummary{
+		Cluster: "a15", MAPE: 59.1, MPE: -51.2,
+		ByFreq: map[int]struct{ MAPE, MPE float64 }{
+			600:  {MAPE: 70, MPE: -60},
+			1000: {MAPE: 59, MPE: -51},
+		},
+	}
+	out := ValidationSummary("test", vs)
+	for _, want := range []string{"59.1%", "-51.2%", "600 MHz", "1000 MHz", "a15"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Frequencies in ascending order.
+	if strings.Index(out, "600 MHz") > strings.Index(out, "1000 MHz") {
+		t.Fatal("frequencies out of order")
+	}
+}
+
+func TestFig3Rendering(t *testing.T) {
+	wc := &core.WorkloadClustering{
+		Cluster: "a15", FreqMHz: 1000, K: 2,
+		Rows: []core.Fig3Row{
+			{Workload: "w-a", Cluster: 0, PE: -50},
+			{Workload: "w-b", Cluster: 0, PE: -45},
+			{Workload: "w-c", Cluster: 1, PE: 30},
+		},
+	}
+	out := Fig3(wc)
+	if !strings.Contains(out, "cluster 1") || !strings.Contains(out, "cluster 2") {
+		t.Fatalf("cluster headers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "w-a") || !strings.Contains(out, "-50.0%") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+}
+
+func TestFig4Rendering(t *testing.T) {
+	curves := map[string][]lmbench.Point{
+		"hw":   {{WorkingSetBytes: 1 << 10, LatencyNs: 2}, {WorkingSetBytes: 1 << 20, LatencyNs: 80}},
+		"gem5": {{WorkingSetBytes: 1 << 10, LatencyNs: 2}, {WorkingSetBytes: 1 << 20, LatencyNs: 40}},
+	}
+	out := Fig4(curves)
+	for _, want := range []string{"1 KiB", "1 MiB", "80.0 ns", "40.0 ns", "hw", "gem5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if Fig4(nil) == "" {
+		t.Fatal("empty input must still render a header")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{512: "512 B", 2048: "2 KiB", 3 << 20: "3 MiB"}
+	for in, want := range cases {
+		if got := sizeLabel(in); got != want {
+			t.Fatalf("sizeLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFig5AndCSV(t *testing.T) {
+	rows := []core.EventCorr{
+		{Event: pmu.BrPred, Corr: -0.97, Cluster: 7},
+		{Event: pmu.LdrexSpec, Corr: 0.14, Cluster: 0},
+	}
+	out := Fig5(rows)
+	if !strings.Contains(out, "BR_PRED:0x12") || !strings.Contains(out, "-0.97") {
+		t.Fatalf("Fig5 output:\n%s", out)
+	}
+	header, csvRows := Fig5CSV(rows)
+	if len(header) != 3 || len(csvRows) != 2 {
+		t.Fatal("CSV shape")
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, header, csvRows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("CSV lines = %d", lines)
+	}
+}
+
+func TestGem5CorrelationGrouping(t *testing.T) {
+	rows := []core.Gem5EventCorr{
+		{Stat: "itb_walker.accesses", Corr: -0.85, Cluster: 2},
+		{Stat: "itb_walker.hits", Corr: -0.83, Cluster: 2},
+		{Stat: "l2.accesses", Corr: 0.5, Cluster: 1},
+	}
+	out := Gem5Correlation(rows)
+	// The most-negative cluster is labelled A.
+	idxA := strings.Index(out, "Cluster A")
+	idxWalker := strings.Index(out, "itb_walker.accesses")
+	idxB := strings.Index(out, "Cluster B")
+	if idxA < 0 || idxWalker < idxA || (idxB > 0 && idxWalker > idxB) {
+		t.Fatalf("walker stats must be in Cluster A:\n%s", out)
+	}
+}
+
+func TestRegressionRendering(t *testing.T) {
+	out := Regression(
+		&core.RegressionReport{Selected: []string{"A (total)", "B (rate)"}, R2: 0.97, AdjR2: 0.96},
+		&core.RegressionReport{Selected: []string{"x.y (total)"}, R2: 0.99, AdjR2: 0.99},
+	)
+	for _, want := range []string{"0.970", "A (total)", "x.y (total)", "0.990"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6Rendering(t *testing.T) {
+	ratios := []core.EventRatio{
+		{Event: pmu.BrMisPred, Gem5Expr: "x", MeanRatio: 21.0,
+			ByCluster: map[int]float64{0: 9.1, 15: 1402}},
+	}
+	bp := &core.BPComparison{
+		HWMeanAccuracy: 0.96, Gem5MeanAccuracy: 0.65,
+		Gem5WorstAccuracy: 0.0086, Gem5WorstWorkload: "par-basicmath-rad2deg",
+		MispredictRatio: 21,
+	}
+	out := Fig6(ratios, bp)
+	for _, want := range []string{"21.00x", "96.0%", "65.0%", "0.86%", "par-basicmath-rad2deg"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPowerModelRendering(t *testing.T) {
+	m := &power.Model{
+		Cluster: "a15", Intercept: 0.31,
+		Events: []pmu.Event{pmu.CPUCycles}, Coef: []float64{0.63},
+		PValues: []float64{1e-10}, VIFs: []float64{2.2},
+		Quality: power.Quality{MAPE: 3.28, SER: 0.049, AdjR2: 0.996, MeanVIF: 6, N: 621},
+	}
+	out := PowerModel(m)
+	for _, want := range []string{"3.28%", "0.049 W", "0.9960", "621", "CPU_CYCLES"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Fig8VersionsAblationRendering(t *testing.T) {
+	an := &core.PowerEnergyAnalysis{
+		Cluster: "a15", FreqMHz: 1000,
+		PowerMAPE: 10, PowerMPE: 3.3, EnergyMAPE: 50, EnergyMPE: -43.6,
+		Rows: []core.PowerEnergyRow{{
+			ClusterLabel: 12, Workloads: 6, PowerMAPE: 0.7, EnergyMAPE: 0.6,
+			HWComponents: []power.Component{{Name: "intercept", Watts: 0.3}},
+		}},
+	}
+	out := Fig7(an)
+	if !strings.Contains(out, "-43.6%") || !strings.Contains(out, "c13") {
+		t.Fatalf("Fig7:\n%s", out)
+	}
+
+	hwc := &core.ScalingCurve{Platform: "hw", Mean: []core.ScalingPoint{
+		{Cluster: "a7", FreqMHz: 200, Perf: 1, Power: 1, Energy: 1}}}
+	simc := &core.ScalingCurve{Platform: "sim", Mean: []core.ScalingPoint{
+		{Cluster: "a7", FreqMHz: 200, Perf: 1, Power: 1, Energy: 1}}}
+	out = Fig8(hwc, simc)
+	if !strings.Contains(out, "200 MHz") || !strings.Contains(out, "hw") {
+		t.Fatalf("Fig8:\n%s", out)
+	}
+
+	vc := &core.VersionComparison{
+		Cluster: "a15",
+		V1:      &core.ValidationSummary{MAPE: 59, MPE: -51},
+		V2:      &core.ValidationSummary{MAPE: 18, MPE: 10},
+	}
+	out = Versions(vc)
+	if !strings.Contains(out, "-51.0%") || !strings.Contains(out, "+10.0%") {
+		t.Fatalf("Versions:\n%s", out)
+	}
+
+	out = Ablation("t", []core.AblationRow{{Label: "fix bp-bug", MAPE: 16.3, MPE: 14.1}})
+	if !strings.Contains(out, "fix bp-bug") || !strings.Contains(out, "16.3%") {
+		t.Fatalf("Ablation:\n%s", out)
+	}
+
+	out = Speedups("hw", core.SpeedupStats{Mean: 2.7, Min: 2.1, Max: 3.2},
+		core.SpeedupStats{Mean: 1.8, Min: 1.7, Max: 2.3})
+	if !strings.Contains(out, "2.70x") || !strings.Contains(out, "1.80x") {
+		t.Fatalf("Speedups:\n%s", out)
+	}
+}

@@ -1,0 +1,164 @@
+// Package stats implements the statistical machinery the GemStone
+// methodology depends on: error metrics (MPE/MAPE), Pearson correlation,
+// agglomerative hierarchical clustering, ordinary least squares with full
+// inference (R², adjusted R², standard error of regression, coefficient
+// t-tests and p-values via the regularised incomplete beta function),
+// variance inflation factors, and forward stepwise model selection.
+//
+// Everything is implemented on the standard library alone; the repro gate
+// named by the calibration pass ("weak statistics ecosystem" in Go) is
+// closed here.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// PercentError returns the paper's signed percentage error convention:
+//
+//	PE = 100 × (reference − estimate) / reference
+//
+// A negative PE means the estimate exceeds the reference — for execution
+// time, the model overestimates it (underestimates performance).
+func PercentError(reference, estimate float64) float64 {
+	if reference == 0 {
+		return 0
+	}
+	return 100 * (reference - estimate) / reference
+}
+
+// MPE returns the mean of signed percentage errors between matched
+// reference/estimate pairs. It panics if the slices differ in length.
+func MPE(reference, estimate []float64) float64 {
+	requireSameLen(len(reference), len(estimate))
+	pes := make([]float64, len(reference))
+	for i := range reference {
+		pes[i] = PercentError(reference[i], estimate[i])
+	}
+	return Mean(pes)
+}
+
+// MAPE returns the mean absolute percentage error between matched pairs.
+func MAPE(reference, estimate []float64) float64 {
+	requireSameLen(len(reference), len(estimate))
+	pes := make([]float64, len(reference))
+	for i := range reference {
+		pes[i] = math.Abs(PercentError(reference[i], estimate[i]))
+	}
+	return Mean(pes)
+}
+
+// Pearson returns the Pearson product-moment correlation of xs and ys.
+// It returns 0 when either series has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	requireSameLen(len(xs), len(ys))
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Standardize returns a copy of X (rows = observations) with each column
+// scaled to zero mean and unit variance. Zero-variance columns become all
+// zeros.
+func Standardize(X [][]float64) [][]float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	rows, cols := len(X), len(X[0])
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	col := make([]float64, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = X[i][j]
+		}
+		m, sd := Mean(col), StdDev(col)
+		for i := 0; i < rows; i++ {
+			if sd > 0 {
+				out[i][j] = (X[i][j] - m) / sd
+			}
+		}
+	}
+	return out
+}
+
+func requireSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", a, b))
+	}
+}

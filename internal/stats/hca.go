@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistMatrix is a symmetric pairwise-distance matrix over n items.
+type DistMatrix struct {
+	N int
+	d []float64 // upper triangle, row-major
+}
+
+// NewDistMatrix allocates an n×n zero distance matrix.
+func NewDistMatrix(n int) *DistMatrix {
+	return &DistMatrix{N: n, d: make([]float64, n*n)}
+}
+
+// At returns the distance between items i and j.
+func (m *DistMatrix) At(i, j int) float64 { return m.d[i*m.N+j] }
+
+// Set sets the symmetric distance between items i and j.
+func (m *DistMatrix) Set(i, j int, v float64) {
+	m.d[i*m.N+j] = v
+	m.d[j*m.N+i] = v
+}
+
+// EuclideanDist builds the pairwise Euclidean distance matrix over the
+// rows of X.
+func EuclideanDist(X [][]float64) *DistMatrix {
+	n := len(X)
+	m := NewDistMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 0.0
+			for c := range X[i] {
+				d := X[i][c] - X[j][c]
+				s += d * d
+			}
+			m.Set(i, j, math.Sqrt(s))
+		}
+	}
+	return m
+}
+
+// CorrelationDist builds the pairwise distance 1 − |r| over the rows of X
+// (items whose series move together, in either direction, are close).
+// This is the distance used to cluster PMC events (paper Fig. 5).
+func CorrelationDist(X [][]float64) *DistMatrix {
+	n := len(X)
+	m := NewDistMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 1-math.Abs(Pearson(X[i], X[j])))
+		}
+	}
+	return m
+}
+
+// Merge records one agglomeration step. Cluster ids 0..n-1 are the leaf
+// items; id n+k is the cluster created by Merges[k].
+type Merge struct {
+	A, B int     // the two cluster ids merged
+	Dist float64 // linkage distance at which they merged
+	Size int     // number of leaves in the merged cluster
+}
+
+// Dendrogram is the full merge tree of an agglomerative clustering.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Linkage selects the between-cluster distance update rule.
+type Linkage int
+
+const (
+	// AverageLinkage (UPGMA) averages all pairwise distances.
+	AverageLinkage Linkage = iota
+	// CompleteLinkage uses the maximum pairwise distance.
+	CompleteLinkage
+	// SingleLinkage uses the minimum pairwise distance.
+	SingleLinkage
+)
+
+// Agglomerate performs bottom-up hierarchical clustering over the given
+// distance matrix. O(n³), fine for the problem sizes GemStone handles
+// (tens of workloads, a couple hundred events).
+func Agglomerate(dm *DistMatrix, link Linkage) *Dendrogram {
+	n := dm.N
+	if n == 0 {
+		return &Dendrogram{}
+	}
+	// Working copy of distances between active clusters.
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d[i][j] = dm.At(i, j)
+		}
+	}
+	active := make([]bool, n)
+	id := make([]int, n)   // current cluster id per slot
+	size := make([]int, n) // leaves per slot
+	for i := 0; i < n; i++ {
+		active[i] = true
+		id[i] = i
+		size[i] = 1
+	}
+	dend := &Dendrogram{N: n}
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if d[i][j] < best {
+					best, bi, bj = d[i][j], i, j
+				}
+			}
+		}
+		// Merge bj into bi; slot bi represents the new cluster.
+		newSize := size[bi] + size[bj]
+		dend.Merges = append(dend.Merges, Merge{A: id[bi], B: id[bj], Dist: best, Size: newSize})
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			switch link {
+			case CompleteLinkage:
+				d[bi][k] = math.Max(d[bi][k], d[bj][k])
+			case SingleLinkage:
+				d[bi][k] = math.Min(d[bi][k], d[bj][k])
+			default: // average (UPGMA), weighted by leaf counts
+				d[bi][k] = (d[bi][k]*float64(size[bi]) + d[bj][k]*float64(size[bj])) / float64(newSize)
+			}
+			d[k][bi] = d[bi][k]
+		}
+		active[bj] = false
+		id[bi] = n + step
+		size[bi] = newSize
+	}
+	return dend
+}
+
+// CutK cuts the dendrogram into exactly k clusters and returns a label per
+// leaf. Labels are canonicalised to 0..k-1 in order of first appearance.
+func (d *Dendrogram) CutK(k int) ([]int, error) {
+	if k < 1 || k > d.N {
+		return nil, fmt.Errorf("stats: cannot cut %d leaves into %d clusters", d.N, k)
+	}
+	// Apply the first N-k merges.
+	return d.labelsAfter(d.N - k), nil
+}
+
+// CutHeight cuts the dendrogram at the given linkage distance: merges with
+// Dist <= h are applied.
+func (d *Dendrogram) CutHeight(h float64) []int {
+	applied := 0
+	for _, m := range d.Merges {
+		if m.Dist <= h {
+			applied++
+		} else {
+			break
+		}
+	}
+	return d.labelsAfter(applied)
+}
+
+// labelsAfter applies the first `applied` merges and labels the leaves.
+func (d *Dendrogram) labelsAfter(applied int) []int {
+	parent := make([]int, d.N+applied)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for s := 0; s < applied; s++ {
+		m := d.Merges[s]
+		nid := d.N + s
+		parent[find(m.A)] = nid
+		parent[find(m.B)] = nid
+	}
+	labels := make([]int, d.N)
+	next := 0
+	seen := map[int]int{}
+	for i := 0; i < d.N; i++ {
+		r := find(i)
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			seen[r] = l
+			next++
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+// NumClusters returns the cluster count produced by labels.
+func NumClusters(labels []int) int {
+	mx := -1
+	for _, l := range labels {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx + 1
+}
+
+// GroupByLabel returns, per cluster label, the indices of its members.
+func GroupByLabel(labels []int) [][]int {
+	groups := make([][]int, NumClusters(labels))
+	for i, l := range labels {
+		groups[l] = append(groups[l], i)
+	}
+	return groups
+}

@@ -1,0 +1,41 @@
+package stats
+
+import "sort"
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// 1-based as in conventional rank statistics.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank across the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank-correlation coefficient of xs and ys
+// — Pearson correlation of the rank-transformed series. It is robust to
+// monotone nonlinearity and outliers, which makes it a useful
+// cross-check on the Fig. 5 Pearson correlations when a few extreme
+// workloads dominate an event's range.
+func Spearman(xs, ys []float64) float64 {
+	requireSameLen(len(xs), len(ys))
+	if len(xs) < 2 {
+		return 0
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}

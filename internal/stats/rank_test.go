@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gemstone/internal/xrand"
+)
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+	// Ties get the average rank.
+	got = Ranks([]float64{5, 5, 1, 9})
+	want = []float64{2.5, 2.5, 1, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tied ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform gives rho = 1 even when Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // strongly nonlinear but monotone
+	}
+	if rho := Spearman(x, y); !almostEq(rho, 1, 1e-12) {
+		t.Fatalf("rho = %v, want 1", rho)
+	}
+	if r := Pearson(x, y); r > 0.95 {
+		t.Fatalf("Pearson should be visibly below 1 for exp data, got %v", r)
+	}
+	// Reverse: rho = -1.
+	rev := []float64{6, 5, 4, 3, 2, 1}
+	if rho := Spearman(x, rev); !almostEq(rho, -1, 1e-12) {
+		t.Fatalf("rho = %v, want -1", rho)
+	}
+}
+
+func TestSpearmanRobustToOutlier(t *testing.T) {
+	rng := xrand.New(13)
+	n := 50
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Norm()
+		y[i] = rng.Norm()
+	}
+	// One enormous co-outlier inflates Pearson far more than Spearman.
+	x[0], y[0] = 1e6, 1e6
+	r, rho := Pearson(x, y), Spearman(x, y)
+	if r < 0.9 {
+		t.Fatalf("outlier should dominate Pearson, got %v", r)
+	}
+	if math.Abs(rho) > 0.4 {
+		t.Fatalf("Spearman should resist the outlier, got %v", rho)
+	}
+}
+
+// Property: |rho| <= 1; rho is invariant under any monotone transform.
+func TestSpearmanProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Norm()
+			y[i] = rng.Norm()
+		}
+		rho := Spearman(x, y)
+		if math.Abs(rho) > 1+1e-12 {
+			return false
+		}
+		// Monotone transform of x leaves rho unchanged.
+		tx := make([]float64, n)
+		for i, v := range x {
+			tx[i] = v*v*v + 2*v // strictly increasing
+		}
+		return almostEq(rho, Spearman(tx, y), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

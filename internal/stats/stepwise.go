@@ -1,0 +1,127 @@
+package stats
+
+import "fmt"
+
+// StepwiseOptions controls forward-selection stepwise regression.
+type StepwiseOptions struct {
+	// PEnter is the significance threshold: selection stops when adding
+	// the best remaining candidate would leave any term with a p-value
+	// above this (the paper uses the conventional 0.05).
+	PEnter float64
+	// MaxTerms bounds the number of selected regressors (0 = no bound).
+	MaxTerms int
+	// MinR2Gain stops selection when the best candidate improves R² by
+	// less than this (0 = no bound).
+	MinR2Gain float64
+}
+
+// DefaultStepwiseOptions mirror the paper's Section IV-D setup.
+func DefaultStepwiseOptions() StepwiseOptions {
+	return StepwiseOptions{PEnter: 0.05, MaxTerms: 0, MinR2Gain: 1e-6}
+}
+
+// StepwiseResult reports the outcome of a forward selection.
+type StepwiseResult struct {
+	// Selected holds the chosen candidate indices, in selection order —
+	// i.e. in decreasing marginal importance, which is how the paper
+	// reports them ("the single best PMC event to predict the error...").
+	Selected []int
+	// Fit is the final model (intercept first, then Selected columns).
+	Fit *Fit
+	// R2Path holds the R² after each selection step.
+	R2Path []float64
+}
+
+// Stepwise performs forward-selection stepwise regression of y onto the
+// candidate columns (candidates[i] is the i-th candidate's value for every
+// observation — column-major). An intercept is always included. At each
+// step the candidate maximising R² is added; selection stops when the
+// options' thresholds say so, and the offending addition is rolled back.
+func Stepwise(candidates [][]float64, y []float64, opt StepwiseOptions) (*StepwiseResult, error) {
+	n := len(y)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: stepwise with no observations")
+	}
+	for i, c := range candidates {
+		if len(c) != n {
+			return nil, fmt.Errorf("stats: candidate %d has %d observations, want %d", i, len(c), n)
+		}
+	}
+
+	res := &StepwiseResult{}
+	inModel := make([]bool, len(candidates))
+
+	design := func(sel []int) [][]float64 {
+		X := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			row := make([]float64, 0, len(sel)+1)
+			row = append(row, 1)
+			for _, ci := range sel {
+				row = append(row, candidates[ci][r])
+			}
+			X[r] = row
+		}
+		return X
+	}
+
+	// Baseline: intercept-only model has R² = 0 by definition.
+	curR2 := 0.0
+	var curFit *Fit
+	for {
+		if opt.MaxTerms > 0 && len(res.Selected) >= opt.MaxTerms {
+			break
+		}
+		if len(res.Selected)+2 >= n { // keep df ≥ 1
+			break
+		}
+		bestIdx, bestR2 := -1, curR2
+		var bestFit *Fit
+		for ci := range candidates {
+			if inModel[ci] {
+				continue
+			}
+			fit, err := OLS(design(append(res.Selected, ci)), y)
+			if err != nil {
+				continue // collinear with the current model: skip
+			}
+			if fit.R2 > bestR2 {
+				bestR2, bestIdx, bestFit = fit.R2, ci, fit
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		if opt.MinR2Gain > 0 && bestR2-curR2 < opt.MinR2Gain {
+			break
+		}
+		// The paper's stopping rule: adding a term must not push any
+		// term's p-value above the threshold.
+		if opt.PEnter > 0 {
+			bad := false
+			for i := 1; i < len(bestFit.PValue); i++ { // skip intercept
+				if bestFit.PValue[i] > opt.PEnter {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				break
+			}
+		}
+		inModel[bestIdx] = true
+		res.Selected = append(res.Selected, bestIdx)
+		res.R2Path = append(res.R2Path, bestR2)
+		curR2, curFit = bestR2, bestFit
+	}
+
+	if curFit == nil {
+		// No candidate survived: fit the intercept-only model.
+		fit, err := OLS(design(nil), y)
+		if err != nil {
+			return nil, err
+		}
+		curFit = fit
+	}
+	res.Fit = curFit
+	return res, nil
+}

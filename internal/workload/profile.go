@@ -1,0 +1,192 @@
+// Package workload defines the synthetic benchmark suite used to exercise
+// the platforms: deterministic instruction-stream generators parameterised
+// by behaviour profiles that span the same micro-architectural space as
+// the paper's suites (MiBench, ParMiBench, PARSEC, LMbench, Dhrystone,
+// Whetstone, Roy Longbottom's collection).
+//
+// A workload only influences the analyses through its behaviour vector —
+// instruction mix, control-flow regularity, code/data footprints, sharing
+// and synchronisation — so a profile captures exactly those axes. Every
+// generator is seeded from the workload name: two streams for the same
+// workload are bit-identical, on every platform, at every frequency.
+package workload
+
+import (
+	"fmt"
+
+	"gemstone/internal/xrand"
+)
+
+// Pattern enumerates data-access patterns available to a profile.
+type Pattern int
+
+const (
+	// PatternRandom picks uniform addresses inside the working set.
+	PatternRandom Pattern = iota
+	// PatternStream walks sequentially through a streaming region.
+	PatternStream
+	// PatternStride walks with a fixed stride (matrix-column style).
+	PatternStride
+	// PatternChase follows a dependent pointer chain (linked lists).
+	PatternChase
+)
+
+// Profile is the behaviour description of one workload.
+type Profile struct {
+	// Name is the unique workload identifier (e.g. "mi-qsort").
+	Name string
+	// Suite is the benchmark family ("mibench", "parmibench", "parsec",
+	// "classic", "longbottom", "lmbench").
+	Suite string
+	// Threads is 1 for single-threaded runs, 4 for the "-4" PARSEC and
+	// ParMiBench variants. Multi-threaded behaviour is modelled with
+	// synchronisation instructions plus the platform contention model.
+	Threads int
+	// TotalInsts is the dynamic instruction budget of one run.
+	TotalInsts int
+
+	// Control flow -----------------------------------------------------
+
+	// LoopIters is the trip count of the innermost loop; high values give
+	// the highly regular control flow of kernels such as basicmath.
+	LoopIters int
+	// BodyBlocks is the number of basic blocks executed per iteration.
+	BodyBlocks int
+	// BlockLen is the number of non-branch instructions per basic block
+	// (branch density is 1/(BlockLen+1)).
+	BlockLen int
+	// CodeBlocks is the static code footprint in basic blocks; together
+	// with BlockLen it sets the L1I and ITLB footprints.
+	CodeBlocks int
+	// CodeSpreadBytes is the spacing between consecutive static blocks
+	// (0 = dense packing). Real binaries spread hot code across many
+	// pages (libraries, padding, cold paths between hot blocks), which is
+	// what puts pressure on the instruction TLB; the ITLB-size divergence
+	// of Fig. 6 is only observable with realistic code spread.
+	CodeSpreadBytes int
+	// CondFraction is the fraction of block terminators that are
+	// data-dependent conditional branches (the rest are loop branches,
+	// calls or indirect jumps).
+	CondFraction float64
+	// CondBias is the taken probability of data-dependent branches.
+	CondBias float64
+	// CondEntropy selects truly random outcomes (true) versus a fixed
+	// history-learnable pattern (false).
+	CondEntropy bool
+	// CondStatic makes each conditional branch's outcome fixed per static
+	// block (if/else dominated by one side) — the behaviour of large,
+	// flat codebases whose branches execute too rarely to train dynamic
+	// pattern predictors. Overrides the period-4 pattern; CondBias sets
+	// the fraction of blocks whose branch is taken.
+	CondStatic bool
+	// CallFraction is the fraction of terminators that call a function.
+	CallFraction float64
+	// IndirectFraction is the fraction of terminators that are indirect
+	// jumps (switch dispatch).
+	IndirectFraction float64
+	// IndirectTargets is the number of distinct indirect targets.
+	IndirectTargets int
+
+	// Instruction mix (fractions of non-branch body instructions; the
+	// remainder is integer ALU) -----------------------------------------
+
+	LoadFraction   float64
+	StoreFraction  float64
+	IntMulFraction float64
+	IntDivFraction float64
+	FPAddFraction  float64
+	FPMulFraction  float64
+	FPDivFraction  float64
+	SIMDFraction   float64
+	NopFraction    float64
+
+	// Data behaviour -----------------------------------------------------
+
+	// WorkingSetBytes is the size of the random-access data region.
+	WorkingSetBytes int
+	// StreamBytes is the size of the streaming region.
+	StreamBytes int
+	// ChaseBytes is the size of the pointer-chase region.
+	ChaseBytes int
+	// StrideBytes is the stride of the strided pattern.
+	StrideBytes int
+	// PatternWeights gives the relative frequency of each access pattern,
+	// indexed by Pattern.
+	PatternWeights [4]float64
+	// StoreStreamShare is the fraction of stores that stream (memset/
+	// memcpy-like destination writes) regardless of PatternWeights.
+	StoreStreamShare float64
+	// StoreScatterBytes is the region size for non-streaming stores
+	// (stack, locals, small tables); 0 means WorkingSetBytes. Output-
+	// writer workloads keep this small so their store behaviour is
+	// dominated by the write stream.
+	StoreScatterBytes int
+	// UnalignedFraction is the probability a memory access is unaligned.
+	UnalignedFraction float64
+	// DepDistance is the typical producer→consumer register distance;
+	// small values serialise the pipeline, large values expose ILP.
+	DepDistance int
+
+	// Concurrency (only meaningful when Threads > 1) ---------------------
+
+	// BarrierPer1K is barrier instructions per 1000 instructions.
+	BarrierPer1K float64
+	// ExclusivePer1K is LDREX/STREX pairs per 1000 instructions.
+	ExclusivePer1K float64
+	// SnoopProb is the per-memory-access probability of incoming
+	// coherence traffic from sibling cores.
+	SnoopProb float64
+	// StrexFailProb is the store-exclusive failure probability.
+	StrexFailProb float64
+	// BarrierWaitMean is the mean barrier wait in cycles (arrival skew).
+	BarrierWaitMean float64
+}
+
+// Validate checks the profile for internal consistency.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile with empty name")
+	}
+	if p.Threads != 1 && p.Threads != 4 {
+		return fmt.Errorf("workload %q: threads must be 1 or 4", p.Name)
+	}
+	if p.TotalInsts <= 0 || p.LoopIters <= 0 || p.BodyBlocks <= 0 ||
+		p.BlockLen <= 0 || p.CodeBlocks <= 0 {
+		return fmt.Errorf("workload %q: non-positive structural parameter", p.Name)
+	}
+	if p.BodyBlocks > p.CodeBlocks {
+		return fmt.Errorf("workload %q: BodyBlocks %d > CodeBlocks %d", p.Name, p.BodyBlocks, p.CodeBlocks)
+	}
+	fracs := []float64{
+		p.CondFraction, p.CallFraction, p.IndirectFraction,
+		p.LoadFraction, p.StoreFraction, p.IntMulFraction, p.IntDivFraction,
+		p.FPAddFraction, p.FPMulFraction, p.FPDivFraction, p.SIMDFraction,
+		p.NopFraction, p.StoreStreamShare, p.UnalignedFraction,
+	}
+	for _, f := range fracs {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload %q: fraction %v out of [0,1]", p.Name, f)
+		}
+	}
+	if p.CondFraction+p.CallFraction+p.IndirectFraction > 1 {
+		return fmt.Errorf("workload %q: terminator fractions exceed 1", p.Name)
+	}
+	mixSum := p.LoadFraction + p.StoreFraction + p.IntMulFraction + p.IntDivFraction +
+		p.FPAddFraction + p.FPMulFraction + p.FPDivFraction + p.SIMDFraction + p.NopFraction
+	if mixSum > 1 {
+		return fmt.Errorf("workload %q: instruction mix sums to %v > 1", p.Name, mixSum)
+	}
+	if p.WorkingSetBytes <= 0 {
+		return fmt.Errorf("workload %q: working set must be positive", p.Name)
+	}
+	if p.DepDistance <= 0 {
+		return fmt.Errorf("workload %q: DepDistance must be positive", p.Name)
+	}
+	return nil
+}
+
+// Seed returns the deterministic generator seed for this workload.
+func (p Profile) Seed() uint64 { return xrand.HashString(p.Name) }
+
+// IsParallel reports whether the workload models a 4-thread run.
+func (p Profile) IsParallel() bool { return p.Threads > 1 }

@@ -1,0 +1,141 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by workload generation and by the platform noise models.
+//
+// Determinism is a hard requirement of the reproduction: every experiment
+// must produce bit-identical results across runs so that figures and tables
+// regenerate exactly. The generator is SplitMix64 (Steele et al., "Fast
+// Splittable Pseudorandom Number Generators"), which passes BigCrush for
+// our stream lengths and needs no allocation.
+package xrand
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random number generator. The zero value is a
+// valid generator seeded with 0; use New to seed explicitly.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split returns a new, statistically independent generator derived from r.
+// The parent advances, so successive Split calls yield distinct children.
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free approximation is fine here:
+	// the bias is < 2^-32 for all n we use.
+	return int((uint64(r.Uint32()) * uint64(n)) >> 32)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a standard normal deviate computed with the Box-Muller
+// transform. Used for measurement-noise synthesis.
+func (r *RNG) Norm() float64 {
+	// Avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Exp returns an exponentially distributed deviate with mean m.
+func (r *RNG) Exp(m float64) float64 {
+	u := 1 - r.Float64()
+	return -m * math.Log(u)
+}
+
+// Weighted is a pre-normalised discrete distribution sampled by inverse
+// transform. Build one with NewWeighted; Sample is O(k) for k outcomes,
+// which is fast for the small mixes used by the workload generator.
+type Weighted struct {
+	cum []float64
+}
+
+// NewWeighted builds a sampler over len(weights) outcomes. Negative weights
+// are treated as zero. If all weights are zero the sampler always returns 0.
+func NewWeighted(weights []float64) *Weighted {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	if total > 0 {
+		for i := range cum {
+			cum[i] /= total
+		}
+	}
+	return &Weighted{cum: cum}
+}
+
+// Sample draws an outcome index using rng.
+func (w *Weighted) Sample(rng *RNG) int {
+	if len(w.cum) == 0 || w.cum[len(w.cum)-1] == 0 {
+		return 0 // degenerate distribution
+	}
+	u := rng.Float64()
+	for i, c := range w.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(w.cum) - 1
+}
+
+// Hash64 mixes a 64-bit value through the SplitMix64 finaliser. It is used
+// to derive stable per-name seeds from string hashes.
+func Hash64(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// HashString returns a stable 64-bit hash of s (FNV-1a folded through the
+// SplitMix64 finaliser), used to seed per-workload generators by name.
+func HashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return Hash64(h)
+}

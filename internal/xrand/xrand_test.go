@@ -1,0 +1,170 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("different seeds should diverge immediately")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Intn(nn)
+			if v < 0 || v >= nn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const buckets, draws = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", b, c, want)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(5)
+	if r.Bool(0) || !r.Bool(1) {
+		t.Fatal("degenerate probabilities")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Fatalf("Bool(0.3) hit rate %d/10000", hits)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(23)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(40)
+	}
+	if m := sum / n; m < 38 || m > 42 {
+		t.Fatalf("exp mean = %v, want ~40", m)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	w := NewWeighted([]float64{1, 0, 3})
+	r := New(3)
+	counts := [3]int{}
+	for i := 0; i < 40000; i++ {
+		counts[w.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatal("zero-weight outcome sampled")
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+	// Degenerate: all zero weights always yield 0.
+	z := NewWeighted([]float64{0, 0})
+	if z.Sample(r) != 0 {
+		t.Fatal("zero-weight sampler must return 0")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(11)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("split children must not correlate")
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if HashString("mi-qsort") == HashString("mi-qsorT") {
+		t.Fatal("hash collisions on near-identical names")
+	}
+	if HashString("x") != HashString("x") {
+		t.Fatal("hash must be stable")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("Hash64 collision")
+	}
+}
