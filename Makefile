@@ -1,0 +1,32 @@
+# GemStone-Go build and verification targets.
+#
+# `make check` is the tier-1 gate: build, vet, and the full test suite
+# under the race detector (the campaign engine fans out across
+# GOMAXPROCS workers, so -race is part of the contract, not an extra).
+
+GO ?= go
+
+.PHONY: check build vet test bench fuzz clean
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race -timeout 45m ./...
+
+# Cache + analysis benchmarks (cold vs warm Collect first).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollect_' -benchmem .
+
+# Short fuzz smoke of the hardened surfaces (archives, generator).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLoadRunSet -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzGenerator -fuzztime 10s ./internal/workload
+
+clean:
+	$(GO) clean ./...

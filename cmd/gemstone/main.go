@@ -17,23 +17,83 @@
 //	                         consistency,workloads  (default all)
 //	-workloads N             limit to the first N validation workloads
 //	-csvdir    dir           also write CSV artefacts into dir
+//	-cachedir  dir           memoise runs in a persistent cache at dir;
+//	                         re-invocations replay instead of re-simulating
+//	-progress                log per-campaign progress while collecting
+//
+// Campaigns are cancellable: SIGINT stops the outstanding simulations and
+// exits; with -cachedir the completed runs are kept, so rerunning resumes
+// where the campaign stopped.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	"gemstone"
 	"gemstone/internal/core"
 	"gemstone/internal/lmbench"
+	"gemstone/internal/platform"
 	"gemstone/internal/pmu"
 	"gemstone/internal/report"
 	"gemstone/internal/stats"
 )
+
+// progressObserver logs campaign progress at ~10% granularity plus the
+// final per-stage time report.
+type progressObserver struct {
+	mu    sync.Mutex
+	total int
+	done  int
+	next  int // completion count at which to log the next line
+}
+
+func (p *progressObserver) CollectStart(platformName string, totalJobs int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = totalJobs
+	p.done = 0
+	p.next = (totalJobs + 9) / 10
+	log.Printf("  %s: %d runs queued", platformName, totalJobs)
+}
+
+func (p *progressObserver) RunStart(core.RunKey) {}
+
+func (p *progressObserver) step() {
+	p.done++
+	if p.done >= p.next {
+		log.Printf("  %d/%d runs done", p.done, p.total)
+		p.next += (p.total + 9) / 10
+	}
+}
+
+func (p *progressObserver) CacheHit(core.RunKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.step()
+}
+
+func (p *progressObserver) RunDone(core.RunKey, platform.Measurement, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.step()
+}
+
+func (p *progressObserver) RunError(key core.RunKey, err error) {
+	log.Printf("  run %s failed: %v", key, err)
+}
+
+func (p *progressObserver) CollectDone(stats core.CollectStats) {
+	log.Printf("  campaign: %s", stats)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -46,7 +106,30 @@ func main() {
 	nWorkloads := flag.Int("workloads", 0, "limit to the first N validation workloads (0 = all)")
 	csvDir := flag.String("csvdir", "", "write CSV artefacts into this directory")
 	statsDir := flag.String("statsdir", "", "dump one gem5 stats.txt per model run into this directory")
+	cacheDir := flag.String("cachedir", "", "memoise runs in a persistent cache at this directory")
+	progress := flag.Bool("progress", false, "log campaign progress while collecting")
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	var cache gemstone.RunCache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = gemstone.OpenRunCache(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	metrics := gemstone.NewCollectMetrics()
+	observer := gemstone.CollectObserver(metrics)
+	if *progress {
+		observer = gemstone.MultiCollectObserver(metrics, &progressObserver{})
+	}
+	collect := func(pl *gemstone.Platform, opt gemstone.CollectOptions) (*gemstone.RunSet, error) {
+		opt.Cache = cache
+		opt.Observer = observer
+		return gemstone.CollectContext(ctx, pl, opt)
+	}
 
 	want := map[string]bool{}
 	for _, a := range strings.Split(*analyses, ",") {
@@ -71,12 +154,12 @@ func main() {
 	}
 
 	log.Printf("collecting hardware characterisation (%d workloads, cluster %s)...", len(profiles), *cluster)
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	hwRuns, err := collect(gemstone.HardwarePlatform(), opt())
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("running gem5 %v simulations...", ver)
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(ver), opt())
+	simRuns, err := collect(gemstone.Gem5Platform(ver), opt())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -235,7 +318,7 @@ func main() {
 			other = gemstone.V1
 		}
 		log.Printf("running gem5 %v simulations for the version comparison...", other)
-		otherRuns, err := gemstone.Collect(gemstone.Gem5Platform(other), opt())
+		otherRuns, err := collect(gemstone.Gem5Platform(other), opt())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -249,6 +332,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(report.Versions(vc))
+	}
+
+	if s := metrics.Stats(); s.Jobs > 0 {
+		log.Printf("campaigns total: %d runs (%d simulated, %d cache hits, %d skipped) | plan %v cache %v sim %v wall %v",
+			s.Jobs, s.Simulated, s.CacheHits, s.Skipped,
+			s.PlanTime.Round(time.Microsecond), s.CacheTime.Round(time.Microsecond),
+			s.SimTime.Round(time.Millisecond), s.WallTime.Round(time.Millisecond))
 	}
 }
 

@@ -21,6 +21,7 @@
 package gemstone
 
 import (
+	"context"
 	"io"
 
 	"gemstone/internal/core"
@@ -65,6 +66,24 @@ type (
 type (
 	// WorkloadProfile describes one synthetic benchmark.
 	WorkloadProfile = workload.Profile
+)
+
+// Campaign-engine types (see internal/core for full documentation).
+type (
+	// RunCache memoises measurements under content-addressed keys; see
+	// NewMemoryRunCache, NewDiskRunCache and OpenRunCache.
+	RunCache = core.RunCache
+	// CollectObserver receives per-run campaign lifecycle callbacks.
+	CollectObserver = core.CollectObserver
+	// CollectStats aggregates one campaign's counters and stage times.
+	CollectStats = core.CollectStats
+	// CollectMetrics is a ready-made thread-safe counting observer.
+	CollectMetrics = core.Metrics
+	// CollectError reports an incomplete campaign; it carries the failed
+	// runs, the skipped jobs and the completed partial results.
+	CollectError = core.CollectError
+	// RunError is one failed run inside a CollectError.
+	RunError = core.RunError
 )
 
 // Analysis types (see internal/core for full documentation).
@@ -148,6 +167,57 @@ func ExperimentFrequencies(cluster string) []int { return hw.ExperimentFrequenci
 // Collect runs an experiment campaign (Experiments 1-4 of the paper,
 // depending on the platform) and returns the collected measurements.
 func Collect(pl *Platform, opt CollectOptions) (*RunSet, error) { return core.Collect(pl, opt) }
+
+// CollectContext is Collect with cancellation: the campaign stops early
+// (without burning CPU on the remaining jobs) when ctx is cancelled or a
+// run fails, returning a *CollectError that preserves the completed
+// partial results. Combined with opt.Cache, a failed campaign is resumed
+// by simply collecting again — finished runs replay as cache hits.
+func CollectContext(ctx context.Context, pl *Platform, opt CollectOptions) (*RunSet, error) {
+	return core.CollectContext(ctx, pl, opt)
+}
+
+// CacheKey returns the content-addressed run-cache key of one (platform,
+// workload, cluster, frequency) run: a stable hash of the workload
+// profile, the full cluster configuration fingerprint, the platform
+// identity and the DVFS point.
+func CacheKey(pl *Platform, prof WorkloadProfile, cluster string, freqMHz int) (string, error) {
+	return core.CacheKey(pl, prof, cluster, freqMHz)
+}
+
+// NewMemoryRunCache builds an in-memory LRU run cache (0 entries selects
+// the default capacity).
+func NewMemoryRunCache(maxEntries int) RunCache { return core.NewMemoryCache(maxEntries) }
+
+// NewDiskRunCache opens a persistent on-disk run cache rooted at dir.
+// Entries are individually versioned and corruption-tolerant: a damaged
+// entry is a cache miss, never a failure.
+func NewDiskRunCache(dir string) (RunCache, error) {
+	c, err := core.NewDiskCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// OpenRunCache builds the standard two-tier run cache: an in-memory LRU
+// in front of an on-disk store at dir.
+func OpenRunCache(dir string) (RunCache, error) {
+	c, err := core.OpenRunCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewCollectMetrics returns an empty metrics accumulator to pass as
+// CollectOptions.Observer.
+func NewCollectMetrics() *CollectMetrics { return core.NewMetrics() }
+
+// MultiCollectObserver fans campaign callbacks out to several observers.
+func MultiCollectObserver(obs ...CollectObserver) CollectObserver {
+	return core.MultiObserver(obs...)
+}
 
 // Validate compares a model run set against the hardware reference.
 func Validate(hwRuns, simRuns *RunSet, cluster string) (*ValidationSummary, error) {

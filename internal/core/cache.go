@@ -1,0 +1,281 @@
+package core
+
+import (
+	"compress/gzip"
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gemstone/internal/platform"
+	"gemstone/internal/workload"
+)
+
+// Content-addressed run memoisation. Every simulated run is a pure
+// function of (workload profile, cluster configuration, platform
+// identity, frequency), so a measurement can be keyed by a stable hash of
+// exactly those inputs and replayed instead of re-simulated — the
+// in-process analogue of the paper's released datasets, which exist so
+// analyses never re-run the 45-65 workload x DVFS campaigns.
+
+// cacheKeyScheme versions the key derivation itself: bump it whenever the
+// payload layout or hash inputs change so stale on-disk entries from an
+// older scheme can never alias a new key.
+const cacheKeyScheme = 1
+
+// cacheKeyPayload is the canonical serialisation hashed into a cache key.
+// json is deterministic for this shape: flat structs plus one map whose
+// keys encoding/json sorts.
+type cacheKeyPayload struct {
+	Scheme      int
+	Platform    string
+	HasSensors  bool
+	Cluster     string
+	ClusterHash string
+	FreqMHz     int
+	Profile     workload.Profile
+}
+
+// CacheKey returns the content-addressed cache key of one (platform,
+// workload, cluster, frequency) run. The key covers the full cluster
+// configuration fingerprint, so any model change — a gem5 defect fix, a
+// DVFS-table edit, a predictor resize — produces a different key.
+func CacheKey(pl *platform.Platform, prof workload.Profile, cluster string, freqMHz int) (string, error) {
+	cc, err := pl.Cluster(cluster)
+	if err != nil {
+		return "", err
+	}
+	return cacheKeyFromParts(pl.Name(), pl.Config().HasSensors, cluster, cc.Fingerprint(), prof, freqMHz), nil
+}
+
+// cacheKeyFromParts derives the key from a precomputed cluster
+// fingerprint — the collector resolves each cluster's fingerprint once
+// per campaign instead of once per run.
+func cacheKeyFromParts(platformName string, hasSensors bool, cluster, clusterHash string, prof workload.Profile, freqMHz int) string {
+	data, err := json.Marshal(cacheKeyPayload{
+		Scheme:      cacheKeyScheme,
+		Platform:    platformName,
+		HasSensors:  hasSensors,
+		Cluster:     cluster,
+		ClusterHash: clusterHash,
+		FreqMHz:     freqMHz,
+		Profile:     prof,
+	})
+	if err != nil {
+		// Profile is plain data; this is unreachable short of NaN fields.
+		// A per-error key keeps such a run uncacheable rather than wrong.
+		data = []byte(fmt.Sprintf("unmarshalable key: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// RunCache memoises measurements under content-addressed keys. All
+// methods must be safe for concurrent use; Get misses on any internal
+// failure rather than propagating it (a corrupt entry is a miss, not an
+// error).
+type RunCache interface {
+	Get(key string) (platform.Measurement, bool)
+	Put(key string, m platform.Measurement)
+}
+
+// MemoryCache is a fixed-capacity in-memory LRU run cache.
+type MemoryCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *memEntry
+	entries map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	m   platform.Measurement
+}
+
+// DefaultMemoryCacheEntries bounds NewMemoryCache(0). A full validation
+// campaign is 45 workloads x 2 clusters x ~8 frequencies = 720 runs; the
+// default holds several whole campaigns.
+const DefaultMemoryCacheEntries = 4096
+
+// NewMemoryCache builds an LRU cache holding at most maxEntries
+// measurements (0 or negative selects DefaultMemoryCacheEntries).
+func NewMemoryCache(maxEntries int) *MemoryCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMemoryCacheEntries
+	}
+	return &MemoryCache{
+		max:     maxEntries,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached measurement for key, marking it recently used.
+func (c *MemoryCache) Get(key string) (platform.Measurement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return platform.Measurement{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*memEntry).m, true
+}
+
+// Put stores a measurement, evicting the least recently used entry when
+// the cache is full.
+func (c *MemoryCache) Put(key string, m platform.Measurement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*memEntry).m = m
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&memEntry{key: key, m: m})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*memEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *MemoryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// DiskCache persists one measurement per file under a directory, using
+// the same gzip+gob envelope discipline as the run-set archives of
+// persist.go. It is corruption-tolerant by construction: a truncated,
+// garbled or version-skewed entry decodes as a miss and the run is simply
+// re-simulated.
+type DiskCache struct {
+	dir string
+}
+
+// cacheEntryVersion versions the on-disk entry envelope.
+const cacheEntryVersion = 1
+
+// diskEntry is the stored envelope. Key is repeated inside the payload so
+// a renamed or cross-linked file can never serve the wrong measurement.
+type diskEntry struct {
+	Version int
+	Key     string
+	M       platform.Measurement
+}
+
+// NewDiskCache opens (creating if needed) an on-disk run cache rooted at
+// dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating run cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *DiskCache) Dir() string { return c.dir }
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".run")
+}
+
+// Get loads the entry for key; any failure — missing file, truncation,
+// corruption, version skew, key mismatch — is a miss.
+func (c *DiskCache) Get(key string) (platform.Measurement, bool) {
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return platform.Measurement{}, false
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return platform.Measurement{}, false
+	}
+	defer zr.Close()
+	var e diskEntry
+	if err := gob.NewDecoder(zr).Decode(&e); err != nil {
+		return platform.Measurement{}, false
+	}
+	// Drain to EOF so the gzip CRC over the whole entry is verified: a
+	// bit flip anywhere in the file demotes the entry to a miss even when
+	// the flipped byte still gob-decodes.
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return platform.Measurement{}, false
+	}
+	if e.Version != cacheEntryVersion || e.Key != key {
+		return platform.Measurement{}, false
+	}
+	return e.M, true
+}
+
+// Put stores a measurement atomically (temp file + rename). Storage is
+// best-effort: an I/O failure loses the memoisation, never the campaign.
+func (c *DiskCache) Put(key string, m platform.Measurement) {
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	zw := gzip.NewWriter(tmp)
+	err = gob.NewEncoder(zw).Encode(diskEntry{Version: cacheEntryVersion, Key: key, M: m})
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return
+	}
+	_ = os.Rename(tmp.Name(), c.path(key))
+}
+
+// TieredCache layers a fast in-memory LRU over a persistent store: reads
+// promote disk hits into memory, writes go to both tiers.
+type TieredCache struct {
+	mem  *MemoryCache
+	disk RunCache
+}
+
+// NewTieredCache combines an LRU front with a backing store.
+func NewTieredCache(mem *MemoryCache, disk RunCache) *TieredCache {
+	return &TieredCache{mem: mem, disk: disk}
+}
+
+// Get checks the memory tier first, then the backing store.
+func (c *TieredCache) Get(key string) (platform.Measurement, bool) {
+	if m, ok := c.mem.Get(key); ok {
+		return m, true
+	}
+	m, ok := c.disk.Get(key)
+	if ok {
+		c.mem.Put(key, m)
+	}
+	return m, ok
+}
+
+// Put stores into both tiers.
+func (c *TieredCache) Put(key string, m platform.Measurement) {
+	c.mem.Put(key, m)
+	c.disk.Put(key, m)
+}
+
+// OpenRunCache builds the standard two-tier cache: a default-sized LRU in
+// front of an on-disk store at dir.
+func OpenRunCache(dir string) (*TieredCache, error) {
+	disk, err := NewDiskCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewTieredCache(NewMemoryCache(0), disk), nil
+}

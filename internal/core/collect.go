@@ -7,11 +7,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gemstone/internal/gem5"
 	"gemstone/internal/platform"
@@ -25,6 +27,11 @@ type RunKey struct {
 	Workload string
 	Cluster  string
 	FreqMHz  int
+}
+
+// String renders the key as workload/cluster@freq.
+func (k RunKey) String() string {
+	return fmt.Sprintf("%s/%s@%dMHz", k.Workload, k.Cluster, k.FreqMHz)
 }
 
 // RunSet holds every measurement collected from one platform.
@@ -65,6 +72,18 @@ type CollectOptions struct {
 	Clusters []string
 	// Freqs per cluster; nil means the paper's Experiment-1 frequencies.
 	Freqs map[string][]int
+
+	// Workers bounds the campaign's parallelism; 0 means GOMAXPROCS.
+	// Every run is individually deterministic, so the worker count never
+	// changes the collected data — only the wall time.
+	Workers int
+	// Cache, when non-nil, memoises runs under content-addressed keys
+	// (see CacheKey): a hit replays the archived measurement instead of
+	// simulating. Warm-cache campaigns cost cache lookups only.
+	Cache RunCache
+	// Observer, when non-nil, receives per-run lifecycle callbacks and
+	// the campaign's aggregate statistics.
+	Observer CollectObserver
 }
 
 func (o *CollectOptions) fill(pl *platform.Platform) error {
@@ -98,75 +117,254 @@ func (o *CollectOptions) fill(pl *platform.Platform) error {
 	return nil
 }
 
+// RunError is one failed run of a campaign.
+type RunError struct {
+	Key RunKey
+	Err error
+}
+
+// Error implements error.
+func (e RunError) Error() string { return fmt.Sprintf("%s: %v", e.Key, e.Err) }
+
+// Unwrap exposes the underlying platform error.
+func (e RunError) Unwrap() error { return e.Err }
+
+// CollectError reports a campaign that did not complete: a run failed, or
+// the context was cancelled. It preserves everything the campaign did
+// finish so the caller can analyse or resume it — re-collecting with the
+// same cache replays completed runs as hits and only re-simulates the
+// failed and skipped jobs.
+type CollectError struct {
+	// Platform names the collected platform.
+	Platform string
+	// Failed lists the runs that errored; the first entry is the failure
+	// that cancelled the campaign, later entries (if any) were already in
+	// flight when it happened.
+	Failed []RunError
+	// Skipped lists jobs abandoned without being attempted.
+	Skipped []RunKey
+	// Cause carries the context error when cancellation (rather than a
+	// run failure) ended the campaign.
+	Cause error
+	// Partial holds every completed measurement.
+	Partial *RunSet
+}
+
+// Error implements error.
+func (e *CollectError) Error() string {
+	done := 0
+	if e.Partial != nil {
+		done = len(e.Partial.Runs)
+	}
+	msg := fmt.Sprintf("core: campaign on %s incomplete: %d done, %d failed, %d skipped",
+		e.Platform, done, len(e.Failed), len(e.Skipped))
+	if len(e.Failed) > 0 {
+		msg += fmt.Sprintf("; first failure: %v", e.Failed[0])
+	}
+	if e.Cause != nil {
+		msg += fmt.Sprintf("; cancelled: %v", e.Cause)
+	}
+	return msg
+}
+
+// Unwrap exposes the run failures and the cancellation cause to
+// errors.Is/errors.As.
+func (e *CollectError) Unwrap() []error {
+	errs := make([]error, 0, len(e.Failed)+1)
+	for _, f := range e.Failed {
+		errs = append(errs, f)
+	}
+	if e.Cause != nil {
+		errs = append(errs, e.Cause)
+	}
+	return errs
+}
+
 // Collect runs the campaign described by opt on pl and returns the run
 // set. It reproduces Experiment 1 (and, on sensored platforms, 3 and 4 —
 // the power data rides along with the PMU samples) or Experiment 2 when
-// pl is a gem5 model.
+// pl is a gem5 model. It is CollectContext without cancellation.
+func Collect(pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
+	return CollectContext(context.Background(), pl, opt)
+}
+
+// CollectContext runs the campaign described by opt on pl.
 //
 // Runs are independent simulations, so the campaign fans out across
-// GOMAXPROCS workers; every run is individually deterministic, so the
-// resulting set is identical to a sequential collection.
-func Collect(pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
+// opt.Workers workers (GOMAXPROCS by default); every run is individually
+// deterministic, so the resulting set is identical to a sequential
+// collection (TestCollectDeterministicAcrossWorkerCounts asserts this
+// byte-for-byte).
+//
+// The campaign stops early on the first run failure or when ctx is
+// cancelled: workers finish the runs already in flight and then abandon
+// the remaining jobs instead of burning CPU on a doomed campaign. In both
+// cases the returned error is a *CollectError carrying the completed
+// partial results, the failed runs and the skipped jobs.
+func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
+	start := time.Now()
 	if err := opt.fill(pl); err != nil {
 		return nil, err
 	}
+
+	// Plan: expand options into the job list and fingerprint each cluster
+	// once so per-run cache keys are a hash away.
 	type job struct {
 		prof workload.Profile
 		key  RunKey
+		ck   string // content-addressed cache key ("" without a cache)
+	}
+	cfg := pl.Config()
+	clusterFP := map[string]string{}
+	if opt.Cache != nil {
+		for _, cl := range opt.Clusters {
+			cc, err := pl.Cluster(cl)
+			if err != nil {
+				return nil, err
+			}
+			clusterFP[cl] = cc.Fingerprint()
+		}
 	}
 	var jobs []job
 	for _, cl := range opt.Clusters {
 		for _, f := range opt.Freqs[cl] {
 			for _, prof := range opt.Workloads {
-				jobs = append(jobs, job{prof: prof, key: RunKey{Workload: prof.Name, Cluster: cl, FreqMHz: f}})
+				j := job{prof: prof, key: RunKey{Workload: prof.Name, Cluster: cl, FreqMHz: f}}
+				if opt.Cache != nil {
+					j.ck = cacheKeyFromParts(cfg.Name, cfg.HasSensors, cl, clusterFP[cl], prof, f)
+				}
+				jobs = append(jobs, j)
 			}
 		}
 	}
+	planTime := time.Since(start)
+
+	obs := opt.Observer
+	if obs != nil {
+		obs.CollectStart(pl.Name(), len(jobs))
+	}
 
 	rs := &RunSet{Platform: pl.Name(), Runs: make(map[RunKey]platform.Measurement, len(jobs))}
-	workers := runtime.GOMAXPROCS(0)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+
 	var (
-		mu      sync.Mutex
-		wg      sync.WaitGroup
-		next    atomic.Int64
-		firstMu sync.Mutex
-		first   error
+		mu     sync.Mutex // guards rs.Runs and failed
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		stop   atomic.Bool // set on first failure or cancellation
+		failed []RunError
+
+		hits, sims     atomic.Int64
+		cacheNS, simNS atomic.Int64
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
 				j := jobs[i]
-				m, err := pl.Run(j.prof, j.key.Cluster, j.key.FreqMHz)
-				if err != nil {
-					firstMu.Lock()
-					if first == nil {
-						first = fmt.Errorf("core: collecting %s/%s@%dMHz on %s: %w",
-							j.key.Workload, j.key.Cluster, j.key.FreqMHz, pl.Name(), err)
+				if opt.Cache != nil {
+					t0 := time.Now()
+					m, ok := opt.Cache.Get(j.ck)
+					cacheNS.Add(int64(time.Since(t0)))
+					if ok {
+						hits.Add(1)
+						mu.Lock()
+						rs.Runs[j.key] = m
+						mu.Unlock()
+						if obs != nil {
+							obs.CacheHit(j.key)
+						}
+						continue
 					}
-					firstMu.Unlock()
+				}
+				if obs != nil {
+					obs.RunStart(j.key)
+				}
+				t0 := time.Now()
+				m, err := pl.Run(j.prof, j.key.Cluster, j.key.FreqMHz)
+				elapsed := time.Since(t0)
+				simNS.Add(int64(elapsed))
+				if err != nil {
+					err = fmt.Errorf("core: collecting %s on %s: %w", j.key, pl.Name(), err)
+					mu.Lock()
+					failed = append(failed, RunError{Key: j.key, Err: err})
+					mu.Unlock()
+					stop.Store(true)
+					if obs != nil {
+						obs.RunError(j.key, err)
+					}
 					return
+				}
+				sims.Add(1)
+				if opt.Cache != nil {
+					t0 = time.Now()
+					opt.Cache.Put(j.ck, m)
+					cacheNS.Add(int64(time.Since(t0)))
 				}
 				mu.Lock()
 				rs.Runs[j.key] = m
 				mu.Unlock()
+				if obs != nil {
+					obs.RunDone(j.key, m, elapsed)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	if first != nil {
-		return nil, first
+
+	var skipped []RunKey
+	if stop.Load() || ctx.Err() != nil {
+		attempted := make(map[RunKey]bool, len(failed))
+		for _, f := range failed {
+			attempted[f.Key] = true
+		}
+		for _, j := range jobs {
+			if _, done := rs.Runs[j.key]; !done && !attempted[j.key] {
+				skipped = append(skipped, j.key)
+			}
+		}
+	}
+
+	if obs != nil {
+		obs.CollectDone(CollectStats{
+			Platform:  pl.Name(),
+			Jobs:      len(jobs),
+			Simulated: int(sims.Load()),
+			CacheHits: int(hits.Load()),
+			Errors:    len(failed),
+			Skipped:   len(skipped),
+			PlanTime:  planTime,
+			CacheTime: time.Duration(cacheNS.Load()),
+			SimTime:   time.Duration(simNS.Load()),
+			WallTime:  time.Since(start),
+		})
+	}
+
+	if len(failed) > 0 || ctx.Err() != nil {
+		return nil, &CollectError{
+			Platform: pl.Name(),
+			Failed:   failed,
+			Skipped:  skipped,
+			Cause:    ctx.Err(),
+			Partial:  rs,
+		}
 	}
 	return rs, nil
 }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+
+	"gemstone/internal/hw"
+	"gemstone/internal/workload"
+)
+
+// FuzzLoadRunSet feeds arbitrary bytes to the archive loader. The
+// contract under test: LoadRunSet never panics, and when it does accept
+// input, the result is a well-formed, non-empty run set.
+func FuzzLoadRunSet(f *testing.F) {
+	// Seed with a genuine archive so mutations explore the deep decode
+	// paths (gzip frame, gob envelope, version switch), not just header
+	// rejection. More seeds live in testdata/fuzz/FuzzLoadRunSet.
+	rs, err := Collect(hw.Platform(), CollectOptions{
+		Workloads: workload.Validation()[:2],
+		Clusters:  []string{hw.ClusterA15},
+		Freqs:     map[string][]int{hw.ClusterA15: {1000}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := SaveRunSet(&valid, rs); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+
+	// A gzip frame whose payload is not a gob stream.
+	var notGob bytes.Buffer
+	zw := gzip.NewWriter(&notGob)
+	zw.Write([]byte("gzip yes, gob no"))
+	zw.Close()
+	f.Add(notGob.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadRunSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if loaded == nil || len(loaded.Runs) == 0 {
+			t.Fatal("LoadRunSet returned success with an empty run set")
+		}
+		// Anything accepted must survive a save/load round trip.
+		var buf bytes.Buffer
+		if err := SaveRunSet(&buf, loaded); err != nil {
+			t.Fatalf("accepted archive cannot be re-saved: %v", err)
+		}
+		if _, err := LoadRunSet(&buf); err != nil {
+			t.Fatalf("re-saved archive cannot be re-loaded: %v", err)
+		}
+	})
+}

@@ -48,6 +48,23 @@ func TestRunSetSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveRunSetCanonicalBytes pins the canonical encoding: repeated
+// saves of the same set are byte-identical even though Go randomises the
+// map iteration order underneath.
+func TestSaveRunSetCanonicalBytes(t *testing.T) {
+	f := getFixture(t)
+	var a, b bytes.Buffer
+	if err := SaveRunSet(&a, f.hwRuns); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRunSet(&b, f.hwRuns); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same run set produced different bytes")
+	}
+}
+
 func TestRunSetPersistErrors(t *testing.T) {
 	if err := SaveRunSet(&bytes.Buffer{}, nil); err == nil {
 		t.Fatal("nil run set must error")

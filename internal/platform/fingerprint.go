@@ -1,0 +1,48 @@
+package platform
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Configuration fingerprints: a stable content hash over everything that
+// determines a cluster's (or platform's) behaviour — core timing model,
+// memory hierarchy, branch predictor, DVFS table, power process, thermal
+// model and contention scaling. Two configurations produce the same
+// fingerprint iff they would produce the same measurements, so the hash
+// is usable as a cache-key component for run memoisation: a gem5 model
+// defect fix (V1 -> V2 changes the predictor or TLB configuration)
+// changes the fingerprint and therefore invalidates every cached run.
+//
+// The hash is SHA-256 over the canonical JSON encoding of the
+// configuration. JSON is deterministic here: the config structs are flat
+// exported-field records, and encoding/json sorts map keys (the power
+// process's per-event energy table).
+
+// Fingerprint returns the stable content hash of the cluster
+// configuration.
+func (c ClusterConfig) Fingerprint() string {
+	return hashJSON(c)
+}
+
+// Fingerprint returns the stable content hash of the whole platform
+// configuration (name, sensor capability and every cluster).
+func (c Config) Fingerprint() string {
+	return hashJSON(c)
+}
+
+func hashJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// The config structs are plain data; marshalling can only fail on
+		// a programming error (e.g. a NaN snuck into a float field), and a
+		// fingerprint API that returns an error would infect every cache
+		// call site. Degrade to a hash of the error text: still stable,
+		// never colliding with a real config hash.
+		data = []byte(fmt.Sprintf("unmarshalable config: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

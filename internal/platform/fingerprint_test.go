@@ -1,0 +1,65 @@
+package platform_test
+
+import (
+	"testing"
+
+	"gemstone/internal/gem5"
+	"gemstone/internal/hw"
+	"gemstone/internal/platform"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	a := hw.A15Cluster()
+	if a.Fingerprint() != hw.A15Cluster().Fingerprint() {
+		t.Fatal("fingerprint of identical configs differs")
+	}
+	if hw.Platform().Config().Fingerprint() != hw.Platform().Config().Fingerprint() {
+		t.Fatal("platform fingerprint not stable")
+	}
+}
+
+func TestFingerprintSeparatesConfigs(t *testing.T) {
+	seen := map[string]string{}
+	add := func(name string, fp string) {
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision: %s and %s", prev, name)
+		}
+		seen[fp] = name
+	}
+	add("hw-a15", hw.A15Cluster().Fingerprint())
+	add("hw-a7", hw.A7Cluster().Fingerprint())
+	add("gem5-big-v1", gem5.BigCluster(gem5.V1).Fingerprint())
+	add("gem5-big-v2", gem5.BigCluster(gem5.V2).Fingerprint())
+}
+
+func TestFingerprintSensitiveToEveryLayer(t *testing.T) {
+	base := hw.A15Cluster()
+	mut := []struct {
+		name string
+		mod  func(c platform.ClusterConfig) platform.ClusterConfig
+	}{
+		{"core", func(c platform.ClusterConfig) platform.ClusterConfig {
+			c.Core.IssueWidth++
+			return c
+		}},
+		{"branch", func(c platform.ClusterConfig) platform.ClusterConfig {
+			c.Branch.BugSkewedUpdate = !c.Branch.BugSkewedUpdate
+			return c
+		}},
+		{"dvfs", func(c platform.ClusterConfig) platform.ClusterConfig {
+			d := append([]platform.DVFSPoint(nil), c.DVFS...)
+			d[0].VoltageV += 0.01
+			c.DVFS = d
+			return c
+		}},
+		{"contention", func(c platform.ClusterConfig) platform.ClusterConfig {
+			c.ContentionScale = 0.123
+			return c
+		}},
+	}
+	for _, m := range mut {
+		if m.mod(base).Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s change not reflected in fingerprint", m.name)
+		}
+	}
+}

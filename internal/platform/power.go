@@ -2,6 +2,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 
 	"gemstone/internal/pmu"
 	"gemstone/internal/xrand"
@@ -51,9 +52,18 @@ func (pp *PowerProcess) Validate() error {
 // DynamicPower returns the activity power (no leakage) for the sample's
 // event rates at the given operating point.
 func (pp *PowerProcess) DynamicPower(s *pmu.Sample, voltV, freqGHz float64) float64 {
+	// Sum in ascending event order: float addition is not associative, so
+	// ranging over the map directly would make the low-order bits of a
+	// measurement depend on Go's randomised iteration order — enough to
+	// break byte-identical campaign replay.
+	events := make([]pmu.Event, 0, len(pp.EnergyNJ))
+	for e := range pp.EnergyNJ {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
 	p := pp.ClockCV * freqGHz * voltV * voltV
-	for e, nj := range pp.EnergyNJ {
-		p += s.Rate(e) * nj * 1e-9 * voltV * voltV
+	for _, e := range events {
+		p += s.Rate(e) * pp.EnergyNJ[e] * 1e-9 * voltV * voltV
 	}
 	return p
 }

@@ -185,6 +185,9 @@ func (g *Generator) dataAddr(store bool) uint64 {
 			size = uint64(g.p.WorkingSetBytes)
 		}
 		lines := size / 64
+		if lines == 0 {
+			lines = 1 // sub-line regions degenerate to a single-line chase
+		}
 		idx := g.chasePtr / 64
 		idx = (idx*40509 + 12345) % lines
 		g.chasePtr = idx * 64

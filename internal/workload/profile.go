@@ -13,6 +13,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"gemstone/internal/xrand"
 )
@@ -164,7 +165,7 @@ func (p Profile) Validate() error {
 		p.NopFraction, p.StoreStreamShare, p.UnalignedFraction,
 	}
 	for _, f := range fracs {
-		if f < 0 || f > 1 {
+		if !(f >= 0 && f <= 1) { // also rejects NaN
 			return fmt.Errorf("workload %q: fraction %v out of [0,1]", p.Name, f)
 		}
 	}
@@ -178,6 +179,18 @@ func (p Profile) Validate() error {
 	}
 	if p.WorkingSetBytes <= 0 {
 		return fmt.Errorf("workload %q: working set must be positive", p.Name)
+	}
+	if p.StreamBytes < 0 || p.ChaseBytes < 0 || p.StrideBytes < 0 ||
+		p.StoreScatterBytes < 0 || p.CodeSpreadBytes < 0 {
+		return fmt.Errorf("workload %q: negative region size", p.Name)
+	}
+	if p.IndirectTargets < 0 {
+		return fmt.Errorf("workload %q: negative IndirectTargets", p.Name)
+	}
+	for _, w := range p.PatternWeights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("workload %q: bad pattern weight %v", p.Name, w)
+		}
 	}
 	if p.DepDistance <= 0 {
 		return fmt.Errorf("workload %q: DepDistance must be positive", p.Name)

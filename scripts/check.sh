@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, full test suite under the race
+# detector. Equivalent to `make check` for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+go build ./...
+go vet ./...
+# The race detector slows the simulator ~10x; the core campaign tests
+# need more than the default 10m timeout.
+go test -race -timeout 45m ./...
