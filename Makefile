@@ -19,9 +19,10 @@ vet:
 test:
 	$(GO) test -race -timeout 45m ./...
 
-# Cache + analysis benchmarks (cold vs warm Collect first).
+# Campaign, observability and stats benchmarks; writes machine-readable
+# results to BENCH_obs.json (see scripts/bench.sh).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkCollect_' -benchmem .
+	sh scripts/bench.sh
 
 # Short fuzz smoke of the hardened surfaces (archives, generator).
 fuzz:

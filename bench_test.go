@@ -439,6 +439,26 @@ func BenchmarkCollect_ColdCache(b *testing.B) {
 	}
 }
 
+// BenchmarkCollect_ColdCacheTraced is BenchmarkCollect_ColdCache with a
+// span tracer attached, so the pair bounds the tracing overhead on a
+// real campaign. The acceptance bar is <= 2% over the untraced cold run;
+// the per-run span cost is tens of nanoseconds against simulations that
+// take milliseconds (see BenchmarkSpanEnabled in internal/obs).
+func BenchmarkCollect_ColdCacheTraced(b *testing.B) {
+	pl := gemstone.HardwarePlatform()
+	for i := 0; i < b.N; i++ {
+		opt := campaignOpt(gemstone.NewMemoryRunCache(0))
+		opt.Tracer = gemstone.NewTracer()
+		rs, err := gemstone.Collect(pl, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Runs) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
 // BenchmarkCollect_WarmCache measures the same campaign replayed from a
 // warm in-memory cache: no run simulates. The acceptance bar is a >= 10x
 // speedup over BenchmarkCollect_ColdCache; in practice it is orders of

@@ -20,6 +20,12 @@
 //	-cachedir  dir           memoise runs in a persistent cache at dir;
 //	                         re-invocations replay instead of re-simulating
 //	-progress                log per-campaign progress while collecting
+//	-trace     file          write a Chrome trace-event JSON profile of
+//	                         the campaigns (open in chrome://tracing or
+//	                         ui.perfetto.dev)
+//	-metrics-addr host:port  serve Prometheus /metrics, /debug/pprof and
+//	                         /healthz while running
+//	-log-format text|json    structured-log output format (default text)
 //
 // Campaigns are cancellable: SIGINT stops the outstanding simulations and
 // exits; with -cachedir the completed runs are kept, so rerunning resumes
@@ -30,7 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -41,19 +47,30 @@ import (
 	"gemstone"
 	"gemstone/internal/core"
 	"gemstone/internal/lmbench"
+	"gemstone/internal/obs"
 	"gemstone/internal/platform"
 	"gemstone/internal/pmu"
 	"gemstone/internal/report"
 	"gemstone/internal/stats"
 )
 
-// progressObserver logs campaign progress at ~10% granularity plus the
-// final per-stage time report.
+// progressObserver logs campaign progress at ~10% granularity — each line
+// carrying the completion count, the measured run rate and the ETA — plus
+// per-run failures and the final per-stage time report. All callbacks
+// fire concurrently from campaign workers and serialise on mu.
 type progressObserver struct {
+	log *slog.Logger
+	now func() time.Time // injectable clock for tests
+
 	mu    sync.Mutex
 	total int
 	done  int
 	next  int // completion count at which to log the next line
+	start time.Time
+}
+
+func newProgressObserver(log *slog.Logger) *progressObserver {
+	return &progressObserver{log: log, now: time.Now}
 }
 
 func (p *progressObserver) CollectStart(platformName string, totalJobs int) {
@@ -62,15 +79,27 @@ func (p *progressObserver) CollectStart(platformName string, totalJobs int) {
 	p.total = totalJobs
 	p.done = 0
 	p.next = (totalJobs + 9) / 10
-	log.Printf("  %s: %d runs queued", platformName, totalJobs)
+	p.start = p.now()
+	p.log.Info("campaign queued", "platform", platformName, "runs", totalJobs)
 }
 
 func (p *progressObserver) RunStart(core.RunKey) {}
 
+// step advances the completion count and logs at the next 10% boundary.
+// Callers hold p.mu.
 func (p *progressObserver) step() {
 	p.done++
 	if p.done >= p.next {
-		log.Printf("  %d/%d runs done", p.done, p.total)
+		attrs := []any{"done", p.done, "total", p.total}
+		if elapsed := p.now().Sub(p.start); elapsed > 0 {
+			rate := float64(p.done) / elapsed.Seconds()
+			attrs = append(attrs, "runs_per_sec", fmt.Sprintf("%.1f", rate))
+			if rate > 0 {
+				eta := time.Duration(float64(p.total-p.done)/rate) * time.Second
+				attrs = append(attrs, "eta", eta.Round(time.Second).String())
+			}
+		}
+		p.log.Info("progress", attrs...)
 		p.next += (p.total + 9) / 10
 	}
 }
@@ -88,17 +117,40 @@ func (p *progressObserver) RunDone(core.RunKey, platform.Measurement, time.Durat
 }
 
 func (p *progressObserver) RunError(key core.RunKey, err error) {
-	log.Printf("  run %s failed: %v", key, err)
+	// Failed runs count toward N/N like completed ones — without this the
+	// progress line stalls short of the total on failing campaigns — and
+	// the lock keeps the failure line ordered against step()'s output.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log.Error("run failed", "key", key.String(), "err", err)
+	p.step()
 }
 
 func (p *progressObserver) CollectDone(stats core.CollectStats) {
-	log.Printf("  campaign: %s", stats)
+	p.log.Info("campaign done", "stats", stats.String())
+}
+
+// logger is the process-wide structured logger; main replaces it once
+// -log-format is parsed. writeCSV and the observers share it.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// exitHooks run (last-registered first) before any process exit so the
+// trace file and metrics listener are flushed even on fatal errors.
+var exitHooks []func()
+
+func exit(code int) {
+	for i := len(exitHooks) - 1; i >= 0; i-- {
+		exitHooks[i]()
+	}
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	logger.Error("gemstone failed", "err", err)
+	exit(1)
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("gemstone: ")
-
 	cluster := flag.String("cluster", gemstone.ClusterA15, "cluster to analyse (a7|a15)")
 	freq := flag.Int("freq", 1000, "analysis frequency in MHz")
 	version := flag.Int("version", 1, "gem5 model version (1|2)")
@@ -108,26 +160,69 @@ func main() {
 	statsDir := flag.String("statsdir", "", "dump one gem5 stats.txt per model run into this directory")
 	cacheDir := flag.String("cachedir", "", "memoise runs in a persistent cache at this directory")
 	progress := flag.Bool("progress", false, "log campaign progress while collecting")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON profile to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof and /healthz on this host:port")
+	logFormat := flag.String("log-format", obs.LogText, "log output format (text|json)")
 	flag.Parse()
+
+	lg, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemstone:", err)
+		os.Exit(2)
+	}
+	logger = lg
+	slog.SetDefault(lg)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
 
+	var tracer *gemstone.Tracer
+	if *traceFile != "" {
+		tracer = gemstone.NewTracer()
+		exitHooks = append(exitHooks, func() {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				logger.Error("trace not written", "err", err)
+				return
+			}
+			err = tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				logger.Error("trace not written", "err", err)
+				return
+			}
+			logger.Info("trace written", "file", *traceFile, "spans", len(tracer.Events()))
+		})
+	}
+
 	var cache gemstone.RunCache
 	if *cacheDir != "" {
-		var err error
 		if cache, err = gemstone.OpenRunCache(*cacheDir); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	metrics := gemstone.NewCollectMetrics()
-	observer := gemstone.CollectObserver(metrics)
-	if *progress {
-		observer = gemstone.MultiCollectObserver(metrics, &progressObserver{})
+	observers := []gemstone.CollectObserver{metrics}
+	if *metricsAddr != "" {
+		reg := gemstone.NewMetricsRegistry()
+		srv, err := gemstone.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		exitHooks = append(exitHooks, func() { srv.Close() })
+		observers = append(observers, gemstone.NewRegistryCollectObserver(reg))
+		logger.Info("metrics listening", "addr", srv.Addr())
 	}
+	if *progress {
+		observers = append(observers, newProgressObserver(logger))
+	}
+	observer := gemstone.MultiCollectObserver(observers...)
 	collect := func(pl *gemstone.Platform, opt gemstone.CollectOptions) (*gemstone.RunSet, error) {
 		opt.Cache = cache
 		opt.Observer = observer
+		opt.Tracer = tracer
 		return gemstone.CollectContext(ctx, pl, opt)
 	}
 
@@ -153,21 +248,21 @@ func main() {
 		}
 	}
 
-	log.Printf("collecting hardware characterisation (%d workloads, cluster %s)...", len(profiles), *cluster)
+	logger.Info("collecting hardware characterisation", "workloads", len(profiles), "cluster", *cluster)
 	hwRuns, err := collect(gemstone.HardwarePlatform(), opt())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
-	log.Printf("running gem5 %v simulations...", ver)
+	logger.Info("running gem5 simulations", "version", fmt.Sprint(ver))
 	simRuns, err := collect(gemstone.Gem5Platform(ver), opt())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if *statsDir != "" {
 		if err := dumpStatsFiles(*statsDir, simRuns); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		log.Printf("wrote %d stats.txt files to %s", len(simRuns.Runs), *statsDir)
+		logger.Info("wrote gem5 stats files", "count", len(simRuns.Runs), "dir", *statsDir)
 	}
 
 	var clustering *gemstone.WorkloadClustering
@@ -175,14 +270,14 @@ func main() {
 	if needClusters {
 		clustering, err = gemstone.ClusterWorkloads(hwRuns, simRuns, *cluster, *freq, 16)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
 	if on("validate") {
 		vs, err := gemstone.Validate(hwRuns, simRuns, *cluster)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Print(report.ValidationSummary(fmt.Sprintf("gem5 %v vs hardware", ver), vs))
 		if mape, mpe, n := vs.SuiteSummary("parsec-"); n > 0 {
@@ -209,7 +304,7 @@ func main() {
 	if on("fig5") {
 		rows, err := gemstone.PMCErrorCorrelation(hwRuns, simRuns, *cluster, *freq, 30)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(report.Fig5(rows))
 		writeCSV(*csvDir, "fig5.csv", func() ([]string, [][]string) { return report.Fig5CSV(rows) })
@@ -226,7 +321,7 @@ func main() {
 		// The hierarchical view behind the Fig. 3 cluster labels.
 		X, names, err := workloadRateMatrix(hwRuns, *cluster, *freq)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		dend := stats.Agglomerate(stats.EuclideanDist(stats.Standardize(X)), stats.AverageLinkage)
 		fmt.Println("=== Workload dendrogram (HCA of HW PMC rates) ===")
@@ -235,7 +330,7 @@ func main() {
 	if on("consistency") {
 		fc, err := core.ErrorConsistency(hwRuns, simRuns, *cluster)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println("=== Cross-frequency error-pattern consistency ===")
 		for _, p := range fc.Pairs {
@@ -247,7 +342,7 @@ func main() {
 	if on("gem5corr") {
 		rows, err := gemstone.Gem5EventCorrelation(hwRuns, simRuns, *cluster, *freq, 0.3, 8)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(report.Gem5Correlation(rows))
 	}
@@ -256,11 +351,11 @@ func main() {
 		sw.MaxTerms = 8
 		pmcRep, err := gemstone.ErrorRegressionPMC(hwRuns, simRuns, *cluster, *freq, sw)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		g5Rep, err := gemstone.ErrorRegressionGem5(hwRuns, simRuns, *cluster, *freq, sw)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(report.Regression(pmcRep, g5Rep))
 	}
@@ -269,18 +364,18 @@ func main() {
 		ratios, bp, err := gemstone.EventComparison(hwRuns, simRuns, *cluster, *freq,
 			clustering.Labels, nil, gemstone.DefaultMapping(), excl)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(report.Fig6(ratios, bp))
 	}
 
 	var model *gemstone.PowerModel
 	if on("power") || on("fig7") || on("fig8") || on("versions") {
-		log.Printf("building %s power model (restricted pool)...", *cluster)
+		logger.Info("building power model", "cluster", *cluster, "pool", "restricted")
 		model, err = gemstone.BuildPowerModel(hwRuns, *cluster,
 			gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 	if on("power") {
@@ -293,7 +388,7 @@ func main() {
 		an, err := gemstone.AnalyzePowerEnergy(model, gemstone.DefaultMapping(),
 			hwRuns, simRuns, *cluster, *freq, clustering.Labels)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(report.Fig7(an))
 	}
@@ -303,12 +398,12 @@ func main() {
 		hwCurve, err := gemstone.ScalingAnalysis(hwRuns, models, gemstone.DefaultMapping(),
 			false, clustering.Labels, *cluster, baseFreq)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		simCurve, err := gemstone.ScalingAnalysis(simRuns, models, gemstone.DefaultMapping(),
 			true, clustering.Labels, *cluster, baseFreq)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(report.Fig8(hwCurve, simCurve))
 	}
@@ -317,10 +412,10 @@ func main() {
 		if ver == gemstone.V2 {
 			other = gemstone.V1
 		}
-		log.Printf("running gem5 %v simulations for the version comparison...", other)
+		logger.Info("running gem5 simulations for the version comparison", "version", fmt.Sprint(other))
 		otherRuns, err := collect(gemstone.Gem5Platform(other), opt())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		v1Runs, v2Runs := simRuns, otherRuns
 		if ver == gemstone.V2 {
@@ -329,17 +424,22 @@ func main() {
 		vc, err := gemstone.CompareVersions(hwRuns, v1Runs, v2Runs, *cluster, *freq,
 			model, gemstone.DefaultMapping(), clustering.Labels)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println(report.Versions(vc))
 	}
 
 	if s := metrics.Stats(); s.Jobs > 0 {
-		log.Printf("campaigns total: %d runs (%d simulated, %d cache hits, %d skipped) | plan %v cache %v sim %v wall %v",
-			s.Jobs, s.Simulated, s.CacheHits, s.Skipped,
-			s.PlanTime.Round(time.Microsecond), s.CacheTime.Round(time.Microsecond),
-			s.SimTime.Round(time.Millisecond), s.WallTime.Round(time.Millisecond))
+		logger.Info("campaigns total",
+			"platforms", strings.Join(metrics.Platforms(), "+"),
+			"runs", s.Jobs, "simulated", s.Simulated,
+			"cache_hits", s.CacheHits, "skipped", s.Skipped,
+			"plan", s.PlanTime.Round(time.Microsecond).String(),
+			"cache", s.CacheTime.Round(time.Microsecond).String(),
+			"sim", s.SimTime.Round(time.Millisecond).String(),
+			"wall", s.WallTime.Round(time.Millisecond).String())
 	}
+	exit(0)
 }
 
 // workloadRateMatrix rebuilds the standardisable PMC-rate matrix of the
@@ -405,15 +505,15 @@ func writeCSV(dir, name string, gen func() ([]string, [][]string)) {
 		return
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer f.Close()
 	header, rows := gen()
 	if err := report.WriteCSV(f, header, rows); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"gemstone/internal/core"
+	"gemstone/internal/platform"
+)
+
+// TestProgressObserverReachesTotalWithErrors is the regression test for
+// RunError: failed runs must advance the progress count, so a campaign
+// with failures still reports N/N instead of stalling short.
+func TestProgressObserverReachesTotalWithErrors(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgressObserver(slog.New(slog.NewTextHandler(&buf, nil)))
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+
+	key := core.RunKey{Workload: "w", Cluster: "a15", FreqMHz: 1000}
+	p.CollectStart("odroid-xu3", 4)
+	now = now.Add(2 * time.Second)
+	p.RunDone(key, platform.Measurement{}, time.Second)
+	p.RunError(key, errors.New("boom"))
+	now = now.Add(2 * time.Second)
+	p.CacheHit(key)
+	p.RunDone(key, platform.Measurement{}, time.Second)
+
+	out := buf.String()
+	if !strings.Contains(out, "done=4") || !strings.Contains(out, "total=4") {
+		t.Fatalf("progress never reached 4/4 — RunError must step:\n%s", out)
+	}
+	if !strings.Contains(out, "run failed") || !strings.Contains(out, "boom") {
+		t.Fatalf("missing failure line:\n%s", out)
+	}
+}
+
+// TestProgressObserverRateAndETA pins the throughput figures: two runs
+// done two seconds in is 1.0 runs/sec, leaving a 2s ETA for the rest.
+func TestProgressObserverRateAndETA(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgressObserver(slog.New(slog.NewTextHandler(&buf, nil)))
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+
+	key := core.RunKey{Workload: "w", Cluster: "a15", FreqMHz: 1000}
+	p.CollectStart("odroid-xu3", 4)
+	now = now.Add(2 * time.Second)
+	p.RunDone(key, platform.Measurement{}, time.Second)
+	p.RunDone(key, platform.Measurement{}, time.Second)
+
+	out := buf.String()
+	if !strings.Contains(out, "runs_per_sec=1.0") {
+		t.Fatalf("missing runs_per_sec=1.0:\n%s", out)
+	}
+	if !strings.Contains(out, "eta=2s") {
+		t.Fatalf("missing eta=2s:\n%s", out)
+	}
+}

@@ -13,31 +13,43 @@
 //
 //	modelcheck [-cluster a15|a7] [-version 1|2]
 //	           [-max-mape pct] [-max-abs-mpe pct] [-workloads N]
+//	           [-log-format text|json]
 //
 // Example: `modelcheck -version 2 -max-mape 25 -max-abs-mpe 20` passes for
-// the fixed model and fails (exit 1) for the buggy one.
+// the fixed model and fails (exit 1) for the buggy one. In CI, pass
+// -log-format json for machine-readable progress lines; the PASS/FAIL
+// verdict itself goes to stdout either way.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"gemstone"
+	"gemstone/internal/obs"
 	"gemstone/internal/report"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("modelcheck: ")
-
 	cluster := flag.String("cluster", gemstone.ClusterA15, "cluster to validate (a7|a15)")
 	version := flag.Int("version", 1, "gem5 model version (1|2)")
 	maxMAPE := flag.Float64("max-mape", 25, "fail if MAPE exceeds this percentage")
 	maxAbsMPE := flag.Float64("max-abs-mpe", 20, "fail if |MPE| exceeds this percentage")
 	nWorkloads := flag.Int("workloads", 0, "limit to the first N validation workloads (0 = all)")
+	logFormat := flag.String("log-format", obs.LogText, "log output format (text|json)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(2)
+	}
+	fatal := func(err error) {
+		logger.Error("modelcheck failed", "err", err)
+		os.Exit(1)
+	}
 
 	ver := gemstone.V1
 	if *version == 2 {
@@ -51,18 +63,19 @@ func main() {
 		return gemstone.CollectOptions{Workloads: profiles, Clusters: []string{*cluster}}
 	}
 
-	log.Printf("validating gem5 %v (%s) against the hardware reference...", ver, *cluster)
+	logger.Info("validating gem5 against the hardware reference",
+		"version", fmt.Sprint(ver), "cluster", *cluster)
 	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(ver), opt())
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	vs, err := gemstone.Validate(hwRuns, simRuns, *cluster)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Print(report.ValidationSummary(fmt.Sprintf("modelcheck gem5 %v", ver), vs))
 

@@ -4,7 +4,9 @@
 // replays — then shows how a failing campaign preserves its completed
 // runs so a re-run resumes instead of starting over. This is the
 // repository analogue of the paper's released datasets: collect once,
-// analyse forever. Run with:
+// analyse forever. The final section traces and meters a campaign:
+// spans for every phase land in a Chrome trace-event file and the
+// campaign counters come back as Prometheus text. Run with:
 //
 //	go run ./examples/campaign
 package main
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"gemstone"
@@ -109,4 +113,40 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("validation on cached campaigns: MAPE %.1f%% MPE %+.1f%%\n", vs.MAPE, vs.MPE)
+
+	// ---- Observability: trace the campaign, export its metrics ----------
+
+	tracer := gemstone.NewTracer()
+	reg := gemstone.NewMetricsRegistry()
+	o = opt()
+	o.Tracer = tracer
+	o.Observer = gemstone.NewRegistryCollectObserver(reg)
+	if _, err := gemstone.Collect(gemstone.HardwarePlatform(), o); err != nil {
+		log.Fatal(err)
+	}
+
+	tracePath := filepath.Join(dir, "campaign-trace.json")
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("traced campaign: %d spans written as Chrome trace-event JSON (open in ui.perfetto.dev)\n",
+		len(tracer.Events()))
+
+	// The registry renders as Prometheus text — what a scrape of the
+	// gemstone -metrics-addr endpoint returns.
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if strings.HasPrefix(line, "gemstone_campaign_runs_total") ||
+			strings.HasPrefix(line, "gemstone_campaign_cache_hit_ratio") {
+			fmt.Println(line)
+		}
+	}
 }

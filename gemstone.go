@@ -30,6 +30,7 @@ import (
 	"gemstone/internal/isa"
 	"gemstone/internal/lmbench"
 	"gemstone/internal/mcpat"
+	"gemstone/internal/obs"
 	"gemstone/internal/platform"
 	"gemstone/internal/pmu"
 	"gemstone/internal/power"
@@ -85,6 +86,45 @@ type (
 	// RunError is one failed run inside a CollectError.
 	RunError = core.RunError
 )
+
+// Observability types (see internal/obs for full documentation).
+type (
+	// Tracer records named spans; export with WriteChromeTrace and open
+	// the file in chrome://tracing or ui.perfetto.dev. A nil *Tracer is
+	// the disabled tracer: every instrumented path reduces to a pointer
+	// check.
+	Tracer = obs.Tracer
+	// TraceSpan is one in-flight trace region.
+	TraceSpan = obs.Span
+	// TraceAttr annotates a span.
+	TraceAttr = obs.Attr
+	// MetricsRegistry holds Prometheus-style counters/gauges/histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsServer is a running /metrics + /debug/pprof endpoint.
+	MetricsServer = obs.Server
+)
+
+// NewTracer returns an enabled span tracer. Pass it as
+// CollectOptions.Tracer (campaign phases + simulator phases per run) or
+// attach it to a Platform with SetTracer for direct Run calls.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics starts the observability HTTP endpoint on addr: the
+// registry in Prometheus text format on /metrics, the Go profiler on
+// /debug/pprof/ and a liveness probe on /healthz.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
+
+// NewRegistryCollectObserver returns a CollectObserver exporting campaign
+// progress and simulator tallies (stall breakdown, cache/TLB misses, sim
+// time histogram, run-cache hit ratio) as gemstone_* metrics in reg.
+func NewRegistryCollectObserver(reg *MetricsRegistry) CollectObserver {
+	return core.NewRegistryObserver(reg)
+}
 
 // Analysis types (see internal/core for full documentation).
 type (

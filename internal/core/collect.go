@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gemstone/internal/gem5"
+	"gemstone/internal/obs"
 	"gemstone/internal/platform"
 	"gemstone/internal/pmu"
 	"gemstone/internal/power"
@@ -84,6 +85,13 @@ type CollectOptions struct {
 	// Observer, when non-nil, receives per-run lifecycle callbacks and
 	// the campaign's aggregate statistics.
 	Observer CollectObserver
+	// Tracer, when non-nil, records the campaign's phases as spans:
+	// "collect" (the whole campaign) with a "plan" child, one root per
+	// worker, and per-job "cache-get"/"simulate"/"cache-put" children.
+	// The simulate span is passed into platform.RunSpan, so the
+	// simulator's internal phases nest under it. Export the result with
+	// Tracer.WriteChromeTrace.
+	Tracer *obs.Tracer
 }
 
 func (o *CollectOptions) fill(pl *platform.Platform) error {
@@ -203,7 +211,11 @@ func Collect(pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
 // partial results, the failed runs and the skipped jobs.
 func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
 	start := time.Now()
+	campaign := opt.Tracer.Start("collect", obs.String("platform", pl.Name()))
+	defer campaign.End()
+	planSpan := campaign.Child("plan")
 	if err := opt.fill(pl); err != nil {
+		planSpan.End()
 		return nil, err
 	}
 
@@ -237,11 +249,14 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 			}
 		}
 	}
+	planSpan.Annotate(obs.Int("jobs", len(jobs)))
+	planSpan.End()
+	campaign.Annotate(obs.Int("jobs", len(jobs)))
 	planTime := time.Since(start)
 
-	obs := opt.Observer
-	if obs != nil {
-		obs.CollectStart(pl.Name(), len(jobs))
+	observer := opt.Observer
+	if observer != nil {
+		observer.CollectStart(pl.Name(), len(jobs))
 	}
 
 	rs := &RunSet{Platform: pl.Name(), Runs: make(map[RunKey]platform.Measurement, len(jobs))}
@@ -268,8 +283,12 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker traces on its own lane so concurrent runs render
+			// side by side in Perfetto.
+			ws := opt.Tracer.Start("worker", obs.Int("worker", w))
+			defer ws.End()
 			for {
 				if stop.Load() || ctx.Err() != nil {
 					return
@@ -280,26 +299,31 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 				}
 				j := jobs[i]
 				if opt.Cache != nil {
+					sp := ws.Child("cache-get", obs.String("key", j.key.String()))
 					t0 := time.Now()
 					m, ok := opt.Cache.Get(j.ck)
 					cacheNS.Add(int64(time.Since(t0)))
+					sp.Annotate(obs.Bool("hit", ok))
+					sp.End()
 					if ok {
 						hits.Add(1)
 						mu.Lock()
 						rs.Runs[j.key] = m
 						mu.Unlock()
-						if obs != nil {
-							obs.CacheHit(j.key)
+						if observer != nil {
+							observer.CacheHit(j.key)
 						}
 						continue
 					}
 				}
-				if obs != nil {
-					obs.RunStart(j.key)
+				if observer != nil {
+					observer.RunStart(j.key)
 				}
+				sp := ws.Child("simulate", obs.String("key", j.key.String()))
 				t0 := time.Now()
-				m, err := pl.Run(j.prof, j.key.Cluster, j.key.FreqMHz)
+				m, err := pl.RunSpan(j.prof, j.key.Cluster, j.key.FreqMHz, sp)
 				elapsed := time.Since(t0)
+				sp.End()
 				simNS.Add(int64(elapsed))
 				if err != nil {
 					err = fmt.Errorf("core: collecting %s on %s: %w", j.key, pl.Name(), err)
@@ -307,25 +331,27 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 					failed = append(failed, RunError{Key: j.key, Err: err})
 					mu.Unlock()
 					stop.Store(true)
-					if obs != nil {
-						obs.RunError(j.key, err)
+					if observer != nil {
+						observer.RunError(j.key, err)
 					}
 					return
 				}
 				sims.Add(1)
 				if opt.Cache != nil {
+					sp := ws.Child("cache-put", obs.String("key", j.key.String()))
 					t0 = time.Now()
 					opt.Cache.Put(j.ck, m)
 					cacheNS.Add(int64(time.Since(t0)))
+					sp.End()
 				}
 				mu.Lock()
 				rs.Runs[j.key] = m
 				mu.Unlock()
-				if obs != nil {
-					obs.RunDone(j.key, m, elapsed)
+				if observer != nil {
+					observer.RunDone(j.key, m, elapsed)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -342,8 +368,8 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 		}
 	}
 
-	if obs != nil {
-		obs.CollectDone(CollectStats{
+	if observer != nil {
+		observer.CollectDone(CollectStats{
 			Platform:  pl.Name(),
 			Jobs:      len(jobs),
 			Simulated: int(sims.Load()),

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -71,21 +73,52 @@ func (s CollectStats) String() string {
 // Metrics is a thread-safe CollectObserver accumulating counters and
 // per-stage wall time across one or more campaigns.
 type Metrics struct {
-	mu       sync.Mutex
-	stats    CollectStats
-	running  int
-	lastDone CollectStats
+	mu        sync.Mutex
+	stats     CollectStats
+	platforms map[string]bool // every platform observed, for the label
+	running   int
+	lastDone  CollectStats
 }
 
 // NewMetrics returns an empty metrics accumulator.
-func NewMetrics() *Metrics { return &Metrics{} }
+func NewMetrics() *Metrics { return &Metrics{platforms: make(map[string]bool)} }
 
 // CollectStart implements CollectObserver.
 func (m *Metrics) CollectStart(platformName string, totalJobs int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stats.Platform = platformName
+	if m.platforms == nil { // tolerate a zero-value Metrics
+		m.platforms = make(map[string]bool)
+	}
+	m.platforms[platformName] = true
+	m.stats.Platform = m.platformLabel()
 	m.stats.Jobs += totalJobs
+}
+
+// platformLabel names the aggregate: the single platform observed, or the
+// sorted list joined with "+" when campaigns spanned several (so Stats()
+// never mislabels a multi-platform aggregate with the last platform).
+// Callers hold m.mu.
+func (m *Metrics) platformLabel() string {
+	names := make([]string, 0, len(m.platforms))
+	for n := range m.platforms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+// Platforms returns the sorted list of platforms the accumulator has
+// observed campaigns on.
+func (m *Metrics) Platforms() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.platforms))
+	for n := range m.platforms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // RunStart implements CollectObserver.

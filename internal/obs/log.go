@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Structured logging. The command binaries log through log/slog; this
+// constructor centralises the -log-format flag handling so every binary
+// accepts the same values.
+
+// Log formats accepted by NewLogger (the -log-format flag).
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format
+// ("text" or "json") at the given level. An unknown format is an error —
+// the binaries surface it as flag misuse.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %q or %q)", format, LogText, LogJSON)
+	}
+}

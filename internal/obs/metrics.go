@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus-style metrics. A Registry holds named metric families —
+// counters, gauges and histograms, each optionally labelled — and renders
+// them in the Prometheus text exposition format (version 0.0.4, the
+// format every Prometheus scraper parses). A Snapshot API exposes the
+// same numbers as a flat map for tests and expvar-style consumers.
+
+// MetricKind distinguishes the family types.
+type MetricKind int
+
+// Metric family kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (label values → state) sample of a family.
+type series struct {
+	labels []string // label values, parallel to family.labelNames
+	value  float64  // counter/gauge value
+	// histogram state
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// family is one named metric of a registry.
+type family struct {
+	name       string
+	help       string
+	kind       MetricKind
+	labelNames []string
+	bounds     []float64 // histogram upper bounds, ascending, without +Inf
+
+	mu     sync.Mutex
+	series map[string]*series // keyed by joined label values
+}
+
+// get returns (creating if needed) the series for the given label values.
+func (f *family) get(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: append([]string(nil), labelValues...)}
+		if f.kind == KindHistogram {
+			s.buckets = make([]uint64, len(f.bounds))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Registry is a set of metric families. All methods are safe for
+// concurrent use. The zero value is not usable; construct with
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds (or returns the existing, identical) family.
+func (r *Registry) register(name, help string, kind MetricKind, bounds []float64, labelNames []string) *family {
+	if name == "" {
+		panic("obs: metric with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labelNames) != len(labelNames) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labelNames...),
+		bounds:     append([]float64(nil), bounds...),
+		series:     make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing metric family.
+type Counter struct{ f *family }
+
+// Counter registers (or fetches) a counter family. labelNames may be
+// empty for a single-series counter.
+func (r *Registry) Counter(name, help string, labelNames ...string) *Counter {
+	return &Counter{f: r.register(name, help, KindCounter, nil, labelNames)}
+}
+
+// Add increases the series selected by labelValues. Negative deltas are
+// ignored (counters are monotonic).
+func (c *Counter) Add(delta float64, labelValues ...string) {
+	if delta < 0 {
+		return
+	}
+	s := c.f.get(labelValues)
+	c.f.mu.Lock()
+	s.value += delta
+	c.f.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Gauge is a metric family that can go up and down.
+type Gauge struct{ f *family }
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *Gauge {
+	return &Gauge{f: r.register(name, help, KindGauge, nil, labelNames)}
+}
+
+// Set stores the series value.
+func (g *Gauge) Set(v float64, labelValues ...string) {
+	s := g.f.get(labelValues)
+	g.f.mu.Lock()
+	s.value = v
+	g.f.mu.Unlock()
+}
+
+// Add adjusts the series value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64, labelValues ...string) {
+	s := g.f.get(labelValues)
+	g.f.mu.Lock()
+	s.value += delta
+	g.f.mu.Unlock()
+}
+
+// Histogram is a bucketed distribution family.
+type Histogram struct{ f *family }
+
+// DefaultDurationBuckets suit per-run simulation times: 1 ms .. ~2 min in
+// roughly 3x steps.
+func DefaultDurationBuckets() []float64 {
+	return []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 120}
+}
+
+// Histogram registers (or fetches) a histogram family with the given
+// ascending upper bounds (the implicit +Inf bucket is added on render).
+// nil bounds select DefaultDurationBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labelNames ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefaultDurationBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending", name))
+		}
+	}
+	return &Histogram{f: r.register(name, help, KindHistogram, bounds, labelNames)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	s := h.f.get(labelValues)
+	h.f.mu.Lock()
+	for i, ub := range h.f.bounds {
+		if v <= ub {
+			s.buckets[i]++
+		}
+	}
+	s.count++
+	s.sum += v
+	h.f.mu.Unlock()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelString renders {name="value",...} with an optional extra label
+// (the histogram "le"), or "" when there are none.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedFamilies snapshots the family list ordered by name.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries snapshots a family's series ordered by label values.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		// Copy the mutable state so rendering happens outside the lock.
+		cp := &series{labels: s.labels, value: s.value, count: s.count, sum: s.sum}
+		cp.buckets = append([]uint64(nil), s.buckets...)
+		out = append(out, cp)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].labels, "\x00") < strings.Join(out[j].labels, "\x00")
+	})
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Families appear sorted by name; a family with no series yet is
+// rendered as HELP/TYPE only (for counters and gauges without labels, a
+// zero series is implicit on first use, not on registration).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case KindCounter, KindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					f.name, labelString(f.labelNames, s.labels, "", ""), formatValue(s.value)); err != nil {
+					return err
+				}
+			case KindHistogram:
+				cum := uint64(0)
+				for i, ub := range f.bounds {
+					cum = s.buckets[i]
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.name, labelString(f.labelNames, s.labels, "le", formatValue(ub)), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, labelString(f.labelNames, s.labels, "le", "+Inf"), s.count); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+					f.name, labelString(f.labelNames, s.labels, "", ""), formatValue(s.sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+					f.name, labelString(f.labelNames, s.labels, "", ""), s.count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every sample as a flat map for tests and expvar-style
+// consumers. Counter and gauge samples appear under
+// name{label="value",...}; histograms contribute name_sum and name_count.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			ls := labelString(f.labelNames, s.labels, "", "")
+			switch f.kind {
+			case KindCounter, KindGauge:
+				out[f.name+ls] = s.value
+			case KindHistogram:
+				out[f.name+"_sum"+ls] = s.sum
+				out[f.name+"_count"+ls] = float64(s.count)
+			}
+		}
+	}
+	return out
+}
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total", "runs", "result")
+	c.Inc("simulated")
+	c.Add(2, "simulated")
+	c.Inc("cache_hit")
+	c.Add(-5, "simulated") // ignored: counters are monotonic
+
+	g := r.Gauge("inflight", "in-flight runs")
+	g.Set(3)
+	g.Add(-1)
+
+	snap := r.Snapshot()
+	if got := snap[`runs_total{result="simulated"}`]; got != 3 {
+		t.Fatalf("simulated = %v, want 3", got)
+	}
+	if got := snap[`runs_total{result="cache_hit"}`]; got != 1 {
+		t.Fatalf("cache_hit = %v, want 1", got)
+	}
+	if got := snap["inflight"]; got != 2 {
+		t.Fatalf("inflight = %v, want 2", got)
+	}
+}
+
+func TestCounterReRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	a.Inc()
+	b.Inc()
+	if got := r.Snapshot()["x_total"]; got != 2 {
+		t.Fatalf("shared family = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with different shape did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sim_seconds", "per-run sim time", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if got := snap["sim_seconds_count"]; got != 5 {
+		t.Fatalf("count = %v, want 5", got)
+	}
+	if got := snap["sim_seconds_sum"]; got != 56.05 {
+		t.Fatalf("sum = %v, want 56.05", got)
+	}
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`sim_seconds_bucket{le="0.1"} 1`,
+		`sim_seconds_bucket{le="1"} 3`,
+		`sim_seconds_bucket{le="10"} 4`,
+		`sim_seconds_bucket{le="+Inf"} 5`,
+		`sim_seconds_sum 56.05`,
+		`sim_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "with \\ and \n in help", "k").Inc("a\"b\\c\nd")
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `# HELP esc_total with \\ and \n in help`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", text)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "", "w")
+	h := r.Histogram("conc_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Inc(strconv.Itoa(w % 2))
+				h.Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap[`conc_total{w="0"}`] + snap[`conc_total{w="1"}`]; got != 800 {
+		t.Fatalf("total = %v, want 800", got)
+	}
+	if got := snap["conc_seconds_count"]; got != 800 {
+		t.Fatalf("observations = %v, want 800", got)
+	}
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string // including any {labels}
+	value  float64
+	family string
+	typ    string
+}
+
+// parsePrometheus is a minimal exposition-format parser: it validates the
+// line discipline a real Prometheus scraper relies on (TYPE before
+// samples, known types, one "name{labels} value" sample per line) and
+// returns the samples.
+func parsePrometheus(t *testing.T, r io.Reader) []promSample {
+	t.Helper()
+	types := map[string]string{}
+	var samples []promSample
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type %q in %q", parts[3], line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		// name{labels} value — the value is the last space-separated field
+		// (label values may contain spaces, but ours never do).
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			base = base[:i]
+		}
+		family := base
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(base, suffix)
+			if trimmed != base {
+				if _, ok := types[trimmed]; ok {
+					family = trimmed
+				}
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			t.Fatalf("sample %q appears before its TYPE line", line)
+		}
+		samples = append(samples, promSample{name: name, value: val, family: family, typ: typ})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestScrapeAndParse serves the registry over HTTP and re-parses the
+// scrape — the acceptance check that /metrics emits parseable Prometheus
+// text exposition.
+func TestScrapeAndParse(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gemstone_runs_total", "campaign runs", "result").Add(7, "simulated")
+	r.Gauge("gemstone_inflight", "in-flight").Set(2)
+	r.Histogram("gemstone_sim_seconds", "sim time", []float64{0.5, 5}).Observe(1.5)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	samples := parsePrometheus(t, resp.Body)
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.name] = s.value
+	}
+	for name, want := range map[string]float64{
+		`gemstone_runs_total{result="simulated"}`: 7,
+		`gemstone_inflight`:                       2,
+		`gemstone_sim_seconds_bucket{le="0.5"}`:   0,
+		`gemstone_sim_seconds_bucket{le="5"}`:     1,
+		`gemstone_sim_seconds_bucket{le="+Inf"}`:  1,
+		`gemstone_sim_seconds_sum`:                1.5,
+		`gemstone_sim_seconds_count`:              1,
+	} {
+		if got[name] != want {
+			t.Fatalf("%s = %v, want %v (samples: %v)", name, got[name], want, got)
+		}
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("demo_total", "a demo counter", "kind").Add(3, "x")
+	var buf strings.Builder
+	_ = r.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP demo_total a demo counter
+	// # TYPE demo_total counter
+	// demo_total{kind="x"} 3
+}

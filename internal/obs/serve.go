@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the observability HTTP handler: the registry's
+// Prometheus exposition on /metrics, the Go profiler on /debug/pprof/
+// (index, cmdline, profile, symbol, trace and every runtime profile),
+// and a trivial liveness probe on /healthz. The pprof handlers are
+// registered explicitly so the server works without touching
+// http.DefaultServeMux.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Serve starts the observability endpoint on addr (host:port; ":0" picks
+// a free port) and serves until Close. Campaigns are long-running, so the
+// listener comes up before any simulation starts and profiles can be
+// taken mid-campaign.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has
+		// nowhere useful to go once the campaign owns the foreground.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{srv: srv, addr: ln.Addr()}, nil
+}
+
+// Addr returns the bound listener address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Close shuts the endpoint down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Start("root", String("k", "v"))
+	if sp != nil {
+		t.Fatalf("nil tracer Start returned %v", sp)
+	}
+	// The whole span API must be nil-safe: this is the disabled fast path
+	// threaded through the simulator.
+	child := sp.Child("child")
+	child.Annotate(Int("i", 1))
+	child.End()
+	sp.End()
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer recorded events: %v", got)
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("campaign", String("platform", "odroid-xu3"))
+	child := root.Child("plan")
+	time.Sleep(time.Millisecond)
+	child.Annotate(Int("jobs", 42))
+	child.End()
+	child.End() // double End is ignored
+	root.End()
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	// Events() orders by start: root first, then its child.
+	if events[0].Name != "campaign" || events[1].Name != "plan" {
+		t.Fatalf("unexpected order: %q, %q", events[0].Name, events[1].Name)
+	}
+	if events[0].Lane != events[1].Lane {
+		t.Fatalf("child lane %d differs from root lane %d", events[1].Lane, events[0].Lane)
+	}
+	if events[1].Dur < time.Millisecond {
+		t.Fatalf("child duration %v too short", events[1].Dur)
+	}
+	if events[0].Dur < events[1].Dur {
+		t.Fatalf("root (%v) shorter than child (%v)", events[0].Dur, events[1].Dur)
+	}
+	var jobs any
+	for _, a := range events[1].Attrs {
+		if a.Key == "jobs" {
+			jobs = a.Value
+		}
+	}
+	if jobs != int64(42) {
+		t.Fatalf("annotated attr = %v, want 42", jobs)
+	}
+}
+
+func TestLaneReuse(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Start("a")
+	b := tr.Start("b")
+	if a.lane == b.lane {
+		t.Fatalf("concurrent roots share lane %d", a.lane)
+	}
+	a.End()
+	c := tr.Start("c")
+	if c.lane != a.lane {
+		t.Fatalf("freed lane %d not reused (got %d)", a.lane, c.lane)
+	}
+	b.End()
+	c.End()
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const workers, spansPer = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			root := tr.Start("worker", Int("worker", w))
+			for i := 0; i < spansPer; i++ {
+				sp := root.Child("job", Int("i", i))
+				sp.End()
+			}
+			root.End()
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != workers*(spansPer+1) {
+		t.Fatalf("got %d events, want %d", got, workers*(spansPer+1))
+	}
+}
+
+// TestChromeTraceRoundTrip asserts the exported JSON is a loadable Chrome
+// trace: the envelope decodes, every event is a complete ("X") event with
+// the required fields, timestamps are non-negative microseconds, and the
+// args survive the round trip.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("collect", String("platform", "gem5-ex5-v1"))
+	sim := root.Child("simulate", String("key", "dhrystone/a15@1000MHz"))
+	time.Sleep(time.Millisecond)
+	sim.Annotate(Uint64("cycles", 123456), Float64("mape", 17.5), Bool("hit", false))
+	sim.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", decoded.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != 2 {
+		t.Fatalf("got %d traceEvents, want 2", len(decoded.TraceEvents))
+	}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "" || ev.Cat == "" {
+			t.Fatalf("event missing name/cat: %+v", ev)
+		}
+		if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %q missing required numeric fields", ev.Name)
+		}
+		if *ev.Ts < 0 || *ev.Dur < 0 {
+			t.Fatalf("event %q has negative ts/dur", ev.Name)
+		}
+	}
+	sim2 := decoded.TraceEvents[1]
+	if sim2.Name != "simulate" {
+		t.Fatalf("second event = %q, want simulate", sim2.Name)
+	}
+	if *sim2.Dur < 1000 { // >= 1ms in microseconds
+		t.Fatalf("simulate dur = %v us, want >= 1000", *sim2.Dur)
+	}
+	if sim2.Args["key"] != "dhrystone/a15@1000MHz" {
+		t.Fatalf("args.key = %v", sim2.Args["key"])
+	}
+	if sim2.Args["cycles"] != float64(123456) {
+		t.Fatalf("args.cycles = %v", sim2.Args["cycles"])
+	}
+	if sim2.Args["hit"] != false {
+		t.Fatalf("args.hit = %v", sim2.Args["hit"])
+	}
+
+	if err := (*Tracer)(nil).WriteChromeTrace(&buf); err == nil {
+		t.Fatal("nil tracer WriteChromeTrace succeeded")
+	}
+}
+
+// BenchmarkSpanDisabled measures the disabled-tracing fast path: the full
+// Start/Child/Annotate/End sequence on a nil tracer. This is the cost
+// every instrumented simulator phase pays on uninstrumented runs; it must
+// stay in the nanoseconds (a pointer check per call).
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("run")
+		child := sp.Child("phase")
+		child.Annotate(Int("i", i))
+		child.End()
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the recording path, for the enabled:disabled
+// cost ratio.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("run")
+		child := sp.Child("phase")
+		child.End()
+		sp.End()
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"gemstone/internal/branch"
 	"gemstone/internal/mem"
+	"gemstone/internal/obs"
 	"gemstone/internal/pipeline"
 	"gemstone/internal/pmu"
 	"gemstone/internal/workload"
@@ -134,7 +135,8 @@ func (c Config) Validate() error {
 
 // Platform is a runnable system.
 type Platform struct {
-	cfg Config
+	cfg    Config
+	tracer *obs.Tracer
 }
 
 // New builds a platform, panicking on invalid configuration (platform
@@ -148,6 +150,14 @@ func New(cfg Config) *Platform {
 
 // Config returns the platform configuration.
 func (p *Platform) Config() Config { return p.cfg }
+
+// SetTracer attaches a span tracer: every subsequent Run records its
+// simulator phases (workload expansion, pipeline execution,
+// memory-hierarchy collation, power post-processing) as spans. A nil
+// tracer disables tracing; the instrumented paths then cost a pointer
+// check. SetTracer must not race with in-flight Run calls — attach the
+// tracer before the campaign starts.
+func (p *Platform) SetTracer(t *obs.Tracer) { p.tracer = t }
 
 // Name returns the platform name.
 func (p *Platform) Name() string { return p.cfg.Name }
@@ -194,15 +204,36 @@ type Measurement struct {
 // seconds of simulated time, and the on-board sensor (3.8 Hz) averages
 // power over that window while the thermal state evolves.
 func (p *Platform) Run(prof workload.Profile, cluster string, freqMHz int) (Measurement, error) {
+	// Without a parent span, open a root on the platform's tracer (a
+	// pointer-check no-op when no tracer is attached).
+	sp := p.tracer.Start("run",
+		obs.String("platform", p.cfg.Name), obs.String("workload", prof.Name),
+		obs.String("cluster", cluster), obs.Int("freq_mhz", freqMHz))
+	m, err := p.RunSpan(prof, cluster, freqMHz, sp)
+	sp.End()
+	return m, err
+}
+
+// RunSpan is Run with the simulator phases recorded as children of
+// parent: "expand" (configuration lookup, profile validation, hierarchy /
+// predictor / core assembly and workload expansion), "pipeline" (the
+// timing-model execution), "collate" (the PMU walk over the
+// memory-hierarchy and predictor statistics) and, on sensored platforms,
+// "power" (the sensor post-processing). A nil parent runs untraced.
+func (p *Platform) RunSpan(prof workload.Profile, cluster string, freqMHz int, parent *obs.Span) (Measurement, error) {
+	sp := parent.Child("expand")
 	cl, err := p.Cluster(cluster)
 	if err != nil {
+		sp.End()
 		return Measurement{}, err
 	}
 	volt, err := cl.Voltage(freqMHz)
 	if err != nil {
+		sp.End()
 		return Measurement{}, err
 	}
 	if err := prof.Validate(); err != nil {
+		sp.End()
 		return Measurement{}, err
 	}
 
@@ -220,9 +251,22 @@ func (p *Platform) Run(prof workload.Profile, cluster string, freqMHz int) (Meas
 			prof.Seed()^0xC0FFEE,
 			prof.SnoopProb*scale, prof.BarrierWaitMean*scale, prof.StrexFailProb*scale)
 	}
+	stream := workload.NewGenerator(prof)
+	sp.End()
 
-	tally := core.Run(workload.NewGenerator(prof))
+	sp = parent.Child("pipeline")
+	tally := core.Run(stream)
+	sp.Annotate(obs.Uint64("cycles", tally.Cycles), obs.Uint64("insts", tally.Committed),
+		obs.Float64("ipc", tally.IPC()),
+		obs.Uint64("mem_stall_cycles", tally.MemStallCycles),
+		obs.Uint64("branch_stall_cycles", tally.BranchStallCycles))
+	sp.End()
+
+	sp = parent.Child("collate")
 	sample := pmu.Capture(tally, hier, pred, ghz)
+	sp.Annotate(obs.Uint64("l1d_misses", sample.L1D.Misses()),
+		obs.Uint64("l2_misses", sample.L2.Misses()))
+	sp.End()
 
 	m := Measurement{
 		Platform: p.cfg.Name,
@@ -235,12 +279,16 @@ func (p *Platform) Run(prof workload.Profile, cluster string, freqMHz int) (Meas
 	}
 
 	if p.cfg.HasSensors && cl.Power != nil {
+		sp = parent.Child("power")
 		noise := xrand.New(prof.Seed() ^ uint64(freqMHz)<<20 ^ xrand.HashString(cluster))
 		pw, temp, throttled := MeasurePower(cl.Power, cl.Thermal, &sample, volt, ghz, noise)
 		m.PowerWatts = pw
 		m.TemperatureC = temp
 		m.Throttled = throttled
 		m.EnergyJoules = pw * m.Seconds
+		sp.Annotate(obs.Float64("power_w", pw), obs.Float64("temp_c", temp),
+			obs.Bool("throttled", throttled))
+		sp.End()
 	}
 	return m, nil
 }

@@ -1,0 +1,83 @@
+package platform_test
+
+import (
+	"testing"
+
+	"gemstone/internal/hw"
+	"gemstone/internal/obs"
+)
+
+// TestRunTracedPhases attaches a tracer to a platform and asserts Run
+// records the run root plus every simulator phase, nested on one lane,
+// with the tally attributes the trace viewer surfaces.
+func TestRunTracedPhases(t *testing.T) {
+	board := hw.Platform()
+	tr := obs.NewTracer()
+	board.SetTracer(tr)
+	if _, err := board.Run(mustProfile(t, "dhrystone"), hw.ClusterA15, 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	events := tr.Events()
+	var names []string
+	for _, ev := range events {
+		names = append(names, ev.Name)
+		if ev.Lane != events[0].Lane {
+			t.Fatalf("phase %q on lane %d, want every phase on the run's lane %d",
+				ev.Name, ev.Lane, events[0].Lane)
+		}
+	}
+	want := []string{"run", "expand", "pipeline", "collate", "power"}
+	if len(names) != len(want) {
+		t.Fatalf("spans = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("span %d = %q, want %q (all: %v)", i, names[i], want[i], names)
+		}
+	}
+
+	// The pipeline phase carries the tally attributes.
+	var pipelineAttrs map[string]any
+	for _, ev := range events {
+		if ev.Name == "pipeline" {
+			pipelineAttrs = map[string]any{}
+			for _, a := range ev.Attrs {
+				pipelineAttrs[a.Key] = a.Value
+			}
+		}
+	}
+	if c, ok := pipelineAttrs["cycles"].(int64); !ok || c <= 0 {
+		t.Fatalf("pipeline cycles attr = %v", pipelineAttrs["cycles"])
+	}
+
+	// The run span must dominate its phases.
+	run := events[0]
+	for _, ev := range events[1:] {
+		if ev.Start < run.Start || ev.Start+ev.Dur > run.Start+run.Dur+run.Dur/10 {
+			t.Fatalf("phase %q [%v, %v] escapes run span [%v, %v]",
+				ev.Name, ev.Start, ev.Start+ev.Dur, run.Start, run.Start+run.Dur)
+		}
+	}
+}
+
+// TestRunUntracedIdentical asserts tracing does not perturb the
+// simulation: with and without a tracer the measurement is identical
+// (tracing only observes; determinism is the engine's core contract).
+func TestRunUntracedIdentical(t *testing.T) {
+	prof := mustProfile(t, "dhrystone")
+	plain := hw.Platform()
+	m1, err := plain.Run(prof, hw.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := hw.Platform()
+	traced.SetTracer(obs.NewTracer())
+	m2, err := traced.Run(prof, hw.ClusterA15, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("traced run diverged from untraced run")
+	}
+}

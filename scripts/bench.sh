@@ -1,0 +1,33 @@
+#!/bin/sh
+# Observability benchmark suite: campaign-engine Collect benchmarks
+# (cold/traced/warm — the traced-vs-untraced pair bounds the tracing
+# overhead), the obs span micro-benchmarks, and the stats kernels. The
+# raw `go test -bench` output is converted to machine-readable JSON at
+# BENCH_obs.json (or $1) with no tooling beyond awk, so CI can diff
+# runs across commits.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_obs.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+# The cold campaign simulates the full validation suite per iteration
+# (~seconds each); 2 timed iterations keeps the suite bounded.
+go test -run '^$' -bench 'BenchmarkCollect_' -benchtime 2x -benchmem . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkSpan' -benchmem ./internal/obs | tee -a "$tmp"
+go test -run '^$' -bench '.' -benchmem ./internal/stats | tee -a "$tmp"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+	if (n++) printf ",\n"
+	printf "  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", $1, $2, $3
+	for (i = 4; i < NF; i++) {
+		if ($(i+1) == "B/op")      printf ",\"bytes_per_op\":%s", $i
+		if ($(i+1) == "allocs/op") printf ",\"allocs_per_op\":%s", $i
+	}
+	printf "}"
+}
+END { if (n) printf "\n"; print "]" }
+' "$tmp" >"$out"
+echo "wrote $out"
