@@ -6,9 +6,15 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench fuzz clean
+.PHONY: check quick build vet test bench bench-compare fuzz clean
 
 check: build vet test
+
+# Fast development loop: -short skips the full-campaign analysis fixture
+# and the worker-count determinism sweep, and trims the golden
+# equivalence sweeps to a subset — seconds instead of minutes.
+quick:
+	$(GO) test -short ./...
 
 build:
 	$(GO) build ./...
@@ -20,9 +26,15 @@ test:
 	$(GO) test -race -timeout 45m ./...
 
 # Campaign, observability and stats benchmarks; writes machine-readable
-# results to BENCH_obs.json (see scripts/bench.sh).
+# results to BENCH_hotloop.json (see scripts/bench.sh). BENCH_obs.json is
+# the committed pre-hot-loop baseline.
 bench:
 	sh scripts/bench.sh
+
+# Re-run the benchmarks and diff them against the committed pre-hot-loop
+# baseline; deltas beyond +-10% are highlighted.
+bench-compare:
+	sh scripts/bench.sh -c BENCH_obs.json
 
 # Short fuzz smoke of the hardened surfaces (archives, generator).
 fuzz:

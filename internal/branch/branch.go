@@ -149,6 +149,32 @@ func New(cfg Config) *Predictor {
 // Config returns the predictor configuration.
 func (p *Predictor) Config() Config { return p.cfg }
 
+// Reset restores the predictor to its just-constructed state — direction
+// counters back at their weakly not-taken / weakly-global init values,
+// history, BTB, RAS and indirect table cleared, statistics zeroed — without
+// reallocating any table. A Reset predictor must be indistinguishable from
+// New(cfg); the SimContext reuse path depends on that.
+func (p *Predictor) Reset() {
+	p.Stats = Stats{}
+	p.history = 0
+	for i := range p.choice {
+		p.choice[i] = 2
+	}
+	for i := range p.globalPHT {
+		p.globalPHT[i] = 1
+	}
+	for i := range p.localPHT {
+		p.localPHT[i] = 1
+	}
+	clear(p.btbTags)
+	clear(p.btbTargets)
+	clear(p.btbMRU)
+	clear(p.ras)
+	p.rasTop = 0
+	clear(p.indTags)
+	clear(p.indTargets)
+}
+
 func taken2(c uint8) bool { return c >= 2 }
 
 func inc2(c uint8) uint8 {
@@ -286,7 +312,10 @@ func (p *Predictor) Call(pc, actualTarget, returnAddr uint64) bool {
 	ok := p.PredictUncond(pc, actualTarget)
 	p.Stats.RASPushes++
 	p.ras[p.rasTop] = returnAddr
-	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	p.rasTop++
+	if p.rasTop == len(p.ras) {
+		p.rasTop = 0
+	}
 	return ok
 }
 
@@ -294,7 +323,10 @@ func (p *Predictor) Call(pc, actualTarget, returnAddr uint64) bool {
 func (p *Predictor) Return(pc, actualTarget uint64) bool {
 	p.Stats.Lookups++
 	p.Stats.RASPops++
-	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	if p.rasTop == 0 {
+		p.rasTop = len(p.ras)
+	}
+	p.rasTop--
 	predicted := p.ras[p.rasTop]
 	if predicted != actualTarget {
 		p.Stats.RASIncorrect++

@@ -2,8 +2,8 @@ package core
 
 import (
 	"compress/gzip"
-	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/hex"
 	"encoding/json"
@@ -26,21 +26,13 @@ import (
 
 // cacheKeyScheme versions the key derivation itself: bump it whenever the
 // payload layout or hash inputs change so stale on-disk entries from an
-// older scheme can never alias a new key.
-const cacheKeyScheme = 1
-
-// cacheKeyPayload is the canonical serialisation hashed into a cache key.
-// json is deterministic for this shape: flat structs plus one map whose
-// keys encoding/json sorts.
-type cacheKeyPayload struct {
-	Scheme      int
-	Platform    string
-	HasSensors  bool
-	Cluster     string
-	ClusterHash string
-	FreqMHz     int
-	Profile     workload.Profile
-}
+// older scheme can never alias a new key. Scheme 2 replaced the
+// json-marshalled payload struct with a length-framed byte string: the
+// profile JSON (still canonical — encoding/json sorts its one map) is
+// marshalled once per workload and the remaining fields are framed
+// directly, which removes the per-run encoder allocations that dominated
+// the cold-campaign allocation profile.
+const cacheKeyScheme = 2
 
 // CacheKey returns the content-addressed cache key of one (platform,
 // workload, cluster, frequency) run. The key covers the full cluster
@@ -51,29 +43,51 @@ func CacheKey(pl *platform.Platform, prof workload.Profile, cluster string, freq
 	if err != nil {
 		return "", err
 	}
-	return cacheKeyFromParts(pl.Name(), pl.Config().HasSensors, cluster, cc.Fingerprint(), prof, freqMHz), nil
+	return cacheKeyFromParts(pl.Name(), pl.Config().HasSensors, cluster, cc.Fingerprint(), profileKeyJSON(prof), freqMHz), nil
+}
+
+// profileKeyJSON is the canonical byte serialisation of a profile for key
+// derivation. The collector calls it once per workload, not once per run.
+func profileKeyJSON(prof workload.Profile) []byte {
+	data, err := json.Marshal(prof)
+	if err != nil {
+		// Profile is plain data; this is unreachable short of NaN fields.
+		// A per-error serialisation keeps such a run keyed (deterministically)
+		// by the failure rather than aliasing a real profile.
+		data = []byte(fmt.Sprintf("unmarshalable profile: %v", err))
+	}
+	return data
 }
 
 // cacheKeyFromParts derives the key from a precomputed cluster
-// fingerprint — the collector resolves each cluster's fingerprint once
-// per campaign instead of once per run.
-func cacheKeyFromParts(platformName string, hasSensors bool, cluster, clusterHash string, prof workload.Profile, freqMHz int) string {
-	data, err := json.Marshal(cacheKeyPayload{
-		Scheme:      cacheKeyScheme,
-		Platform:    platformName,
-		HasSensors:  hasSensors,
-		Cluster:     cluster,
-		ClusterHash: clusterHash,
-		FreqMHz:     freqMHz,
-		Profile:     prof,
-	})
-	if err != nil {
-		// Profile is plain data; this is unreachable short of NaN fields.
-		// A per-error key keeps such a run uncacheable rather than wrong.
-		data = []byte(fmt.Sprintf("unmarshalable key: %v", err))
+// fingerprint and profile serialisation — the collector resolves each
+// cluster's fingerprint once per campaign and each profile's JSON once per
+// workload instead of once per run. Every variable-length field is length-
+// prefixed, so distinct part tuples can never frame to the same bytes.
+func cacheKeyFromParts(platformName string, hasSensors bool, cluster, clusterHash string, profJSON []byte, freqMHz int) string {
+	buf := make([]byte, 0,
+		8*6+3+len(platformName)+len(cluster)+len(clusterHash)+len(profJSON))
+	buf = binary.LittleEndian.AppendUint64(buf, cacheKeyScheme)
+	buf = appendKeyField(buf, platformName)
+	if hasSensors {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
 	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:])
+	buf = appendKeyField(buf, cluster)
+	buf = appendKeyField(buf, clusterHash)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(freqMHz)))
+	buf = appendKeyField(buf, string(profJSON))
+	sum := sha256.Sum256(buf)
+	var dst [2 * sha256.Size]byte
+	hex.Encode(dst[:], sum[:])
+	return string(dst[:])
+}
+
+// appendKeyField appends a length-prefixed field to the key buffer.
+func appendKeyField(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s)))
+	return append(buf, s...)
 }
 
 // RunCache memoises measurements under content-addressed keys. All
@@ -85,17 +99,24 @@ type RunCache interface {
 	Put(key string, m platform.Measurement)
 }
 
-// MemoryCache is a fixed-capacity in-memory LRU run cache.
+// MemoryCache is a fixed-capacity in-memory LRU run cache. The recency
+// list is intrusive — slots in one slice linked by index — so a Put costs
+// no allocation beyond amortised map/slice growth (container/list costs
+// two heap objects per insertion, which dominated campaign allocation
+// profiles once the simulator itself stopped allocating).
 type MemoryCache struct {
 	mu      sync.Mutex
 	max     int
-	order   *list.List // front = most recently used; values are *memEntry
-	entries map[string]*list.Element
+	entries map[string]int // key -> slot index
+	slots   []memSlot
+	head    int // most recently used; -1 when empty
+	tail    int // least recently used; -1 when empty
 }
 
-type memEntry struct {
-	key string
-	m   platform.Measurement
+type memSlot struct {
+	key        string
+	m          platform.Measurement
+	prev, next int // recency links; -1 terminates
 }
 
 // DefaultMemoryCacheEntries bounds NewMemoryCache(0). A full validation
@@ -111,8 +132,38 @@ func NewMemoryCache(maxEntries int) *MemoryCache {
 	}
 	return &MemoryCache{
 		max:     maxEntries,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
+		entries: make(map[string]int),
+		head:    -1,
+		tail:    -1,
+	}
+}
+
+// unlink removes slot i from the recency list.
+func (c *MemoryCache) unlink(i int) {
+	s := &c.slots[i]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+}
+
+// pushFront makes slot i the most recently used.
+func (c *MemoryCache) pushFront(i int) {
+	s := &c.slots[i]
+	s.prev = -1
+	s.next = c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
 	}
 }
 
@@ -120,12 +171,13 @@ func NewMemoryCache(maxEntries int) *MemoryCache {
 func (c *MemoryCache) Get(key string) (platform.Measurement, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	i, ok := c.entries[key]
 	if !ok {
 		return platform.Measurement{}, false
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*memEntry).m, true
+	c.unlink(i)
+	c.pushFront(i)
+	return c.slots[i].m, true
 }
 
 // Put stores a measurement, evicting the least recently used entry when
@@ -133,24 +185,32 @@ func (c *MemoryCache) Get(key string) (platform.Measurement, bool) {
 func (c *MemoryCache) Put(key string, m platform.Measurement) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*memEntry).m = m
-		c.order.MoveToFront(el)
+	if i, ok := c.entries[key]; ok {
+		c.slots[i].m = m
+		c.unlink(i)
+		c.pushFront(i)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&memEntry{key: key, m: m})
-	for c.order.Len() > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*memEntry).key)
+	var i int
+	if len(c.entries) >= c.max {
+		// Reuse the evicted LRU slot for the new entry.
+		i = c.tail
+		c.unlink(i)
+		delete(c.entries, c.slots[i].key)
+	} else {
+		i = len(c.slots)
+		c.slots = append(c.slots, memSlot{})
 	}
+	c.slots[i] = memSlot{key: key, m: m, prev: -1, next: -1}
+	c.entries[key] = i
+	c.pushFront(i)
 }
 
 // Len reports the number of cached entries.
 func (c *MemoryCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len()
+	return len(c.entries)
 }
 
 // DiskCache persists one measurement per file under a directory, using

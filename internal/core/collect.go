@@ -237,13 +237,23 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 			clusterFP[cl] = cc.Fingerprint()
 		}
 	}
+	// Jobs are ordered workload-major (workload, then cluster, then
+	// frequency) so that consecutive jobs pulled by one worker usually
+	// share a workload: the worker's SimContext then replays its cached
+	// expanded instruction stream instead of regenerating it per run. The
+	// ordering never changes the collected data — runs are independent and
+	// individually deterministic.
 	var jobs []job
-	for _, cl := range opt.Clusters {
-		for _, f := range opt.Freqs[cl] {
-			for _, prof := range opt.Workloads {
+	for _, prof := range opt.Workloads {
+		var profJSON []byte
+		if opt.Cache != nil {
+			profJSON = profileKeyJSON(prof)
+		}
+		for _, cl := range opt.Clusters {
+			for _, f := range opt.Freqs[cl] {
 				j := job{prof: prof, key: RunKey{Workload: prof.Name, Cluster: cl, FreqMHz: f}}
 				if opt.Cache != nil {
-					j.ck = cacheKeyFromParts(cfg.Name, cfg.HasSensors, cl, clusterFP[cl], prof, f)
+					j.ck = cacheKeyFromParts(cfg.Name, cfg.HasSensors, cl, clusterFP[cl], profJSON, f)
 				}
 				jobs = append(jobs, j)
 			}
@@ -289,6 +299,11 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 			// side by side in Perfetto.
 			ws := opt.Tracer.Start("worker", obs.Int("worker", w))
 			defer ws.End()
+			// Per-worker simulation context: hierarchies, predictors, core
+			// scratch and expanded streams are reused across this worker's
+			// jobs (Reset between runs), which removes nearly all per-run
+			// allocation from the campaign.
+			sim := platform.NewSimContext(pl)
 			for {
 				if stop.Load() || ctx.Err() != nil {
 					return
@@ -299,12 +314,20 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 				}
 				j := jobs[i]
 				if opt.Cache != nil {
-					sp := ws.Child("cache-get", obs.String("key", j.key.String()))
+					// Span attributes are built only when tracing: evaluating
+					// them unconditionally would pay a key-format and boxing
+					// allocation per job even on untraced campaigns.
+					var sp *obs.Span
+					if ws != nil {
+						sp = ws.Child("cache-get", obs.String("key", j.key.String()))
+					}
 					t0 := time.Now()
 					m, ok := opt.Cache.Get(j.ck)
 					cacheNS.Add(int64(time.Since(t0)))
-					sp.Annotate(obs.Bool("hit", ok))
-					sp.End()
+					if sp != nil {
+						sp.Annotate(obs.Bool("hit", ok))
+						sp.End()
+					}
 					if ok {
 						hits.Add(1)
 						mu.Lock()
@@ -319,9 +342,12 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 				if observer != nil {
 					observer.RunStart(j.key)
 				}
-				sp := ws.Child("simulate", obs.String("key", j.key.String()))
+				var sp *obs.Span
+				if ws != nil {
+					sp = ws.Child("simulate", obs.String("key", j.key.String()))
+				}
 				t0 := time.Now()
-				m, err := pl.RunSpan(j.prof, j.key.Cluster, j.key.FreqMHz, sp)
+				m, err := sim.RunSpan(j.prof, j.key.Cluster, j.key.FreqMHz, sp)
 				elapsed := time.Since(t0)
 				sp.End()
 				simNS.Add(int64(elapsed))
@@ -338,7 +364,10 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 				}
 				sims.Add(1)
 				if opt.Cache != nil {
-					sp := ws.Child("cache-put", obs.String("key", j.key.String()))
+					var sp *obs.Span
+					if ws != nil {
+						sp = ws.Child("cache-put", obs.String("key", j.key.String()))
+					}
 					t0 = time.Now()
 					opt.Cache.Put(j.ck, m)
 					cacheNS.Add(int64(time.Since(t0)))

@@ -35,6 +35,9 @@ func archiveBytes(t *testing.T, rs *RunSet) []byte {
 // of CollectContext: a GOMAXPROCS-parallel campaign is byte-identical
 // (via the canonical archive encoding) to a sequential one.
 func TestCollectDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping four-campaign determinism sweep in -short mode")
+	}
 	pl := hw.Platform()
 	opt := smallCampaign()
 	opt.Workers = 1

@@ -28,6 +28,11 @@ var (
 
 func getFixture(t *testing.T) *fixture {
 	t.Helper()
+	if testing.Short() {
+		// Three full validation campaigns plus model fits: the heavy end
+		// of the suite, skipped by `make quick`.
+		t.Skip("skipping full-campaign fixture in -short mode")
+	}
 	fixOnce.Do(func() {
 		// The full validation set at one frequency keeps the fixture fast
 		// while covering every workload family; the A15 at 1 GHz is the

@@ -152,6 +152,33 @@ type Stream interface {
 	Next() (Inst, bool)
 }
 
+// BlockStream is the batched fast path of Stream: NextBlock fills the
+// caller-owned buffer with the next instructions of the stream and returns
+// how many were delivered (0 at end of stream, never 0 before it).
+//
+// The contract is strict sequence equivalence: interleaving Next and
+// NextBlock calls in any order must drain the exact instruction sequence
+// the scalar Next path would produce. The timing models type-assert this
+// interface and fall back to Next when it is absent, so implementing it is
+// purely a performance optimisation — TestBlockStreamEquivalence pins the
+// equivalence for every suite workload.
+type BlockStream interface {
+	Stream
+	NextBlock(buf []Inst) int
+}
+
+// ViewStream is the zero-copy extension of BlockStream for streams whose
+// remaining instructions are already materialised contiguously (replayed
+// expansions, test slices): NextView returns a read-only view of up to max
+// next instructions (the whole remainder when max <= 0) and advances the
+// stream past them. An empty view means end of stream. The same strict
+// sequence-equivalence contract as BlockStream applies; callers must not
+// retain or mutate the view past the next stream call.
+type ViewStream interface {
+	BlockStream
+	NextView(max int) []Inst
+}
+
 // SliceStream adapts a pre-generated instruction slice to the Stream
 // interface. It is used heavily in tests and microbenchmarks.
 type SliceStream struct {
@@ -172,6 +199,25 @@ func (s *SliceStream) Next() (Inst, bool) {
 	i := s.insts[s.pos]
 	s.pos++
 	return i, true
+}
+
+// NextBlock implements BlockStream: one bulk copy per block instead of an
+// interface call per instruction.
+func (s *SliceStream) NextBlock(buf []Inst) int {
+	n := copy(buf, s.insts[s.pos:])
+	s.pos += n
+	return n
+}
+
+// NextView implements ViewStream: the remaining instructions are already
+// contiguous, so the view is the backing slice itself — no copy at all.
+func (s *SliceStream) NextView(max int) []Inst {
+	rem := s.insts[s.pos:]
+	if max > 0 && len(rem) > max {
+		rem = rem[:max]
+	}
+	s.pos += len(rem)
+	return rem
 }
 
 // Reset rewinds the stream to the beginning.

@@ -78,13 +78,11 @@ func (s *CacheStats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
 // Refills returns total demand line fills.
 func (s *CacheStats) Refills() uint64 { return s.ReadRefills + s.WriteRefills }
 
-type cacheLine struct {
-	tag        uint64
-	lastUse    uint64
-	valid      bool
-	dirty      bool
-	prefetched bool // filled by prefetch and not yet demand-touched
-}
+// Line metadata bits (see Cache.meta).
+const (
+	metaDirty      uint8 = 1 << 0
+	metaPrefetched uint8 = 1 << 1 // filled by prefetch and not yet demand-touched
+)
 
 // AccessResult reports the outcome of a cache access to the caller, which
 // is responsible for charging latency and propagating traffic downstream.
@@ -101,17 +99,32 @@ type AccessResult struct {
 // Cache is a set-associative write-back cache with true-LRU replacement.
 // It is a pure state machine: it records hits/misses and reports required
 // downstream actions, but never touches other levels itself.
+// Cache state is held in parallel arrays rather than a []struct so that the
+// associative scans (lookup, victim) walk densely packed words: a 16-way tag
+// scan touches 128 bytes instead of the ~384 a line-struct layout costs.
 type Cache struct {
-	cfg      CacheConfig
-	Stats    CacheStats
-	lines    []cacheLine
+	cfg   CacheConfig
+	Stats CacheStats
+	// tags holds the line-aligned address with the low bit set for valid
+	// entries and 0 for invalid ones (line addresses always have zero low
+	// bits, so the encoding is unambiguous). One comparison both matches the
+	// tag and checks validity.
+	tags     []uint64
+	lastUse  []uint64
+	meta     []uint8 // metaDirty | metaPrefetched
 	sets     int
 	assoc    int
 	lineMask uint64
 	setShift uint
 	setMask  uint64
 	tick     uint64
-	pfBuf    [8]uint64 // reusable prefetch-address buffer
+	// last memoises the index of the most recently touched line: spatially
+	// local access runs (stream loads walking a line, sequential fetch
+	// groups) hit it with a single compare instead of an associative scan.
+	// It is pure memoisation — replacement state and statistics are
+	// byte-identical with or without it.
+	last  int
+	pfBuf [8]uint64 // reusable prefetch-address buffer
 }
 
 // NewCache builds a cache from cfg. It panics if cfg is invalid; callers
@@ -128,7 +141,9 @@ func NewCache(cfg CacheConfig) *Cache {
 	}
 	return &Cache{
 		cfg:      cfg,
-		lines:    make([]cacheLine, sets*cfg.Assoc),
+		tags:     make([]uint64, sets*cfg.Assoc),
+		lastUse:  make([]uint64, sets*cfg.Assoc),
+		meta:     make([]uint8, sets*cfg.Assoc),
 		sets:     sets,
 		assoc:    cfg.Assoc,
 		lineMask: ^uint64(cfg.LineBytes - 1),
@@ -152,10 +167,16 @@ func (c *Cache) set(addr uint64) int {
 
 // lookup returns the way index holding addr's line, or -1.
 func (c *Cache) lookup(addr uint64) int {
-	tag := addr & c.lineMask
+	key := (addr & c.lineMask) | 1
+	if c.tags[c.last] == key {
+		return c.last
+	}
 	base := c.set(addr) * c.assoc
-	for w := 0; w < c.assoc; w++ {
-		if l := &c.lines[base+w]; l.valid && l.tag == tag {
+	// Subslicing lets the compiler drop the per-way bounds checks.
+	tags := c.tags[base : base+c.assoc]
+	for w, tag := range tags {
+		if tag == key {
+			c.last = base + w
 			return base + w
 		}
 	}
@@ -165,32 +186,156 @@ func (c *Cache) lookup(addr uint64) int {
 // victim returns the LRU way index in addr's set, preferring invalid ways.
 func (c *Cache) victim(addr uint64) int {
 	base := c.set(addr) * c.assoc
-	best := base
+	tags := c.tags[base : base+c.assoc]
+	lastUse := c.lastUse[base : base+c.assoc]
+	best := 0
 	var bestUse uint64 = ^uint64(0)
-	for w := 0; w < c.assoc; w++ {
-		l := &c.lines[base+w]
-		if !l.valid {
+	for w, tag := range tags {
+		if tag == 0 {
 			return base + w
 		}
-		if l.lastUse < bestUse {
-			bestUse = l.lastUse
-			best = base + w
+		if u := lastUse[w]; u < bestUse {
+			bestUse = u
+			best = w
 		}
 	}
-	return best
+	return base + best
 }
 
 // fill installs addr's line, returning any dirty victim.
 func (c *Cache) fill(addr uint64, dirty, prefetched bool) (wbAddr uint64, wb bool) {
 	idx := c.victim(addr)
-	l := &c.lines[idx]
-	if l.valid && l.dirty {
-		wbAddr, wb = l.tag, true
+	if c.tags[idx] != 0 && c.meta[idx]&metaDirty != 0 {
+		wbAddr, wb = c.tags[idx]&^uint64(1), true
 		c.Stats.Writebacks++
 	}
 	c.tick++
-	*l = cacheLine{tag: addr & c.lineMask, lastUse: c.tick, valid: true, dirty: dirty, prefetched: prefetched}
+	c.tags[idx] = (addr & c.lineMask) | 1
+	c.lastUse[idx] = c.tick
+	var m uint8
+	if dirty {
+		m = metaDirty
+	}
+	if prefetched {
+		m |= metaPrefetched
+	}
+	c.meta[idx] = m
+	c.last = idx
 	return wbAddr, wb
+}
+
+// Reset restores the cache to its just-constructed state (all lines
+// invalid, statistics and LRU clock zeroed) without reallocating the line
+// array. SimContext reuse depends on Reset being indistinguishable from
+// NewCache with the same configuration.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.lastUse)
+	clear(c.meta)
+	c.Stats = CacheStats{}
+	c.tick = 0
+	c.last = 0
+}
+
+// hitFast is the demand-hit fast path of Access: when addr hits it applies
+// the full hit bookkeeping (access count, LRU touch, prefetch-hit and dirty
+// flags) and returns true; on a miss it records nothing and returns false,
+// and the caller falls back to Access for the miss path. Statistics and
+// replacement state stay byte-identical to calling Access directly — the
+// fast path only avoids materialising an AccessResult on hits.
+func (c *Cache) hitFast(addr uint64, write bool) bool {
+	idx := c.lookup(addr)
+	if idx < 0 {
+		return false
+	}
+	if write {
+		c.Stats.WriteAccesses++
+	} else {
+		c.Stats.ReadAccesses++
+	}
+	c.tick++
+	c.lastUse[idx] = c.tick
+	m := c.meta[idx]
+	if m&metaPrefetched != 0 {
+		c.Stats.PrefetchHits++
+		m &^= metaPrefetched
+	}
+	if write {
+		m |= metaDirty
+	}
+	c.meta[idx] = m
+	return true
+}
+
+// hitLast is hitFast restricted to the memoised line: it applies the full
+// hit bookkeeping when the last-touched line matches and reports false
+// otherwise (recording nothing). Unlike hitFast it is small enough to
+// inline, so repeat accesses to the same line cost no call at all.
+func (c *Cache) hitLast(addr uint64, write bool) bool {
+	idx := c.last
+	if c.tags[idx] != (addr&c.lineMask)|1 {
+		return false
+	}
+	if write {
+		c.Stats.WriteAccesses++
+	} else {
+		c.Stats.ReadAccesses++
+	}
+	c.tick++
+	c.lastUse[idx] = c.tick
+	m := c.meta[idx]
+	if m&metaPrefetched != 0 {
+		c.Stats.PrefetchHits++
+		m &^= metaPrefetched
+	}
+	if write {
+		m |= metaDirty
+	}
+	c.meta[idx] = m
+	return true
+}
+
+// missDemand applies the demand-miss path of Access for an address the
+// caller has just observed to miss (hitFast returned false with no
+// intervening cache mutations). Splitting it from Access spares the miss
+// path a second associative scan; statistics and replacement state are
+// byte-identical to calling Access.
+func (c *Cache) missDemand(addr uint64, write bool) AccessResult {
+	var res AccessResult
+	if write {
+		c.Stats.WriteAccesses++
+		c.Stats.WriteMisses++
+		if c.cfg.WriteAllocate {
+			c.Stats.WriteRefills++
+			res.WritebackAddr, res.Writeback = c.fill(addr, true, false)
+		}
+		return res
+	}
+	c.Stats.ReadAccesses++
+	c.Stats.ReadMisses++
+	c.Stats.ReadRefills++
+	res.WritebackAddr, res.Writeback = c.fill(addr, false, false)
+	if c.cfg.NextLinePrefetch {
+		deg := c.cfg.PrefetchDegree
+		if deg <= 0 {
+			deg = 1
+		}
+		if deg > len(c.pfBuf) {
+			deg = len(c.pfBuf)
+		}
+		line := uint64(c.cfg.LineBytes)
+		base := addr & c.lineMask
+		n := 0
+		for i := 1; i <= deg; i++ {
+			pa := base + uint64(i)*line
+			if c.lookup(pa) < 0 {
+				c.pfBuf[n] = pa
+				n++
+			}
+		}
+		res.PrefetchAddrs = c.pfBuf[:n]
+	}
+	return res
 }
 
 // Access performs a demand read or write lookup. On a miss with allocation
@@ -205,16 +350,17 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 		c.Stats.ReadAccesses++
 	}
 	if idx := c.lookup(addr); idx >= 0 {
-		l := &c.lines[idx]
 		c.tick++
-		l.lastUse = c.tick
-		if l.prefetched {
+		c.lastUse[idx] = c.tick
+		m := c.meta[idx]
+		if m&metaPrefetched != 0 {
 			c.Stats.PrefetchHits++
-			l.prefetched = false
+			m &^= metaPrefetched
 		}
 		if write {
-			l.dirty = true
+			m |= metaDirty
 		}
+		c.meta[idx] = m
 		res.Hit = true
 		return res
 	}
@@ -262,14 +408,14 @@ func (c *Cache) AccessWriteNoAlloc(addr uint64) AccessResult {
 	var res AccessResult
 	c.Stats.WriteAccesses++
 	if idx := c.lookup(addr); idx >= 0 {
-		l := &c.lines[idx]
 		c.tick++
-		l.lastUse = c.tick
-		l.dirty = true
-		if l.prefetched {
+		c.lastUse[idx] = c.tick
+		m := c.meta[idx] | metaDirty
+		if m&metaPrefetched != 0 {
 			c.Stats.PrefetchHits++
-			l.prefetched = false
+			m &^= metaPrefetched
 		}
+		c.meta[idx] = m
 		res.Hit = true
 		return res
 	}
@@ -287,6 +433,16 @@ func (c *Cache) Prefetch(addr uint64) (wbAddr uint64, wb bool) {
 	return c.fill(addr, false, true)
 }
 
+// prefetchAbsent is Prefetch for a line the caller knows is not resident:
+// the candidates an AccessResult carries were filtered against the cache,
+// and the only mutations since are prefetch fills of other lines (which can
+// only evict). Skipping Prefetch's residency scan is therefore
+// byte-identical.
+func (c *Cache) prefetchAbsent(addr uint64) (wbAddr uint64, wb bool) {
+	c.Stats.Prefetches++
+	return c.fill(addr, false, true)
+}
+
 // Contains reports whether addr's line is resident. Used by tests and by
 // the snoop filter.
 func (c *Cache) Contains(addr uint64) bool { return c.lookup(addr) >= 0 }
@@ -298,19 +454,18 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty, wasPresent bool) {
 	if idx < 0 {
 		return false, false
 	}
-	l := &c.lines[idx]
 	c.Stats.Invalidations++
-	dirty := l.dirty
-	l.valid = false
-	l.dirty = false
+	dirty := c.meta[idx]&metaDirty != 0
+	c.tags[idx] = 0
+	c.meta[idx] &^= metaDirty
 	return dirty, true
 }
 
 // ResidentLines returns the number of valid lines. Used by property tests.
 func (c *Cache) ResidentLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for _, tag := range c.tags {
+		if tag != 0 {
 			n++
 		}
 	}

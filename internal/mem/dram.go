@@ -87,6 +87,18 @@ func (d *DRAM) Config() DRAMConfig { return d.cfg }
 
 // Access performs one line-sized transfer and returns its latency in ns.
 func (d *DRAM) Access(addr uint64, write bool, lineBytes int) float64 {
+	lat := d.cfg.RowMissNs
+	if d.AccessRowHit(addr, write) {
+		lat = d.cfg.RowHitNs
+	}
+	return lat + float64(lineBytes)/d.cfg.BandwidthBytesPerNs
+}
+
+// AccessRowHit performs one transfer's state update and reports whether it
+// hit the open row. The hierarchy's hot path uses this with latencies
+// precomputed as integer cycles (RowHitCycles/RowMissCycles in Hierarchy),
+// avoiding per-access float math; Access keeps the ns-returning form.
+func (d *DRAM) AccessRowHit(addr uint64, write bool) bool {
 	if write {
 		d.Stats.Writes++
 	} else {
@@ -94,14 +106,20 @@ func (d *DRAM) Access(addr uint64, write bool, lineBytes int) float64 {
 	}
 	row := addr >> d.rowShift
 	bank := int(row & d.bankMask)
-	lat := d.cfg.RowMissNs
 	if d.rowValid[bank] && d.openRows[bank] == row {
 		d.Stats.RowHits++
-		lat = d.cfg.RowHitNs
-	} else {
-		d.Stats.RowMisses++
-		d.openRows[bank] = row
-		d.rowValid[bank] = true
+		return true
 	}
-	return lat + float64(lineBytes)/d.cfg.BandwidthBytesPerNs
+	d.Stats.RowMisses++
+	d.openRows[bank] = row
+	d.rowValid[bank] = true
+	return false
+}
+
+// Reset restores the DRAM model to its just-constructed state (all banks
+// closed, statistics zeroed) without reallocating the row arrays.
+func (d *DRAM) Reset() {
+	d.Stats = DRAMStats{}
+	clear(d.openRows)
+	clear(d.rowValid)
 }

@@ -100,6 +100,17 @@ type Hierarchy struct {
 
 	freqGHz float64
 
+	// Hot-path invariants hoisted out of the per-access loops: hit
+	// latencies and line geometry are configuration constants, and the
+	// two possible DRAM latencies (row hit / row miss, always one L2-line
+	// transfer) are precomputed as integer cycles by SetFrequencyGHz so
+	// no float math survives on the access path.
+	l1iLat, l1dLat, l2Lat         int
+	l1dLine                       uint64
+	l1dWriteAlloc                 bool
+	walkLat, walkAccesses         int
+	dramHitCycles, dramMissCycles int
+
 	// Streaming-store detector: a small write-combining buffer tracking
 	// several independent store streams (real merging write buffers have
 	// 4-8 line entries, so interleaved scattered stores do not destroy a
@@ -110,6 +121,14 @@ type Hierarchy struct {
 	// exclusive monitor
 	monitorValid bool
 	monitorAddr  uint64
+
+	// DVFS trace state (see dvfstrace.go): mode, the armed trace, the
+	// replay cursor, and the per-access DRAM row hit/miss counters the
+	// recorder decomposes latencies with.
+	traceMode          int
+	trace              *DVFSTrace
+	tracePos           int
+	recHits, recMisses int
 
 	// page-table region base for synthetic walk addresses
 	ptBase uint64
@@ -138,51 +157,107 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		h.L2TLBI = NewTLB(cfg.L2TLBI)
 		h.L2TLBD = NewTLB(cfg.L2TLBD)
 	}
+	h.l1iLat = cfg.L1I.LatencyCycles
+	h.l1dLat = cfg.L1D.LatencyCycles
+	h.l2Lat = cfg.L2.LatencyCycles
+	h.l1dLine = uint64(cfg.L1D.LineBytes)
+	h.l1dWriteAlloc = cfg.L1D.WriteAllocate
+	h.walkLat = cfg.WalkLatencyCycles
+	h.walkAccesses = cfg.WalkMemAccesses
+	h.SetFrequencyGHz(1.0)
 	return h
+}
+
+// Reset restores the hierarchy (every cache, TLB, the DRAM model, the
+// write-combining buffer, the exclusive monitor and all statistics) to its
+// just-constructed state without reallocating any storage. The current
+// frequency is retained; callers reconfiguring a reused hierarchy call
+// SetFrequencyGHz afterwards as they would after NewHierarchy. A Reset
+// hierarchy is indistinguishable from a fresh one — the SimContext reuse
+// path and the golden equivalence tests rely on exactly that.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.L2TLBI.Reset()
+	if h.L2TLBD != h.L2TLBI {
+		h.L2TLBD.Reset()
+	}
+	h.DRAM.Reset()
+	h.Stats = HierarchyStats{}
+	h.wcb = [8]wcbEntry{}
+	h.wcbTick = 0
+	h.monitorValid = false
+	h.monitorAddr = 0
+	h.traceMode = traceOff
+	h.trace = nil
 }
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
-// SetFrequencyGHz sets the core clock used to convert DRAM ns to cycles.
+// SetFrequencyGHz sets the core clock used to convert DRAM ns to cycles
+// and precomputes the integer DRAM latency table for that clock. Every
+// DRAM access the hierarchy issues is one L2-line transfer, so the only
+// two latencies are row hit and row miss; computing ceil(ns*GHz) here,
+// with the same float expression the per-access path used, keeps cycle
+// counts bit-identical while removing all float math from the hot loop.
 func (h *Hierarchy) SetFrequencyGHz(ghz float64) {
 	if ghz <= 0 {
 		panic("mem: non-positive frequency")
 	}
 	h.freqGHz = ghz
+	transfer := float64(h.L2.LineBytes()) / h.cfg.DRAM.BandwidthBytesPerNs
+	h.dramHitCycles = int(math.Ceil((h.cfg.DRAM.RowHitNs + transfer) * ghz))
+	h.dramMissCycles = int(math.Ceil((h.cfg.DRAM.RowMissNs + transfer) * ghz))
 }
 
 // FrequencyGHz returns the current core clock.
 func (h *Hierarchy) FrequencyGHz() float64 { return h.freqGHz }
 
-func (h *Hierarchy) nsToCycles(ns float64) int {
-	return int(math.Ceil(ns * h.freqGHz))
-}
-
 // l2Fill performs an L2 lookup for a line fill on behalf of an L1 miss and
 // returns the added latency in cycles beyond the L1 hit latency.
 func (h *Hierarchy) l2Fill(addr uint64, write bool) int {
 	res := h.L2.Access(addr, write)
-	lat := h.L2.LatencyCycles()
+	lat := h.l2Lat
 	if res.Writeback {
 		h.Stats.BusAccesses++
-		lat += 0 // writeback is off the critical path
-		h.DRAM.Access(res.WritebackAddr, true, h.L2.LineBytes())
+		// Writeback is off the critical path: state update only.
+		h.DRAM.AccessRowHit(res.WritebackAddr, true)
 	}
 	if !res.Hit {
 		h.Stats.BusAccesses++
-		lat += h.nsToCycles(h.DRAM.Access(addr, write, h.L2.LineBytes()))
+		if h.DRAM.AccessRowHit(addr, write) {
+			lat += h.dramHitCycles
+			h.recHits++
+		} else {
+			lat += h.dramMissCycles
+			h.recMisses++
+		}
 	}
 	for _, pa := range res.PrefetchAddrs {
-		wbAddr, wb := h.L2.Prefetch(pa)
+		wbAddr, wb := h.L2.prefetchAbsent(pa)
 		if wb {
 			h.Stats.BusAccesses++
-			h.DRAM.Access(wbAddr, true, h.L2.LineBytes())
+			h.DRAM.AccessRowHit(wbAddr, true)
 		}
 		h.Stats.BusAccesses++
-		h.DRAM.Access(pa, false, h.L2.LineBytes())
+		h.DRAM.AccessRowHit(pa, false)
 	}
 	return lat
+}
+
+// l2FillOffPath is l2Fill for fills whose latency the caller discards
+// (prefetch fills, the second line of an unaligned store): the DRAM row
+// hit/miss counters only ever track latency-contributing accesses — the
+// DVFS-trace recorder decomposes each returned latency with them — so they
+// are restored around the call.
+func (h *Hierarchy) l2FillOffPath(addr uint64) {
+	hits, misses := h.recHits, h.recMisses
+	h.l2Fill(addr, false)
+	h.recHits, h.recMisses = hits, misses
 }
 
 // translate performs a TLB lookup on the given side and returns the added
@@ -199,9 +274,9 @@ func (h *Hierarchy) translate(addr uint64, l1 *TLB, l2 *TLB, walks *uint64) int 
 	}
 	// Full page-table walk.
 	*walks++
-	lat += h.cfg.WalkLatencyCycles
+	lat += h.walkLat
 	vpn := addr >> PageShift
-	for i := 0; i < h.cfg.WalkMemAccesses; i++ {
+	for i := 0; i < h.walkAccesses; i++ {
 		pta := h.ptBase + vpn*8 + uint64(i)*(1<<20)
 		lat += h.l2Fill(pta, false)
 	}
@@ -213,18 +288,40 @@ func (h *Hierarchy) translate(addr uint64, l1 *TLB, l2 *TLB, walks *uint64) int 
 // FetchAccess charges one instruction-side access for the line containing
 // pc and returns its latency in cycles (L1I hit latency included).
 func (h *Hierarchy) FetchAccess(pc uint64) int {
-	lat := h.translate(pc, h.ITLB, h.L2TLBI, &h.Stats.ITLBWalks)
-	res := h.L1I.Access(pc, false)
-	lat += h.L1I.LatencyCycles()
-	if !res.Hit {
-		lat += h.l2Fill(pc, false)
-	}
-	for _, pa := range res.PrefetchAddrs {
-		if _, wb := h.L1I.Prefetch(pa); wb {
-			// L1I lines are never dirty; ignore.
-			_ = wb
+	if h.traceMode != traceOff {
+		if h.traceMode == traceReplay {
+			return h.replayLat()
 		}
-		h.l2Fill(pa, false)
+		h.recHits, h.recMisses = 0, 0
+		lat := h.fetchAccess(pc)
+		if h.traceMode == traceRecord { // recording may have aborted mid-call
+			h.recordEntry(lat)
+		}
+		return lat
+	}
+	return h.fetchAccess(pc)
+}
+
+func (h *Hierarchy) fetchAccess(pc uint64) int {
+	// Sequential fetch repeats the previous page and usually the previous
+	// line; both memo checks inline, so the common case does no calls
+	// beyond this one.
+	lat := h.l1iLat
+	if !h.ITLB.lookupLast(pc >> PageShift) {
+		lat += h.translate(pc, h.ITLB, h.L2TLBI, &h.Stats.ITLBWalks)
+	}
+	if h.L1I.hitLast(pc, false) {
+		return lat
+	}
+	if h.L1I.hitFast(pc, false) {
+		return lat
+	}
+	res := h.L1I.missDemand(pc, false)
+	lat += h.l2Fill(pc, false)
+	for _, pa := range res.PrefetchAddrs {
+		// L1I lines are never dirty, so the victim writeback is ignored.
+		h.L1I.prefetchAbsent(pa)
+		h.l2FillOffPath(pa)
 	}
 	return lat
 }
@@ -233,32 +330,49 @@ func (h *Hierarchy) FetchAccess(pc uint64) int {
 // Loads do not disturb the streaming-store detector: a merging write
 // buffer coalesces store runs regardless of interleaved reads.
 func (h *Hierarchy) LoadAccess(addr uint64, unaligned bool) int {
-	lat := h.translate(addr, h.DTLB, h.L2TLBD, &h.Stats.DTLBWalks)
-	res := h.L1D.Access(addr, false)
-	lat += h.L1D.LatencyCycles()
-	if res.Writeback {
-		h.l2WriteBack(res.WritebackAddr)
-	}
-	if !res.Hit {
-		lat += h.l2Fill(addr, false)
-	}
-	for _, pa := range res.PrefetchAddrs {
-		wbAddr, wb := h.L1D.Prefetch(pa)
-		if wb {
-			h.l2WriteBack(wbAddr)
+	if h.traceMode != traceOff {
+		if h.traceMode == traceReplay {
+			return h.replayLat()
 		}
-		h.l2Fill(pa, false)
+		h.recHits, h.recMisses = 0, 0
+		lat := h.loadAccess(addr, unaligned)
+		if h.traceMode == traceRecord {
+			h.recordEntry(lat)
+		}
+		return lat
+	}
+	return h.loadAccess(addr, unaligned)
+}
+
+func (h *Hierarchy) loadAccess(addr uint64, unaligned bool) int {
+	lat := h.l1dLat
+	if !h.DTLB.lookupLast(addr >> PageShift) {
+		lat += h.translate(addr, h.DTLB, h.L2TLBD, &h.Stats.DTLBWalks)
+	}
+	if !h.L1D.hitLast(addr, false) && !h.L1D.hitFast(addr, false) {
+		res := h.L1D.missDemand(addr, false)
+		if res.Writeback {
+			h.l2WriteBack(res.WritebackAddr)
+		}
+		lat += h.l2Fill(addr, false)
+		for _, pa := range res.PrefetchAddrs {
+			wbAddr, wb := h.L1D.prefetchAbsent(pa)
+			if wb {
+				h.l2WriteBack(wbAddr)
+			}
+			h.l2FillOffPath(pa)
+		}
 	}
 	if unaligned {
 		h.Stats.UnalignedAccess++
 		// Second access for the straddling part.
-		res2 := h.L1D.Access(addr+uint64(h.L1D.LineBytes()), false)
-		lat += h.L1D.LatencyCycles()
+		res2 := h.L1D.Access(addr+h.l1dLine, false)
+		lat += h.l1dLat
 		if res2.Writeback {
 			h.l2WriteBack(res2.WritebackAddr)
 		}
 		if !res2.Hit {
-			lat += h.l2Fill(addr+uint64(h.L1D.LineBytes()), false)
+			lat += h.l2Fill(addr+h.l1dLine, false)
 		}
 	}
 	return lat
@@ -268,13 +382,13 @@ func (h *Hierarchy) l2WriteBack(addr uint64) {
 	res := h.L2.Access(addr, true)
 	if res.Writeback {
 		h.Stats.BusAccesses++
-		h.DRAM.Access(res.WritebackAddr, true, h.L2.LineBytes())
+		h.DRAM.AccessRowHit(res.WritebackAddr, true)
 	}
 	if !res.Hit {
 		// Write-allocate in L2 for the victim line; DRAM fill off the
 		// critical path, but the traffic is real.
 		h.Stats.BusAccesses++
-		h.DRAM.Access(addr, true, h.L2.LineBytes())
+		h.DRAM.AccessRowHit(addr, true)
 	}
 }
 
@@ -314,7 +428,25 @@ func (h *Hierarchy) noteStore(addr uint64, size int) bool {
 // StoreAccess charges one data store and returns its visible latency in
 // cycles (usually small: stores retire through the store buffer).
 func (h *Hierarchy) StoreAccess(addr uint64, size int, unaligned bool) int {
-	lat := h.translate(addr, h.DTLB, h.L2TLBD, &h.Stats.DTLBWalks)
+	if h.traceMode != traceOff {
+		if h.traceMode == traceReplay {
+			return h.replayLat()
+		}
+		h.recHits, h.recMisses = 0, 0
+		lat := h.storeAccess(addr, size, unaligned)
+		if h.traceMode == traceRecord {
+			h.recordEntry(lat)
+		}
+		return lat
+	}
+	return h.storeAccess(addr, size, unaligned)
+}
+
+func (h *Hierarchy) storeAccess(addr uint64, size int, unaligned bool) int {
+	lat := 0
+	if !h.DTLB.lookupLast(addr >> PageShift) {
+		lat = h.translate(addr, h.DTLB, h.L2TLBD, &h.Stats.DTLBWalks)
+	}
 
 	inStream := h.noteStore(addr, size)
 	streaming := h.cfg.StreamingStoreMerge && inStream &&
@@ -324,11 +456,11 @@ func (h *Hierarchy) StoreAccess(addr uint64, size int, unaligned bool) int {
 		// merged into a line write sent to L2 once per line.
 		h.Stats.MergedStores++
 		res := h.L1D.AccessWriteNoAlloc(addr)
-		lat += h.L1D.LatencyCycles()
+		lat += h.l1dLat
 		if res.Writeback {
 			h.l2WriteBack(res.WritebackAddr)
 		}
-		lineOff := addr & uint64(h.L1D.LineBytes()-1)
+		lineOff := addr & (h.l1dLine - 1)
 		if lineOff < uint64(size) {
 			// First store touching this line: emit the merged line write.
 			h.l2WriteBack(addr)
@@ -336,26 +468,28 @@ func (h *Hierarchy) StoreAccess(addr uint64, size int, unaligned bool) int {
 		return lat
 	}
 
-	res := h.L1D.Access(addr, true)
-	lat += h.L1D.LatencyCycles()
-	if res.Writeback {
-		h.l2WriteBack(res.WritebackAddr)
-	}
-	if !res.Hit && h.L1D.Config().WriteAllocate {
-		// Write-allocate: fetch the line from L2 before merging the store.
-		lat += h.l2Fill(addr, false)
-	} else if !res.Hit {
-		// Write-no-allocate: the store goes straight to L2.
-		h.l2WriteBack(addr)
+	lat += h.l1dLat
+	if !h.L1D.hitLast(addr, true) && !h.L1D.hitFast(addr, true) {
+		res := h.L1D.missDemand(addr, true)
+		if res.Writeback {
+			h.l2WriteBack(res.WritebackAddr)
+		}
+		if h.l1dWriteAlloc {
+			// Write-allocate: fetch the line from L2 before merging the store.
+			lat += h.l2Fill(addr, false)
+		} else {
+			// Write-no-allocate: the store goes straight to L2.
+			h.l2WriteBack(addr)
+		}
 	}
 	if unaligned {
 		h.Stats.UnalignedAccess++
-		res2 := h.L1D.Access(addr+uint64(h.L1D.LineBytes()), true)
+		res2 := h.L1D.Access(addr+h.l1dLine, true)
 		if res2.Writeback {
 			h.l2WriteBack(res2.WritebackAddr)
 		}
-		if !res2.Hit && h.L1D.Config().WriteAllocate {
-			h.l2Fill(addr+uint64(h.L1D.LineBytes()), false)
+		if !res2.Hit && h.l1dWriteAlloc {
+			h.l2FillOffPath(addr + h.l1dLine)
 		}
 	}
 	return lat
@@ -366,7 +500,7 @@ func (h *Hierarchy) StoreAccess(addr uint64, size int, unaligned bool) int {
 func (h *Hierarchy) LoadExclusive(addr uint64) int {
 	h.Stats.ExclusiveLoads++
 	h.monitorValid = true
-	h.monitorAddr = addr &^ uint64(h.L1D.LineBytes()-1)
+	h.monitorAddr = addr &^ (h.l1dLine - 1)
 	return h.LoadAccess(addr, false)
 }
 
@@ -375,12 +509,12 @@ func (h *Hierarchy) LoadExclusive(addr uint64) int {
 // It returns the latency and whether the store succeeded.
 func (h *Hierarchy) StoreExclusive(addr uint64) (int, bool) {
 	h.Stats.ExclusiveStores++
-	line := addr &^ uint64(h.L1D.LineBytes()-1)
+	line := addr &^ (h.l1dLine - 1)
 	ok := h.monitorValid && h.monitorAddr == line
 	h.monitorValid = false
 	if !ok {
 		h.Stats.ExclusiveFails++
-		return h.L1D.LatencyCycles(), false
+		return h.l1dLat, false
 	}
 	h.Stats.ExclusivePasses++
 	return h.StoreAccess(addr, 4, false), true
@@ -397,6 +531,11 @@ func (h *Hierarchy) Barrier() { h.Stats.Barriers++ }
 // refilled. This is the paper's Cluster A mechanism: branch mispredictions
 // drive L2 ITLB traffic.
 func (h *Hierarchy) WrongPathProbe(pc uint64) {
+	if h.traceMode == traceReplay {
+		// Probe effects (stats, L2 TLB LRU touches) are part of the
+		// recorded run; the restored snapshot carries them.
+		return
+	}
 	if !h.ITLB.Probe(pc) {
 		h.L2TLBI.Lookup(pc)
 	}
@@ -407,9 +546,16 @@ func (h *Hierarchy) WrongPathProbe(pc uint64) {
 // that line is cleared. Returns true if the snoop hit.
 func (h *Hierarchy) InjectSnoop(addr uint64) bool {
 	h.Stats.Snoops++
-	line := addr &^ uint64(h.L1D.LineBytes()-1)
+	line := addr &^ (h.l1dLine - 1)
 	if h.monitorValid && h.monitorAddr == line {
 		h.monitorValid = false
+	}
+	if h.traceMode == traceReplay {
+		// The invalidation's effect on later accesses is baked into the
+		// recorded outcomes; only the exclusive monitor must track live,
+		// because store-exclusive success is recomputed during replay.
+		// The return value is unused on the pipeline's snoop path.
+		return false
 	}
 	dirty, present := h.L1D.Invalidate(addr)
 	if dirty {

@@ -55,22 +55,28 @@ type TLBStats struct {
 // Hits returns Accesses - Misses.
 func (s *TLBStats) Hits() uint64 { return s.Accesses - s.Misses }
 
-type tlbEntry struct {
-	vpn     uint64
-	lastUse uint64
-	valid   bool
-}
-
 // TLB is a set-associative translation buffer with LRU replacement. Like
 // Cache it is a pure state machine; the hierarchy charges walk latency.
+//
+// Entries live in parallel arrays for scan density (the L1 TLBs are 32-entry
+// fully associative, so every miss walks all of them): keys holds vpn+1 for
+// valid entries and 0 for invalid ones — vpn+1 cannot overflow (a vpn has at
+// most 52 bits) and cannot be 0, so one comparison checks tag and validity.
 type TLB struct {
 	cfg     TLBConfig
 	Stats   TLBStats
-	entries []tlbEntry
+	keys    []uint64
+	lastUse []uint64
 	sets    int
 	assoc   int
 	setMask uint64
 	tick    uint64
+	// last memoises the index of the most recently hit entry. Page-sized
+	// locality means most translations repeat the previous page, so the
+	// common case is one compare instead of a (often fully-associative)
+	// way scan. Pure memoisation: hit/miss outcomes, LRU state and stats
+	// are byte-identical with or without it.
+	last int
 }
 
 // NewTLB builds a TLB from cfg, panicking on invalid configuration.
@@ -81,7 +87,8 @@ func NewTLB(cfg TLBConfig) *TLB {
 	sets := cfg.Entries / cfg.Assoc
 	return &TLB{
 		cfg:     cfg,
-		entries: make([]tlbEntry, cfg.Entries),
+		keys:    make([]uint64, cfg.Entries),
+		lastUse: make([]uint64, cfg.Entries),
 		sets:    sets,
 		assoc:   cfg.Assoc,
 		setMask: uint64(sets - 1),
@@ -100,11 +107,21 @@ func (t *TLB) LatencyCycles() int { return t.cfg.LatencyCycles }
 func (t *TLB) Lookup(addr uint64) bool {
 	t.Stats.Accesses++
 	vpn := addr >> PageShift
+	key := vpn + 1
+	if t.keys[t.last] == key {
+		t.tick++
+		t.lastUse[t.last] = t.tick
+		return true
+	}
 	base := int(vpn&t.setMask) * t.assoc
-	for w := 0; w < t.assoc; w++ {
-		if e := &t.entries[base+w]; e.valid && e.vpn == vpn {
+	// Subslicing lets the compiler drop the per-way bounds checks; the L1
+	// TLBs are fully associative, so a miss scans every entry.
+	keys := t.keys[base : base+t.assoc]
+	for w, k := range keys {
+		if k == key {
 			t.tick++
-			e.lastUse = t.tick
+			t.lastUse[base+w] = t.tick
+			t.last = base + w
 			return true
 		}
 	}
@@ -112,26 +129,56 @@ func (t *TLB) Lookup(addr uint64) bool {
 	return false
 }
 
+// lookupLast is Lookup restricted to the memoised entry: it applies the
+// full hit bookkeeping when the last-hit entry matches and reports false
+// otherwise (recording nothing — the caller falls back to Lookup, which
+// then counts the access exactly once). Small enough for the inliner, so
+// the hierarchy's translation fast path costs no call.
+func (t *TLB) lookupLast(vpn uint64) bool {
+	if t.keys[t.last] != vpn+1 {
+		return false
+	}
+	t.Stats.Accesses++
+	t.tick++
+	t.lastUse[t.last] = t.tick
+	return true
+}
+
 // Refill installs the translation for addr's page, evicting LRU if needed.
 func (t *TLB) Refill(addr uint64) {
 	t.Stats.Refills++
 	vpn := addr >> PageShift
 	base := int(vpn&t.setMask) * t.assoc
-	best := base
+	keys := t.keys[base : base+t.assoc]
+	lastUse := t.lastUse[base : base+t.assoc]
+	best := 0
 	var bestUse uint64 = ^uint64(0)
-	for w := 0; w < t.assoc; w++ {
-		e := &t.entries[base+w]
-		if !e.valid {
-			best = base + w
+	for w, k := range keys {
+		if k == 0 {
+			best = w
 			break
 		}
-		if e.lastUse < bestUse {
-			bestUse = e.lastUse
-			best = base + w
+		if u := lastUse[w]; u < bestUse {
+			bestUse = u
+			best = w
 		}
 	}
+	best += base
 	t.tick++
-	t.entries[best] = tlbEntry{vpn: vpn, lastUse: t.tick, valid: true}
+	t.keys[best] = vpn + 1
+	t.lastUse[best] = t.tick
+	t.last = best
+}
+
+// Reset restores the TLB to its just-constructed state without
+// reallocating the entry array; indistinguishable from NewTLB with the
+// same configuration.
+func (t *TLB) Reset() {
+	clear(t.keys)
+	clear(t.lastUse)
+	t.Stats = TLBStats{}
+	t.tick = 0
+	t.last = 0
 }
 
 // Probe performs a speculative lookup: it records a SpecProbe and reports
@@ -144,10 +191,13 @@ func (t *TLB) Probe(addr uint64) bool {
 
 // Contains reports whether addr's page is resident (no stats recorded).
 func (t *TLB) Contains(addr uint64) bool {
-	vpn := addr >> PageShift
-	base := int(vpn&t.setMask) * t.assoc
-	for w := 0; w < t.assoc; w++ {
-		if e := &t.entries[base+w]; e.valid && e.vpn == vpn {
+	key := addr>>PageShift + 1
+	if t.keys[t.last] == key {
+		return true
+	}
+	base := int((key-1)&t.setMask) * t.assoc
+	for _, k := range t.keys[base : base+t.assoc] {
+		if k == key {
 			return true
 		}
 	}
@@ -157,7 +207,5 @@ func (t *TLB) Contains(addr uint64) bool {
 // Flush invalidates every entry (context-switch behaviour).
 func (t *TLB) Flush() {
 	t.Stats.Flushes++
-	for i := range t.entries {
-		t.entries[i].valid = false
-	}
+	clear(t.keys)
 }

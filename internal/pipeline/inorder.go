@@ -1,6 +1,10 @@
 package pipeline
 
-import "gemstone/internal/isa"
+import (
+	"math/bits"
+
+	"gemstone/internal/isa"
+)
 
 // storeBuffer models a small ring of store-buffer slots: a store occupies a
 // slot from issue until its write drains to the memory system, and a full
@@ -11,8 +15,16 @@ type storeBuffer struct {
 	head  int
 }
 
-func newStoreBuffer(n int) *storeBuffer {
-	return &storeBuffer{slots: make([]uint64, n)}
+// reset prepares the buffer for a fresh run with n slots, reusing the
+// backing array across runs.
+func (sb *storeBuffer) reset(n int) {
+	if cap(sb.slots) < n {
+		sb.slots = make([]uint64, n)
+	} else {
+		sb.slots = sb.slots[:n]
+		clear(sb.slots)
+	}
+	sb.head = 0
 }
 
 // push reserves a slot for a store issued at cycle `start` whose write
@@ -24,140 +36,187 @@ func (sb *storeBuffer) push(start uint64, drainLat int) uint64 {
 		start = free // stall until the oldest store drains
 	}
 	sb.slots[sb.head] = start + uint64(drainLat)
-	sb.head = (sb.head + 1) % len(sb.slots)
+	sb.head++
+	if sb.head == len(sb.slots) {
+		sb.head = 0
+	}
 	return start
 }
 
 const inOrderStoreBufferSlots = 4
 
 // runInOrder is the stall-on-use in-order model (Cortex-A7 class).
+//
+// Instructions arrive in blocks (see blockSource): the loop walks a slice
+// instead of paying an interface call per instruction, with the scalar
+// Next path kept as a contract-equivalent fallback.
 func (c *Core) runInOrder(stream isa.Stream) Tally {
 	var t Tally
-	var regReady [isa.NumRegs]uint64
+	// Sized 256 for bounds-check-free indexing by uint8 fields; see
+	// runOutOfOrder.
+	var regReady [256]uint64
+	var opCounts [256]uint64
 
 	cycle := uint64(0) // earliest cycle the next instruction may issue
 	slots := 0         // instructions already issued this cycle
 	fetchReady := uint64(0)
 	lastComplete := uint64(0)
-	sb := newStoreBuffer(inOrderStoreBufferSlots)
+	sb := &c.sb
+	sb.reset(inOrderStoreBufferSlots)
 
+	// Invariant configuration hoisted out of the loop; see runOutOfOrder
+	// for the fetch-group shift.
 	fetchBytes := uint64(c.cfg.FetchWidth) * 4
+	fetchPow2 := fetchBytes&(fetchBytes-1) == 0
+	fetchShift := uint(bits.TrailingZeros64(fetchBytes))
 	curGroup := ^uint64(0)
 	baseFetchLat := c.Hier.L1I.LatencyCycles()
+	fetchPerInst := c.cfg.FetchPerInstruction
+	issueWidth := c.cfg.IssueWidth
+	redirectPenalty := uint64(c.cfg.FrontendDepth + c.cfg.MispredictPenalty)
+	strexRetry := uint64(c.cfg.StrexRetryCycles)
+	var latTab [256]uint64
+	for op, l := range c.cfg.Lat {
+		latTab[op] = uint64(l)
+	}
 
+	src := newBlockSource(stream)
 	for {
-		in, ok := stream.Next()
-		if !ok {
+		blk := src.next(c)
+		if len(blk) == 0 {
 			break
 		}
+		for bi := range blk {
+			in := &blk[bi]
 
-		// Frontend: one I-side access per fetch group; under the gem5
-		// defect the lookup repeats per instruction, inflating access
-		// counts without affecting timing (the repeats hit the same line).
-		group := in.PC / fetchBytes
-		if group != curGroup {
-			curGroup = group
-			t.FetchAccesses++
-			lat := c.Hier.FetchAccess(in.PC)
-			if extra := lat - baseFetchLat; extra > 0 {
-				// Miss beyond the pipelined hit latency stalls delivery.
-				nr := cycle + uint64(extra)
-				if nr > fetchReady {
-					fetchReady = nr
+			// Frontend: one I-side access per fetch group; under the gem5
+			// defect the lookup repeats per instruction, inflating access
+			// counts without affecting timing (the repeats hit the same line).
+			group := in.PC >> fetchShift
+			if !fetchPow2 {
+				group = in.PC / fetchBytes
+			}
+			if group != curGroup {
+				curGroup = group
+				t.FetchAccesses++
+				lat := c.Hier.FetchAccess(in.PC)
+				if extra := lat - baseFetchLat; extra > 0 {
+					// Miss beyond the pipelined hit latency stalls delivery.
+					nr := cycle + uint64(extra)
+					if nr > fetchReady {
+						fetchReady = nr
+					}
+				}
+			} else if fetchPerInst {
+				t.FetchAccesses++
+				c.Hier.FetchAccess(in.PC)
+			}
+
+			// Issue: stall-on-use semantics.
+			start := cycle
+			if fetchReady > start {
+				t.FetchStallCycles += fetchReady - start
+				start = fetchReady
+			}
+			if r := regReady[in.Src1]; r > start {
+				t.DepStallCycles += r - start
+				start = r
+			}
+			if r := regReady[in.Src2]; r > start {
+				t.DepStallCycles += r - start
+				start = r
+			}
+			if start > cycle {
+				cycle = start
+				slots = 0
+			}
+
+			// Execute.
+			lat := latTab[in.Op]
+			complete := start + lat
+			switch in.Op {
+			case isa.OpLoad:
+				// The dataAccess arms are unrolled into the switch: one
+				// dispatch per memory instruction instead of two. The L1D hit
+				// latency is part of the load-use latency; misses extend it.
+				c.maybeSnoop(in.Addr)
+				dlat := c.Hier.LoadAccess(in.Addr, in.Unaligned)
+				complete = start + lat + uint64(dlat)
+			case isa.OpLoadEx:
+				dlat := c.Hier.LoadExclusive(in.Addr)
+				complete = start + lat + uint64(dlat)
+			case isa.OpStore:
+				c.maybeSnoop(in.Addr)
+				dlat := c.Hier.StoreAccess(in.Addr, int(in.Size), in.Unaligned)
+				st := sb.push(start, dlat)
+				if st > start {
+					t.MemStallCycles += st - start
+					cycle = st
+					slots = 0
+					complete = st + lat
+				}
+			case isa.OpStoreEx:
+				dlat, failed := c.dataAccess(in)
+				st := sb.push(start, dlat)
+				if st > start {
+					t.MemStallCycles += st - start
+					cycle = st
+					slots = 0
+					complete = st + lat
+				}
+				if failed { // store-exclusive retry
+					t.StrexRetries++
+					cycle = complete + strexRetry
+					slots = 0
+				}
+			case isa.OpBarrier:
+				c.Hier.Barrier()
+				wait := c.barrierWait()
+				drainTo := max(cycle, lastComplete) + wait
+				t.BarrierStallCycles += drainTo - cycle
+				cycle = drainTo
+				slots = 0
+				complete = cycle
+			case isa.OpBranch, isa.OpCall, isa.OpReturn, isa.OpBranchInd:
+				correct := c.predict(in)
+				if !correct {
+					redirect := complete + redirectPenalty
+					t.BranchStallCycles += redirect - cycle
+					cycle = redirect
+					slots = 0
+					fetchReady = cycle
+					c.chargeWrongPath(&t, in)
+					curGroup = ^uint64(0)
+				} else if in.Taken {
+					// Taken-branch fetch bubble.
+					cycle++
+					slots = 0
+					curGroup = ^uint64(0)
 				}
 			}
-		} else if c.cfg.FetchPerInstruction {
-			t.FetchAccesses++
-			c.Hier.FetchAccess(in.PC)
-		}
 
-		// Issue: stall-on-use semantics.
-		start := cycle
-		if fetchReady > start {
-			t.FetchStallCycles += fetchReady - start
-			start = fetchReady
-		}
-		if r := regReady[in.Src1]; r > start {
-			t.DepStallCycles += r - start
-			start = r
-		}
-		if r := regReady[in.Src2]; r > start {
-			t.DepStallCycles += r - start
-			start = r
-		}
-		if start > cycle {
-			cycle = start
-			slots = 0
-		}
+			if complete > lastComplete {
+				lastComplete = complete
+			}
+			if writesDst[in.Op] {
+				regReady[in.Dst] = complete
+			}
 
-		// Execute.
-		lat := c.cfg.Lat[in.Op]
-		complete := start + uint64(lat)
-		switch {
-		case in.Op.IsLoad():
-			dlat, _ := c.dataAccess(in)
-			// The L1D hit latency is part of the load-use latency; misses
-			// extend it.
-			complete = start + uint64(lat+dlat)
-		case in.Op.IsStore():
-			dlat, failed := c.dataAccess(in)
-			st := sb.push(start, dlat)
-			if st > start {
-				t.MemStallCycles += st - start
-				cycle = st
-				slots = 0
-				complete = st + uint64(lat)
-			}
-			if failed { // store-exclusive retry
-				t.StrexRetries++
-				cycle = complete + uint64(c.cfg.StrexRetryCycles)
-				slots = 0
-			}
-		case in.Op == isa.OpBarrier:
-			c.Hier.Barrier()
-			wait := c.barrierWait()
-			drainTo := maxU64(cycle, lastComplete) + wait
-			t.BarrierStallCycles += drainTo - cycle
-			cycle = drainTo
-			slots = 0
-			complete = cycle
-		case in.Op.IsBranch():
-			correct := c.predict(in)
-			if !correct {
-				penalty := uint64(c.cfg.FrontendDepth + c.cfg.MispredictPenalty)
-				redirect := complete + penalty
-				t.BranchStallCycles += redirect - cycle
-				cycle = redirect
-				slots = 0
-				fetchReady = cycle
-				c.chargeWrongPath(&t, in)
-				curGroup = ^uint64(0)
-			} else if in.Taken {
-				// Taken-branch fetch bubble.
+			t.Committed++
+			opCounts[in.Op]++
+
+			slots++
+			if slots >= issueWidth {
 				cycle++
 				slots = 0
-				curGroup = ^uint64(0)
 			}
-		}
-
-		if complete > lastComplete {
-			lastComplete = complete
-		}
-		if in.Op != isa.OpBranch && in.Op != isa.OpBarrier && !in.Op.IsStore() {
-			regReady[in.Dst] = complete
-		}
-
-		t.Committed++
-		t.OpCounts[in.Op]++
-
-		slots++
-		if slots >= c.cfg.IssueWidth {
-			cycle++
-			slots = 0
 		}
 	}
 
-	t.Cycles = maxU64(cycle, lastComplete)
+	for op := range t.OpCounts {
+		t.OpCounts[op] = opCounts[op]
+	}
+	t.Cycles = max(cycle, lastComplete)
 	return t
 }
 
@@ -166,7 +225,7 @@ func (c *Core) runInOrder(stream isa.Stream) Tally {
 // instruction-side hierarchy (including the ITLB — the mechanism behind
 // the paper's Cluster A finding that gem5 branch mispredictions drive L2
 // ITLB traffic).
-func (c *Core) chargeWrongPath(t *Tally, in isa.Inst) {
+func (c *Core) chargeWrongPath(t *Tally, in *isa.Inst) {
 	// Squash reach: roughly one fetch group enters the pipeline before the
 	// redirect propagates. (The paper's Fig. 6 observes only ~1.1x more
 	// speculatively executed instructions in the model than on hardware
@@ -198,11 +257,4 @@ func (c *Core) chargeWrongPath(t *Tally, in isa.Inst) {
 	// misprediction count — the coupling Section IV-C exposes.
 	farPC := in.PC + (((t.WrongPathInsts/4)&63)+1)*4096
 	c.Hier.WrongPathProbe(farPC)
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,10 @@
 package pipeline
 
-import "gemstone/internal/isa"
+import (
+	"math/bits"
+
+	"gemstone/internal/isa"
+)
 
 // runOutOfOrder is the bounded-dataflow out-of-order model (Cortex-A15
 // class). Each instruction's issue time is the maximum of:
@@ -16,162 +20,239 @@ import "gemstone/internal/isa"
 // prediction into execution time: the deeper the window, the more work a
 // squash discards. This is the model through which the gem5-v1 BP defect
 // becomes the paper's -51% execution-time MPE.
+//
+// Instructions arrive in blocks (see blockSource): the loop walks a slice
+// instead of paying an interface call per instruction, with the scalar
+// Next path kept as a contract-equivalent fallback.
 func (c *Core) runOutOfOrder(stream isa.Stream) Tally {
 	var t Tally
-	var regReady [isa.NumRegs]uint64
+	// The scoreboard, latency table and op counters are sized 256 so that
+	// indexing by the uint8 register/op fields never needs a bounds check.
+	var regReady [256]uint64
+	var opCounts [256]uint64
 
-	robRetire := make([]uint64, c.cfg.ROBSize) // retire time, ring by index
-	ports := make([]uint64, c.cfg.IssueWidth)  // next-free time per port
-	sb := newStoreBuffer(16)
+	robSize := c.cfg.ROBSize
+	robRetire := scratchU64(&c.robRetire, robSize)  // retire time, ring by index
+	ports := scratchU64(&c.ports, c.cfg.IssueWidth) // next-free time per port
+	sb := &c.sb
+	sb.reset(16)
 
+	// Invariant configuration hoisted out of the loop. Fetch-group ids are
+	// PC/fetchBytes; for power-of-two widths (every real config) the
+	// division becomes a shift, which matters at one division per
+	// instruction.
 	fetchBytes := uint64(c.cfg.FetchWidth) * 4
+	fetchPow2 := fetchBytes&(fetchBytes-1) == 0
+	fetchShift := uint(bits.TrailingZeros64(fetchBytes))
 	curGroup := ^uint64(0)
 	baseFetchLat := c.Hier.L1I.LatencyCycles()
+	l1dLat := c.Hier.L1D.LatencyCycles()
+	fetchPerInst := c.cfg.FetchPerInstruction
+	frontendDepth := uint64(c.cfg.FrontendDepth)
+	mispredict := uint64(c.cfg.MispredictPenalty)
+	strexRetry := uint64(c.cfg.StrexRetryCycles)
+	retireWidth := c.cfg.RetireWidth
+	var latTab [256]uint64
+	for op, l := range c.cfg.Lat {
+		latTab[op] = uint64(l)
+	}
+	// Port occupancy per op: divides are unpipelined and hold their port
+	// for the full latency; everything else is fully pipelined.
+	var busyTab [256]uint64
+	for op := range busyTab {
+		busyTab[op] = 1
+	}
+	busyTab[isa.OpIntDiv] = latTab[isa.OpIntDiv]
+	busyTab[isa.OpFPDiv] = latTab[isa.OpFPDiv]
 
 	groupTime := uint64(0)  // cycle the current fetch group is delivered
 	redirect := uint64(0)   // frontend resume time after a mispredict
 	lastRetire := uint64(0) // retire time of the previous instruction
 	retiredInCycle := 0
-	idx := 0 // dynamic instruction index
+	rp := 0 // ROB ring position (dynamic instruction index mod robSize)
 
+	src := newBlockSource(stream)
 	for {
-		in, ok := stream.Next()
-		if !ok {
+		blk := src.next(c)
+		if len(blk) == 0 {
 			break
 		}
+		for bi := range blk {
+			in := &blk[bi]
 
-		// Frontend delivery.
-		group := in.PC / fetchBytes
-		if group != curGroup {
-			curGroup = group
-			t.FetchAccesses++
-			next := groupTime + 1
-			if redirect > next {
-				t.FetchStallCycles += redirect - next
-				next = redirect
+			// Frontend delivery.
+			group := in.PC >> fetchShift
+			if !fetchPow2 {
+				group = in.PC / fetchBytes
 			}
-			lat := c.Hier.FetchAccess(in.PC)
-			if extra := lat - baseFetchLat; extra > 0 {
-				next += uint64(extra)
-				t.FetchStallCycles += uint64(extra)
-			}
-			groupTime = next
-		} else if c.cfg.FetchPerInstruction {
-			// gem5 defect: the model performs an I-side lookup for every
-			// instruction instead of once per fetch group. The repeated
-			// lookups hit the line just fetched, so timing is unaffected,
-			// but the access counts (L1I, ITLB) are inflated — the paper's
-			// Fig. 6 shows >2x L1I accesses for exactly this reason.
-			t.FetchAccesses++
-			c.Hier.FetchAccess(in.PC)
-		}
-		fetchReady := groupTime
-
-		// Dispatch: bounded by ROB occupancy (the instruction ROBSize
-		// older must have retired).
-		dispatch := fetchReady + uint64(c.cfg.FrontendDepth)
-		if older := robRetire[idx%c.cfg.ROBSize]; older > dispatch {
-			t.ROBStallCycles += older - dispatch
-			dispatch = older
-		}
-
-		// Operand readiness.
-		ready := dispatch
-		if r := regReady[in.Src1]; r > ready {
-			ready = r
-		}
-		if r := regReady[in.Src2]; r > ready {
-			ready = r
-		}
-
-		// Issue port: pick the earliest-free port.
-		p := 0
-		for i := 1; i < len(ports); i++ {
-			if ports[i] < ports[p] {
-				p = i
-			}
-		}
-		issue := ready
-		if ports[p] > issue {
-			issue = ports[p]
-		}
-		lat := c.cfg.Lat[in.Op]
-		// Divides are unpipelined; everything else is fully pipelined.
-		busyFor := uint64(1)
-		if in.Op == isa.OpIntDiv || in.Op == isa.OpFPDiv {
-			busyFor = uint64(lat)
-		}
-		ports[p] = issue + busyFor
-
-		complete := issue + uint64(lat)
-		switch {
-		case in.Op.IsLoad():
-			dlat, _ := c.dataAccess(in)
-			complete = issue + uint64(lat+dlat)
-			if dlat > c.Hier.L1D.LatencyCycles() {
-				t.MemStallCycles += uint64(dlat - c.Hier.L1D.LatencyCycles())
-			}
-		case in.Op.IsStore():
-			dlat, failed := c.dataAccess(in)
-			st := sb.push(issue, dlat)
-			if st > issue {
-				t.MemStallCycles += st - issue
-				complete = st + uint64(lat)
-			}
-			if failed {
-				t.StrexRetries++
-				complete += uint64(c.cfg.StrexRetryCycles)
-			}
-		case in.Op == isa.OpBarrier:
-			c.Hier.Barrier()
-			wait := c.barrierWait()
-			// A barrier drains the window: it completes after everything
-			// older has retired, plus the synchronisation wait.
-			if lastRetire > complete {
-				complete = lastRetire
-			}
-			complete += wait
-			t.BarrierStallCycles += wait
-		case in.Op.IsBranch():
-			correct := c.predict(in)
-			if !correct {
-				// The frontend refetches from the resolved target.
-				r := complete + uint64(c.cfg.MispredictPenalty)
-				if r > redirect {
-					redirect = r
+			if group != curGroup {
+				curGroup = group
+				t.FetchAccesses++
+				next := groupTime + 1
+				if redirect > next {
+					t.FetchStallCycles += redirect - next
+					next = redirect
 				}
-				t.BranchStallCycles += uint64(c.cfg.MispredictPenalty)
-				c.chargeWrongPath(&t, in)
-				curGroup = ^uint64(0)
+				lat := c.Hier.FetchAccess(in.PC)
+				if extra := lat - baseFetchLat; extra > 0 {
+					next += uint64(extra)
+					t.FetchStallCycles += uint64(extra)
+				}
+				groupTime = next
+			} else if fetchPerInst {
+				// gem5 defect: the model performs an I-side lookup for every
+				// instruction instead of once per fetch group. The repeated
+				// lookups hit the line just fetched, so timing is unaffected,
+				// but the access counts (L1I, ITLB) are inflated — the paper's
+				// Fig. 6 shows >2x L1I accesses for exactly this reason.
+				t.FetchAccesses++
+				c.Hier.FetchAccess(in.PC)
 			}
-		}
+			fetchReady := groupTime
 
-		if in.Op != isa.OpBranch && in.Op != isa.OpBarrier && !in.Op.IsStore() {
-			regReady[in.Dst] = complete
-		}
-
-		// In-order retirement, RetireWidth per cycle.
-		retire := complete
-		if retire < lastRetire {
-			retire = lastRetire
-		}
-		if retire == lastRetire {
-			retiredInCycle++
-			if retiredInCycle >= c.cfg.RetireWidth {
-				retire++
-				retiredInCycle = 0
+			// Dispatch: bounded by ROB occupancy (the instruction ROBSize
+			// older must have retired).
+			dispatch := fetchReady + frontendDepth
+			if older := robRetire[rp]; older > dispatch {
+				t.ROBStallCycles += older - dispatch
+				dispatch = older
 			}
-		} else {
-			retiredInCycle = 1
-		}
-		lastRetire = retire
-		robRetire[idx%c.cfg.ROBSize] = retire
 
-		t.Committed++
-		t.OpCounts[in.Op]++
-		idx++
+			// Operand readiness.
+			ready := dispatch
+			if r := regReady[in.Src1]; r > ready {
+				ready = r
+			}
+			if r := regReady[in.Src2]; r > ready {
+				ready = r
+			}
+
+			// Issue port: pick the earliest-free port (ties go to the
+			// lowest index). Width 4 covers every shipped out-of-order
+			// config; packing time<<2|index makes the min branchless, and
+			// the packed compare resolves time ties toward the lowest
+			// index exactly like the scan's strict < does. Cycle counts
+			// stay far below 2^62, so the shift cannot overflow.
+			var p int
+			if len(ports) == 4 {
+				v := ports[0] << 2
+				if w := ports[1]<<2 | 1; w < v {
+					v = w
+				}
+				if w := ports[2]<<2 | 2; w < v {
+					v = w
+				}
+				if w := ports[3]<<2 | 3; w < v {
+					v = w
+				}
+				p = int(v & 3)
+			} else {
+				for i := 1; i < len(ports); i++ {
+					if ports[i] < ports[p] {
+						p = i
+					}
+				}
+			}
+			issue := ready
+			if pt := ports[p]; pt > issue {
+				issue = pt
+			}
+			lat := latTab[in.Op]
+			ports[p] = issue + busyTab[in.Op]
+
+			complete := issue + lat
+			switch in.Op {
+			case isa.OpLoad:
+				// The dataAccess arms are unrolled into the switch: one
+				// dispatch per memory instruction instead of two.
+				c.maybeSnoop(in.Addr)
+				dlat := c.Hier.LoadAccess(in.Addr, in.Unaligned)
+				complete = issue + lat + uint64(dlat)
+				if dlat > l1dLat {
+					t.MemStallCycles += uint64(dlat - l1dLat)
+				}
+			case isa.OpLoadEx:
+				dlat := c.Hier.LoadExclusive(in.Addr)
+				complete = issue + lat + uint64(dlat)
+				if dlat > l1dLat {
+					t.MemStallCycles += uint64(dlat - l1dLat)
+				}
+			case isa.OpStore:
+				c.maybeSnoop(in.Addr)
+				dlat := c.Hier.StoreAccess(in.Addr, int(in.Size), in.Unaligned)
+				st := sb.push(issue, dlat)
+				if st > issue {
+					t.MemStallCycles += st - issue
+					complete = st + lat
+				}
+			case isa.OpStoreEx:
+				dlat, failed := c.dataAccess(in)
+				st := sb.push(issue, dlat)
+				if st > issue {
+					t.MemStallCycles += st - issue
+					complete = st + lat
+				}
+				if failed {
+					t.StrexRetries++
+					complete += strexRetry
+				}
+			case isa.OpBarrier:
+				c.Hier.Barrier()
+				wait := c.barrierWait()
+				// A barrier drains the window: it completes after everything
+				// older has retired, plus the synchronisation wait.
+				if lastRetire > complete {
+					complete = lastRetire
+				}
+				complete += wait
+				t.BarrierStallCycles += wait
+			case isa.OpBranch, isa.OpCall, isa.OpReturn, isa.OpBranchInd:
+				correct := c.predict(in)
+				if !correct {
+					// The frontend refetches from the resolved target.
+					r := complete + mispredict
+					if r > redirect {
+						redirect = r
+					}
+					t.BranchStallCycles += mispredict
+					c.chargeWrongPath(&t, in)
+					curGroup = ^uint64(0)
+				}
+			}
+
+			if writesDst[in.Op] {
+				regReady[in.Dst] = complete
+			}
+
+			// In-order retirement, RetireWidth per cycle.
+			retire := complete
+			if retire < lastRetire {
+				retire = lastRetire
+			}
+			if retire == lastRetire {
+				retiredInCycle++
+				if retiredInCycle >= retireWidth {
+					retire++
+					retiredInCycle = 0
+				}
+			} else {
+				retiredInCycle = 1
+			}
+			lastRetire = retire
+			robRetire[rp] = retire
+			rp++
+			if rp == robSize {
+				rp = 0
+			}
+
+			t.Committed++
+			opCounts[in.Op]++
+		}
 	}
 
+	for op := range t.OpCounts {
+		t.OpCounts[op] = opCounts[op]
+	}
 	t.Cycles = lastRetire
 	return t
 }

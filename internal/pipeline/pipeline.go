@@ -162,6 +162,92 @@ type Core struct {
 	Hier *mem.Hierarchy
 	Pred *branch.Predictor
 	Sync *SyncModel // nil for single-threaded runs
+
+	// Run-loop scratch reused across runs. Every field is (re)initialised
+	// at the start of a run, so a reused Core produces output identical to
+	// a fresh one; reuse only removes the per-run allocations.
+	blk       []isa.Inst
+	robRetire []uint64
+	ports     []uint64
+	sb        storeBuffer
+}
+
+// writesDst marks the instruction classes that write a destination register
+// visible to the dependency scoreboard: everything except plain branches,
+// barriers and stores (calls/returns/indirect branches write the link or
+// address register, so they stay in). The table is sized 256 so that
+// indexing by the uint8 Op never needs a bounds check in the timing loops.
+var writesDst = func() (w [256]bool) {
+	for op := 0; op < isa.NumOps; op++ {
+		o := isa.Op(op)
+		w[op] = o != isa.OpBranch && o != isa.OpBarrier && !o.IsStore()
+	}
+	return
+}()
+
+// instBlockSize is the batch the timing loops request from a BlockStream:
+// large enough to amortise the per-block call, small enough that the buffer
+// stays L1-resident (256 instructions ≈ 12 KB).
+const instBlockSize = 256
+
+// block returns the core's reusable instruction block buffer.
+func (c *Core) block() []isa.Inst {
+	if c.blk == nil {
+		c.blk = make([]isa.Inst, instBlockSize)
+	}
+	return c.blk
+}
+
+// scratchU64 returns buf resized to n zeroed elements, reusing its backing
+// array when possible.
+func scratchU64(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+		return *buf
+	}
+	s := (*buf)[:n]
+	clear(s)
+	return s
+}
+
+// blockSource resolves the fastest delivery path a stream supports once,
+// so the per-block refill is a single non-interface branch.
+type blockSource struct {
+	stream isa.Stream
+	bs     isa.BlockStream // non-nil: batched copy path
+	vs     isa.ViewStream  // non-nil: zero-copy view path
+}
+
+func newBlockSource(stream isa.Stream) blockSource {
+	src := blockSource{stream: stream}
+	src.bs, _ = stream.(isa.BlockStream)
+	src.vs, _ = stream.(isa.ViewStream)
+	return src
+}
+
+// next returns the next run of instructions, or an empty slice at end of
+// stream. Views come straight from the stream's backing storage (no copy);
+// the batched and scalar paths fill the core's block buffer. By the
+// isa.BlockStream/ViewStream contracts all three paths drain the exact
+// same sequence, which the golden equivalence tests pin.
+func (src *blockSource) next(c *Core) []isa.Inst {
+	if src.vs != nil {
+		return src.vs.NextView(0)
+	}
+	buf := c.block()
+	if src.bs != nil {
+		return buf[:src.bs.NextBlock(buf)]
+	}
+	n := 0
+	for n < len(buf) {
+		in, ok := src.stream.Next()
+		if !ok {
+			break
+		}
+		buf[n] = in
+		n++
+	}
+	return buf[:n]
 }
 
 // NewCore builds a core, panicking on invalid configuration.
@@ -185,7 +271,7 @@ func (c *Core) Run(stream isa.Stream) Tally {
 
 // predict routes one control-flow instruction through the predictor and
 // reports whether it was predicted correctly.
-func (c *Core) predict(in isa.Inst) bool {
+func (c *Core) predict(in *isa.Inst) bool {
 	switch in.Op {
 	case isa.OpBranch:
 		return c.Pred.PredictCond(in.PC, in.Taken, in.Target)
@@ -208,7 +294,7 @@ func (c *Core) maybeSnoop(addr uint64) {
 
 // dataAccess performs the memory access for in and returns (latency,
 // strexFailed).
-func (c *Core) dataAccess(in isa.Inst) (int, bool) {
+func (c *Core) dataAccess(in *isa.Inst) (int, bool) {
 	switch in.Op {
 	case isa.OpLoad:
 		c.maybeSnoop(in.Addr)

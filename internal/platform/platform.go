@@ -19,7 +19,6 @@ import (
 	"gemstone/internal/pipeline"
 	"gemstone/internal/pmu"
 	"gemstone/internal/workload"
-	"gemstone/internal/xrand"
 )
 
 // DVFSPoint is one operating point of a cluster.
@@ -221,74 +220,8 @@ func (p *Platform) Run(prof workload.Profile, cluster string, freqMHz int) (Meas
 // memory-hierarchy and predictor statistics) and, on sensored platforms,
 // "power" (the sensor post-processing). A nil parent runs untraced.
 func (p *Platform) RunSpan(prof workload.Profile, cluster string, freqMHz int, parent *obs.Span) (Measurement, error) {
-	sp := parent.Child("expand")
-	cl, err := p.Cluster(cluster)
-	if err != nil {
-		sp.End()
-		return Measurement{}, err
-	}
-	volt, err := cl.Voltage(freqMHz)
-	if err != nil {
-		sp.End()
-		return Measurement{}, err
-	}
-	if err := prof.Validate(); err != nil {
-		sp.End()
-		return Measurement{}, err
-	}
-
-	hier := mem.NewHierarchy(cl.Hier)
-	ghz := float64(freqMHz) / 1000
-	hier.SetFrequencyGHz(ghz)
-	pred := branch.New(cl.Branch)
-	core := pipeline.NewCore(cl.Core, hier, pred)
-	if prof.IsParallel() {
-		scale := cl.ContentionScale
-		if scale == 0 {
-			scale = 1
-		}
-		core.Sync = pipeline.NewSyncModel(
-			prof.Seed()^0xC0FFEE,
-			prof.SnoopProb*scale, prof.BarrierWaitMean*scale, prof.StrexFailProb*scale)
-	}
-	stream := workload.NewGenerator(prof)
-	sp.End()
-
-	sp = parent.Child("pipeline")
-	tally := core.Run(stream)
-	sp.Annotate(obs.Uint64("cycles", tally.Cycles), obs.Uint64("insts", tally.Committed),
-		obs.Float64("ipc", tally.IPC()),
-		obs.Uint64("mem_stall_cycles", tally.MemStallCycles),
-		obs.Uint64("branch_stall_cycles", tally.BranchStallCycles))
-	sp.End()
-
-	sp = parent.Child("collate")
-	sample := pmu.Capture(tally, hier, pred, ghz)
-	sp.Annotate(obs.Uint64("l1d_misses", sample.L1D.Misses()),
-		obs.Uint64("l2_misses", sample.L2.Misses()))
-	sp.End()
-
-	m := Measurement{
-		Platform: p.cfg.Name,
-		Cluster:  cluster,
-		Workload: prof.Name,
-		FreqMHz:  freqMHz,
-		VoltageV: volt,
-		Sample:   sample,
-		Seconds:  sample.Seconds(),
-	}
-
-	if p.cfg.HasSensors && cl.Power != nil {
-		sp = parent.Child("power")
-		noise := xrand.New(prof.Seed() ^ uint64(freqMHz)<<20 ^ xrand.HashString(cluster))
-		pw, temp, throttled := MeasurePower(cl.Power, cl.Thermal, &sample, volt, ghz, noise)
-		m.PowerWatts = pw
-		m.TemperatureC = temp
-		m.Throttled = throttled
-		m.EnergyJoules = pw * m.Seconds
-		sp.Annotate(obs.Float64("power_w", pw), obs.Float64("temp_c", temp),
-			obs.Bool("throttled", throttled))
-		sp.End()
-	}
-	return m, nil
+	// A transient non-reusing context keeps a single code path with
+	// SimContext; one-off runs get fresh state exactly as before.
+	sc := SimContext{p: p}
+	return sc.RunSpan(prof, cluster, freqMHz, parent)
 }

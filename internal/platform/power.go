@@ -3,6 +3,7 @@ package platform
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gemstone/internal/pmu"
 	"gemstone/internal/xrand"
@@ -34,6 +35,12 @@ type PowerProcess struct {
 	NoiseFrac float64
 	// QuantumW is the sensor quantisation step in watts.
 	QuantumW float64
+
+	// eventsOnce/events cache the ascending-order event list DynamicPower
+	// sums over; rebuilding and sorting it per run showed up in campaign
+	// allocation profiles. PowerProcess is always handled by pointer.
+	eventsOnce sync.Once
+	events     []pmu.Event
 }
 
 // Validate checks the process parameters.
@@ -56,11 +63,14 @@ func (pp *PowerProcess) DynamicPower(s *pmu.Sample, voltV, freqGHz float64) floa
 	// ranging over the map directly would make the low-order bits of a
 	// measurement depend on Go's randomised iteration order — enough to
 	// break byte-identical campaign replay.
-	events := make([]pmu.Event, 0, len(pp.EnergyNJ))
-	for e := range pp.EnergyNJ {
-		events = append(events, e)
-	}
-	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	pp.eventsOnce.Do(func() {
+		pp.events = make([]pmu.Event, 0, len(pp.EnergyNJ))
+		for e := range pp.EnergyNJ {
+			pp.events = append(pp.events, e)
+		}
+		sort.Slice(pp.events, func(i, j int) bool { return pp.events[i] < pp.events[j] })
+	})
+	events := pp.events
 	p := pp.ClockCV * freqGHz * voltV * voltV
 	for _, e := range events {
 		p += s.Rate(e) * pp.EnergyNJ[e] * 1e-9 * voltV * voltV

@@ -61,7 +61,7 @@ func Dendrogram(d *stats.Dendrogram, names []string) string {
 		}
 		depth := 1
 		if step >= 0 {
-			depth = 1 + step*2/maxInt(1, len(d.Merges))
+			depth = 1 + step*2/max(1, len(d.Merges))
 		}
 		fmt.Fprintf(&b, "%-*s %s┐ joined at %.3f\n", width, names[leaf],
 			strings.Repeat("─", 2+depth), dist)
@@ -94,11 +94,4 @@ func leafOrder(d *stats.Dendrogram) []int {
 	out := make([]int, 0, d.N)
 	walk(root, &out)
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,17 +1,49 @@
 package stats
 
-import "sort"
+import (
+	"slices"
+	"sync"
+)
 
-// Ranks returns the fractional ranks of xs (average rank for ties),
-// 1-based as in conventional rank statistics.
-func Ranks(xs []float64) []float64 {
+// rankScratch holds the per-call working storage of a rank transform. A
+// sync.Pool amortises it across Spearman calls: campaign-level correlation
+// sweeps call Spearman once per (event, cluster, frequency) tuple, and the
+// rank buffers dominated its allocation profile.
+type rankScratch struct {
+	idx   []int
+	ranks [2][]float64
+}
+
+var rankPool = sync.Pool{New: func() any { return new(rankScratch) }}
+
+func (s *rankScratch) resize(n int) {
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+		s.ranks[0] = make([]float64, n)
+		s.ranks[1] = make([]float64, n)
+	}
+	s.idx = s.idx[:n]
+	s.ranks[0] = s.ranks[0][:n]
+	s.ranks[1] = s.ranks[1][:n]
+}
+
+// ranksInto writes the fractional ranks of xs (average rank for ties,
+// 1-based) into out, using idx as index scratch. len(out) and len(idx)
+// must equal len(xs).
+func ranksInto(xs []float64, out []float64, idx []int) {
 	n := len(xs)
-	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
-	ranks := make([]float64, n)
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case xs[a] < xs[b]:
+			return -1
+		case xs[a] > xs[b]:
+			return 1
+		}
+		return 0
+	})
 	for i := 0; i < n; {
 		j := i
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
@@ -20,22 +52,36 @@ func Ranks(xs []float64) []float64 {
 		// Average rank across the tie group [i, j].
 		avg := float64(i+j)/2 + 1
 		for k := i; k <= j; k++ {
-			ranks[idx[k]] = avg
+			out[idx[k]] = avg
 		}
 		i = j + 1
 	}
-	return ranks
+}
+
+// Ranks returns the fractional ranks of xs (average rank for ties),
+// 1-based as in conventional rank statistics.
+func Ranks(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	ranksInto(xs, out, make([]int, len(xs)))
+	return out
 }
 
 // Spearman returns the Spearman rank-correlation coefficient of xs and ys
 // — Pearson correlation of the rank-transformed series. It is robust to
 // monotone nonlinearity and outliers, which makes it a useful
 // cross-check on the Fig. 5 Pearson correlations when a few extreme
-// workloads dominate an event's range.
+// workloads dominate an event's range. The rank buffers come from an
+// internal pool, so repeated calls do not allocate.
 func Spearman(xs, ys []float64) float64 {
 	requireSameLen(len(xs), len(ys))
 	if len(xs) < 2 {
 		return 0
 	}
-	return Pearson(Ranks(xs), Ranks(ys))
+	s := rankPool.Get().(*rankScratch)
+	s.resize(len(xs))
+	ranksInto(xs, s.ranks[0], s.idx)
+	ranksInto(ys, s.ranks[1], s.idx)
+	rho := Pearson(s.ranks[0], s.ranks[1])
+	rankPool.Put(s)
+	return rho
 }

@@ -41,6 +41,7 @@ func BenchmarkSpearman(b *testing.B) {
 	for i := range x {
 		x[i], y[i] = rng.Norm(), rng.Norm()
 	}
+	b.ReportAllocs() // steady state should be allocation-free (pooled rank scratch)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Spearman(x, y)

@@ -120,6 +120,26 @@ func (g *Generator) Next() (isa.Inst, bool) {
 	return in, true
 }
 
+// NextBlock implements isa.BlockStream: it drains whole basic blocks into
+// the caller's buffer with bulk copies, preserving the exact instruction
+// sequence (and termination point) of the scalar Next path.
+func (g *Generator) NextBlock(out []isa.Inst) int {
+	n := 0
+	for n < len(out) {
+		if g.bufPos >= len(g.buf) {
+			if g.emitted >= g.p.TotalInsts {
+				break
+			}
+			g.fill()
+		}
+		c := copy(out[n:], g.buf[g.bufPos:])
+		g.bufPos += c
+		g.emitted += c
+		n += c
+	}
+	return n
+}
+
 // blockPC returns the starting PC of static block idx.
 func (g *Generator) blockPC(idx int) uint64 {
 	return g.codeBase + uint64(idx)*g.spread
@@ -351,7 +371,7 @@ func (g *Generator) fill() {
 	case termCall:
 		// Call the block's fixed callee in the upper half of the code
 		// space, emit its body, then return past the call site.
-		callee := p.CodeBlocks + int(blockRand)%maxInt(1, p.CodeBlocks/2)
+		callee := p.CodeBlocks + int(blockRand)%max(1, p.CodeBlocks/2)
 		calleePC := g.blockPC(callee)
 		g.buf = append(g.buf, isa.Inst{
 			PC: termPC, Op: isa.OpCall, Taken: true, Target: calleePC, Dst: 31,
@@ -424,11 +444,4 @@ func (g *Generator) condOutcome(blockIdx int, blockRand uint64) bool {
 	default:
 		return phase == 0
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

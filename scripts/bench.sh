@@ -1,13 +1,25 @@
 #!/bin/sh
-# Observability benchmark suite: campaign-engine Collect benchmarks
-# (cold/traced/warm — the traced-vs-untraced pair bounds the tracing
-# overhead), the obs span micro-benchmarks, and the stats kernels. The
-# raw `go test -bench` output is converted to machine-readable JSON at
-# BENCH_obs.json (or $1) with no tooling beyond awk, so CI can diff
-# runs across commits.
+# Benchmark suite: campaign-engine Collect benchmarks (cold/traced/warm —
+# the traced-vs-untraced pair bounds the tracing overhead), the obs span
+# micro-benchmarks, and the stats kernels. The raw `go test -bench` output
+# is converted to machine-readable JSON with no tooling beyond awk, so CI
+# can diff runs across commits.
+#
+# Usage:
+#   scripts/bench.sh [out.json]                 run, write out.json
+#   scripts/bench.sh -c baseline.json [out.json]
+#       run, write out.json, then print a per-benchmark comparison against
+#       the committed baseline; time or allocation deltas beyond +-10% are
+#       highlighted.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_obs.json}"
+
+baseline=""
+if [ "${1:-}" = "-c" ]; then
+	baseline="$2"
+	shift 2
+fi
+out="${1:-BENCH_hotloop.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT INT TERM
 
@@ -31,3 +43,45 @@ BEGIN { print "[" }
 END { if (n) printf "\n"; print "]" }
 ' "$tmp" >"$out"
 echo "wrote $out"
+
+if [ -n "$baseline" ]; then
+	if [ ! -f "$baseline" ]; then
+		echo "baseline $baseline not found" >&2
+		exit 1
+	fi
+	echo
+	echo "comparison vs $baseline (deltas beyond +-10% marked <<<):"
+	awk -v FS='[":,{}]+' '
+	function field(line, key,   i, n, parts) {
+		n = split(line, parts, FS)
+		for (i = 1; i < n; i++) if (parts[i] == key) return parts[i+1]
+		return ""
+	}
+	{
+		name = field($0, "name"); if (name == "") next
+		ns = field($0, "ns_per_op"); al = field($0, "allocs_per_op")
+		if (pass == 1) { base_ns[name] = ns; base_al[name] = al }
+		else {
+			new_ns[name] = ns; new_al[name] = al
+			if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
+		}
+	}
+	END {
+		printf "%-44s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "new ns/op", "time", "allocs"
+		for (i = 1; i <= cnt; i++) {
+			name = order[i]
+			if (!(name in base_ns)) { printf "%-44s %14s %14s %9s\n", name, "-", new_ns[name], "new"; continue }
+			dt = (new_ns[name] - base_ns[name]) / base_ns[name] * 100
+			da = "-"
+			mark = ""
+			if (base_al[name] != "" && new_al[name] != "" && base_al[name] + 0 > 0) {
+				dav = (new_al[name] - base_al[name]) / base_al[name] * 100
+				da = sprintf("%+.1f%%", dav)
+				if (dav > 10 || dav < -10) mark = " <<<"
+			}
+			if (dt > 10 || dt < -10) mark = " <<<"
+			printf "%-44s %14s %14s %8.1f%% %9s%s\n", name, base_ns[name], new_ns[name], dt, da, mark
+		}
+	}
+	' pass=1 "$baseline" pass=2 "$out"
+fi
