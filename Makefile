@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check quick build vet test bench bench-compare fuzz clean
+.PHONY: check quick build vet test bench bench-compare fuzz clean watch experiments baseline
 
 check: build vet test
 
@@ -35,6 +35,23 @@ bench:
 # baseline; deltas beyond +-10% are highlighted.
 bench-compare:
 	sh scripts/bench.sh -c BENCH_obs.json
+
+# Result-drift watchdog: re-run the v1 validation campaign with the
+# invariant validators on, append it to a scratch ledger, and compare
+# against the committed baseline (baselines/ledger.jsonl). Fails when the
+# numbers moved — tier-1 CI guards the results, not just the tests.
+watch:
+	sh scripts/watch.sh
+
+# Re-bless the committed baseline ledger after an intentional model
+# change (review the gemwatch drift report first).
+baseline:
+	sh scripts/watch.sh -update
+
+# Regenerate every EXPERIMENTS.md row: one benchmark per paper table /
+# figure, run exactly once each, printing paper-vs-measured values.
+experiments:
+	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # Short fuzz smoke of the hardened surfaces (archives, generator).
 fuzz:

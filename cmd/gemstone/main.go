@@ -20,6 +20,12 @@
 //	-cachedir  dir           memoise runs in a persistent cache at dir;
 //	                         re-invocations replay instead of re-simulating
 //	-progress                log per-campaign progress while collecting
+//	-validate                run invariant validators over every collected
+//	                         measurement (counter conservation laws, DVFS
+//	                         monotonicity, energy = power × time, ...)
+//	-ledger    file          append a provenance manifest plus the campaign
+//	                         results to this JSONL ledger (the experiment
+//	                         flight recorder; compare runs with gemwatch)
 //	-trace     file          write a Chrome trace-event JSON profile of
 //	                         the campaigns (open in chrome://tracing or
 //	                         ui.perfetto.dev)
@@ -46,6 +52,7 @@ import (
 
 	"gemstone"
 	"gemstone/internal/core"
+	"gemstone/internal/ledger"
 	"gemstone/internal/lmbench"
 	"gemstone/internal/obs"
 	"gemstone/internal/platform"
@@ -61,6 +68,10 @@ import (
 type progressObserver struct {
 	log *slog.Logger
 	now func() time.Time // injectable clock for tests
+
+	// violations, when set, is polled at CollectDone so the final summary
+	// carries the invariant-validator tally next to the cache hit-rate.
+	violations func() int
 
 	mu    sync.Mutex
 	total int
@@ -126,8 +137,16 @@ func (p *progressObserver) RunError(key core.RunKey, err error) {
 	p.step()
 }
 
-func (p *progressObserver) CollectDone(stats core.CollectStats) {
-	p.log.Info("campaign done", "stats", stats.String())
+func (p *progressObserver) CollectDone(s core.CollectStats) {
+	attrs := []any{"stats", s.String()}
+	if s.Jobs > 0 {
+		attrs = append(attrs, "cache_hit_rate",
+			fmt.Sprintf("%.0f%%", 100*float64(s.CacheHits)/float64(s.Jobs)))
+	}
+	if p.violations != nil {
+		attrs = append(attrs, "validator_violations", p.violations())
+	}
+	p.log.Info("campaign done", attrs...)
 }
 
 // logger is the process-wide structured logger; main replaces it once
@@ -160,6 +179,8 @@ func main() {
 	statsDir := flag.String("statsdir", "", "dump one gem5 stats.txt per model run into this directory")
 	cacheDir := flag.String("cachedir", "", "memoise runs in a persistent cache at this directory")
 	progress := flag.Bool("progress", false, "log campaign progress while collecting")
+	validateRuns := flag.Bool("validate", false, "run invariant validators over every collected measurement")
+	ledgerPath := flag.String("ledger", "", "append a provenance manifest + results entry to this JSONL ledger")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON profile to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof and /healthz on this host:port")
 	logFormat := flag.String("log-format", obs.LogText, "log output format (text|json)")
@@ -204,9 +225,13 @@ func main() {
 		}
 	}
 	metrics := gemstone.NewCollectMetrics()
+	// The registry always exists: gemstone_build_info and the validator
+	// counters land in it whether or not -metrics-addr serves it, so the
+	// ledger manifest and a scrape cite the same provenance source.
+	reg := gemstone.NewMetricsRegistry()
+	gemstone.RegisterBuildInfo(reg)
 	observers := []gemstone.CollectObserver{metrics}
 	if *metricsAddr != "" {
-		reg := gemstone.NewMetricsRegistry()
 		srv, err := gemstone.ServeMetrics(*metricsAddr, reg)
 		if err != nil {
 			fatal(err)
@@ -215,15 +240,38 @@ func main() {
 		observers = append(observers, gemstone.NewRegistryCollectObserver(reg))
 		logger.Info("metrics listening", "addr", srv.Addr())
 	}
+	recorder := gemstone.NewCampaignRecorder()
+	observers = append(observers, recorder)
+	var validator *gemstone.Validator
+	if *validateRuns {
+		validator = gemstone.NewValidator(reg)
+	}
 	if *progress {
-		observers = append(observers, newProgressObserver(logger))
+		po := newProgressObserver(logger)
+		if validator != nil {
+			po.violations = validator.Count
+		}
+		observers = append(observers, po)
 	}
 	observer := gemstone.MultiCollectObserver(observers...)
 	collect := func(pl *gemstone.Platform, opt gemstone.CollectOptions) (*gemstone.RunSet, error) {
 		opt.Cache = cache
 		opt.Observer = observer
 		opt.Tracer = tracer
-		return gemstone.CollectContext(ctx, pl, opt)
+		if validator != nil {
+			validator.AddPlatform(pl)
+		}
+		rs, err := gemstone.CollectContext(ctx, pl, opt)
+		if err == nil && validator != nil {
+			// Sweep the completed set instead of observing RunDone: cache
+			// hits replay without a RunDone callback, and the whole-set
+			// view enables the cross-run DVFS-monotonicity check.
+			for _, m := range rs.Runs {
+				validator.CheckMeasurement(m)
+			}
+			validator.CheckRunSet(rs)
+		}
+		return rs, err
 	}
 
 	want := map[string]bool{}
@@ -272,18 +320,38 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	} else if *ledgerPath != "" {
+		// Best-effort HCA labels for the ledger's per-workload table; a
+		// trimmed -workloads run may have too few members for the paper's
+		// 16 clusters, so shrink k rather than fail the recording.
+		k := 16
+		if n := len(profiles); n < k {
+			k = n
+		}
+		if wc, cerr := gemstone.ClusterWorkloads(hwRuns, simRuns, *cluster, *freq, k); cerr == nil {
+			clustering = wc
+		} else {
+			logger.Warn("ledger: clustering unavailable", "err", cerr)
+		}
 	}
 
-	if on("validate") {
-		vs, err := gemstone.Validate(hwRuns, simRuns, *cluster)
+	var summary *gemstone.ValidationSummary
+	if on("validate") || *ledgerPath != "" {
+		summary, err = gemstone.Validate(hwRuns, simRuns, *cluster)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(report.ValidationSummary(fmt.Sprintf("gem5 %v vs hardware", ver), vs))
-		if mape, mpe, n := vs.SuiteSummary("parsec-"); n > 0 {
+		if validator != nil {
+			validator.CheckValidation(summary)
+		}
+	}
+	if on("validate") {
+		fmt.Print(report.ValidationSummary(fmt.Sprintf("gem5 %v vs hardware", ver), summary))
+		if mape, mpe, n := summary.SuiteSummary("parsec-"); n > 0 {
 			fmt.Printf("PARSEC only: MAPE %.1f%% MPE %+.1f%% (%d runs)\n", mape, mpe, n)
 		}
 		fmt.Println()
+		writeCSV(*csvDir, "validation.csv", func() ([]string, [][]string) { return report.ValidationSummaryCSV(summary) })
 	}
 	if on("fig3") {
 		fmt.Println(report.Fig3(clustering))
@@ -378,11 +446,24 @@ func main() {
 			fatal(err)
 		}
 	}
+	if model == nil && *ledgerPath != "" {
+		// The ledger tracks power-model quality (R², SER) even when no
+		// power analysis was requested; tolerate failure rather than lose
+		// the timing results.
+		logger.Info("building power model for the ledger", "cluster", *cluster)
+		if m, merr := gemstone.BuildPowerModel(hwRuns, *cluster,
+			gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()}); merr == nil {
+			model = m
+		} else {
+			logger.Warn("ledger: power model unavailable", "err", merr)
+		}
+	}
 	if on("power") {
 		fmt.Println(report.PowerModel(model))
 		fmt.Println("run-time gem5 equation:")
 		fmt.Println("  " + model.Equation(gemstone.DefaultMapping()))
 		fmt.Println()
+		writeCSV(*csvDir, "power_model.csv", func() ([]string, [][]string) { return report.PowerModelCSV(model) })
 	}
 	if on("fig7") {
 		an, err := gemstone.AnalyzePowerEnergy(model, gemstone.DefaultMapping(),
@@ -429,17 +510,140 @@ func main() {
 		fmt.Println(report.Versions(vc))
 	}
 
+	if validator != nil {
+		for _, d := range validator.Violations() {
+			logger.Warn("invariant violation",
+				"invariant", d.Invariant, "run", d.Run, "detail", d.Detail)
+		}
+	}
+
+	if *ledgerPath != "" {
+		entry := buildLedgerEntry(ledgerInputs{
+			hw:         gemstone.HardwarePlatform(),
+			sim:        gemstone.Gem5Platform(ver),
+			version:    *version,
+			cluster:    *cluster,
+			freqMHz:    *freq,
+			profiles:   profiles,
+			recorder:   recorder,
+			tracer:     tracer,
+			summary:    summary,
+			clustering: clustering,
+			model:      model,
+			validator:  validator,
+		})
+		if err := gemstone.OpenLedger(*ledgerPath).Append(entry); err != nil {
+			fatal(err)
+		}
+		logger.Info("ledger entry appended", "path", *ledgerPath,
+			"workloads", len(entry.Results.Workloads),
+			"validator_checks", entry.Results.ValidatorChecks,
+			"validator_violations", entry.Results.ValidatorViolations)
+	}
+
 	if s := metrics.Stats(); s.Jobs > 0 {
-		logger.Info("campaigns total",
+		attrs := []any{
 			"platforms", strings.Join(metrics.Platforms(), "+"),
 			"runs", s.Jobs, "simulated", s.Simulated,
 			"cache_hits", s.CacheHits, "skipped", s.Skipped,
 			"plan", s.PlanTime.Round(time.Microsecond).String(),
 			"cache", s.CacheTime.Round(time.Microsecond).String(),
 			"sim", s.SimTime.Round(time.Millisecond).String(),
-			"wall", s.WallTime.Round(time.Millisecond).String())
+			"wall", s.WallTime.Round(time.Millisecond).String(),
+			"cache_hit_rate", fmt.Sprintf("%.0f%%", 100*float64(s.CacheHits)/float64(s.Jobs)),
+		}
+		if validator != nil {
+			attrs = append(attrs, "validator_checks", validator.Checks(),
+				"validator_violations", validator.Count())
+		}
+		logger.Info("campaigns total", attrs...)
 	}
 	exit(0)
+}
+
+// ledgerInputs gathers everything buildLedgerEntry distils into a record.
+type ledgerInputs struct {
+	hw, sim    *gemstone.Platform
+	version    int
+	cluster    string
+	freqMHz    int
+	profiles   []gemstone.WorkloadProfile
+	recorder   *gemstone.CampaignRecorder
+	tracer     *gemstone.Tracer
+	summary    *gemstone.ValidationSummary
+	clustering *gemstone.WorkloadClustering
+	model      *gemstone.PowerModel
+	validator  *gemstone.Validator
+}
+
+// buildLedgerEntry assembles the flight-recorder record for this
+// invocation: provenance manifest (build, fingerprints, workload set,
+// DVFS grid, campaign stats, phase times), results (headline and
+// per-workload errors, power-model quality, lmbench digest) and any
+// validator diagnostics.
+func buildLedgerEntry(in ledgerInputs) gemstone.LedgerEntry {
+	hwCfg, simCfg := in.hw.Config(), in.sim.Config()
+	names, setHash, seed := ledger.WorkloadSetDigest(in.profiles)
+	grid := make(map[string][]int, len(hwCfg.Clusters))
+	for _, cc := range hwCfg.Clusters {
+		grid[cc.Name] = cc.Frequencies()
+	}
+	man := gemstone.RunManifest{
+		Schema:           ledger.SchemaVersion,
+		CreatedUnix:      time.Now().Unix(),
+		Build:            gemstone.ReadBuildInfo(),
+		HWPlatform:       hwCfg.Name,
+		ModelPlatform:    simCfg.Name,
+		HWFingerprint:    hwCfg.Fingerprint(),
+		ModelFingerprint: simCfg.Fingerprint(),
+		Gem5Version:      in.version,
+		Cluster:          in.cluster,
+		FreqMHz:          in.freqMHz,
+		Workloads:        names,
+		WorkloadSetHash:  setHash,
+		Seed:             seed,
+		DVFSGrid:         grid,
+		Campaigns:        in.recorder.Campaigns(),
+	}
+	if in.tracer != nil {
+		man.PhaseSeconds = ledger.PhaseSeconds(in.tracer.Events())
+	}
+
+	var results gemstone.LedgerResults
+	if in.summary != nil {
+		results = ledger.ResultsFromValidation(in.summary, in.freqMHz, in.clustering)
+	} else {
+		results = gemstone.LedgerResults{Cluster: in.cluster, FreqMHz: in.freqMHz}
+	}
+	results.Power = ledger.PowerFromModel(in.model)
+	results.Latency = ledgerLatency(in.version, in.cluster, in.freqMHz)
+
+	entry := gemstone.LedgerEntry{Manifest: man, Results: results}
+	if in.validator != nil {
+		entry.Results.ValidatorChecks = in.validator.Checks()
+		entry.Diagnostics = in.validator.Violations()
+		entry.Results.ValidatorViolations = len(entry.Diagnostics)
+	}
+	return entry
+}
+
+// ledgerLatency runs the lmbench-style latency sweep on both platforms
+// for the ledger's Fig. 4 digest.
+func ledgerLatency(version int, cluster string, freqMHz int) []ledger.LatencyDigest {
+	ver := gemstone.V1
+	if version == 2 {
+		ver = gemstone.V2
+	}
+	sizes := gemstone.DefaultLatencySizes()
+	var hwCurve, simCurve []gemstone.LatencyPoint
+	if cluster == gemstone.ClusterA15 {
+		hwCurve = gemstone.MemoryLatency(gemstone.HardwareA15(), freqMHz, 256, sizes)
+		simCurve = gemstone.MemoryLatency(gemstone.Gem5Big(ver), freqMHz, 256, sizes)
+	} else {
+		hwCurve = gemstone.MemoryLatency(gemstone.HardwareA7(), freqMHz, 256, sizes)
+		simCurve = gemstone.MemoryLatency(gemstone.Gem5LITTLE(ver), freqMHz, 256, sizes)
+	}
+	return ledger.LatencyFromPoints(hwCurve, simCurve)
 }
 
 // workloadRateMatrix rebuilds the standardisable PMC-rate matrix of the

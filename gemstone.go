@@ -28,6 +28,7 @@ import (
 	"gemstone/internal/gem5"
 	"gemstone/internal/hw"
 	"gemstone/internal/isa"
+	"gemstone/internal/ledger"
 	"gemstone/internal/lmbench"
 	"gemstone/internal/mcpat"
 	"gemstone/internal/obs"
@@ -124,6 +125,65 @@ func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
 // time histogram, run-cache hit ratio) as gemstone_* metrics in reg.
 func NewRegistryCollectObserver(reg *MetricsRegistry) CollectObserver {
 	return core.NewRegistryObserver(reg)
+}
+
+// BuildInfo identifies the running binary: Go version, module version and
+// VCS revision. It is embedded in ledger manifests and exported as the
+// gemstone_build_info metric — one provenance source for both.
+type BuildInfo = obs.BuildInfo
+
+// ReadBuildInfo returns the binary's build identity.
+func ReadBuildInfo() BuildInfo { return obs.ReadBuildInfo() }
+
+// RegisterBuildInfo sets the gemstone_build_info gauge (value 1, identity
+// in labels) in reg and returns the underlying build identity.
+func RegisterBuildInfo(reg *MetricsRegistry) BuildInfo { return obs.RegisterBuildInfo(reg) }
+
+// Experiment flight-recorder types (see internal/ledger for full
+// documentation).
+type (
+	// LedgerEntry is one flight-recorder record: provenance manifest +
+	// campaign results + validator diagnostics, one JSON line on disk.
+	LedgerEntry = ledger.Entry
+	// LedgerStore is an append-only, corruption-tolerant JSONL ledger.
+	LedgerStore = ledger.Store
+	// RunManifest answers "what produced these numbers?": build identity,
+	// platform fingerprints, workload set digest, DVFS grid, campaign
+	// statistics and phase times.
+	RunManifest = ledger.RunManifest
+	// LedgerResults holds the comparable scientific outputs of one run.
+	LedgerResults = ledger.Results
+	// LedgerDiagnostic is one invariant-validator violation.
+	LedgerDiagnostic = ledger.Diagnostic
+	// Validator checks physical invariants (counter conservation, DVFS
+	// monotonicity, energy = power x time, PE sign consistency) over
+	// collected measurements; it is also a CollectObserver.
+	Validator = ledger.Validator
+	// CampaignRecorder is a CollectObserver keeping per-campaign stats
+	// for the manifest.
+	CampaignRecorder = ledger.CampaignRecorder
+	// DriftReport is the outcome of comparing two ledger entries.
+	DriftReport = ledger.DriftReport
+	// DriftOptions tunes the drift tolerances (zero value = defaults).
+	DriftOptions = ledger.DriftOptions
+)
+
+// OpenLedger returns the append-only results ledger at path. No I/O
+// happens until the first Append or Scan; a missing file reads as empty.
+func OpenLedger(path string) *LedgerStore { return ledger.Open(path) }
+
+// NewValidator returns an invariant validator exporting
+// gemstone_validator_* counters to reg (nil disables the metrics).
+func NewValidator(reg *MetricsRegistry) *Validator { return ledger.NewValidator(reg) }
+
+// NewCampaignRecorder returns an empty per-campaign stats recorder.
+func NewCampaignRecorder() *CampaignRecorder { return ledger.NewCampaignRecorder() }
+
+// CompareLedgerEntries diffs a current ledger entry against a baseline:
+// headline tolerance bands, per-workload PE deltas with MAD-based outlier
+// flagging grouped by the baseline's HCA clusters, and provenance notes.
+func CompareLedgerEntries(base, cur LedgerEntry, opt DriftOptions) *DriftReport {
+	return ledger.Compare(base, cur, opt)
 }
 
 // Analysis types (see internal/core for full documentation).

@@ -26,6 +26,14 @@ func BuildPowerModel(hwRuns *RunSet, cluster string, opt power.BuildOptions) (*p
 	if len(obs) == 0 {
 		return nil, fmt.Errorf("core: no %s observations in %s", cluster, hwRuns.Platform)
 	}
+	// OLS is order-sensitive at ULP level; sort so the map iteration
+	// above cannot wobble coefficients between identical runs.
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].Workload != obs[j].Workload {
+			return obs[i].Workload < obs[j].Workload
+		}
+		return obs[i].FreqMHz < obs[j].FreqMHz
+	})
 	return power.Build(cluster, obs, opt)
 }
 

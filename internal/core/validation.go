@@ -39,7 +39,6 @@ func Validate(hw, sim *RunSet, cluster string) (*ValidationSummary, error) {
 		Cluster: cluster,
 		ByFreq:  map[int]struct{ MAPE, MPE float64 }{},
 	}
-	perFreq := map[int][]float64{}
 	for key, hm := range hw.Runs {
 		if key.Cluster != cluster {
 			continue
@@ -53,7 +52,6 @@ func Validate(hw, sim *RunSet, cluster string) (*ValidationSummary, error) {
 			Workload: key.Workload, Cluster: cluster, FreqMHz: key.FreqMHz,
 			HWSeconds: hm.Seconds, SimSeconds: sm.Seconds, PE: pe,
 		})
-		perFreq[key.FreqMHz] = append(perFreq[key.FreqMHz], pe)
 	}
 	if len(vs.PerRun) == 0 {
 		return nil, fmt.Errorf("core: no overlapping runs between %s and %s for cluster %s",
@@ -66,9 +64,14 @@ func Validate(hw, sim *RunSet, cluster string) (*ValidationSummary, error) {
 		}
 		return a.Workload < b.Workload
 	})
+	// Aggregate from the sorted slice, not the map iteration: float
+	// summation order must be stable or repeated runs drift at ULP level
+	// (the ledger persists these at full precision).
 	var all []float64
+	perFreq := map[int][]float64{}
 	for _, e := range vs.PerRun {
 		all = append(all, e.PE)
+		perFreq[e.FreqMHz] = append(perFreq[e.FreqMHz], e.PE)
 	}
 	vs.MPE = stats.Mean(all)
 	vs.MAPE = meanAbs(all)

@@ -1,0 +1,273 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gemstone/internal/core"
+	"gemstone/internal/lmbench"
+	"gemstone/internal/power"
+)
+
+// Entry is one ledger record: the provenance manifest plus the scientific
+// results of a single gemstone invocation, serialised as one JSON line.
+type Entry struct {
+	Manifest    RunManifest  `json:"manifest"`
+	Results     Results      `json:"results"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// Results holds the campaign's scientific outputs — everything gemwatch
+// compares across runs.
+type Results struct {
+	// Cluster and FreqMHz mirror the analysis operating point.
+	Cluster string `json:"cluster"`
+	FreqMHz int    `json:"freq_mhz"`
+	// MAPE / MPE are the headline execution-time errors across every
+	// workload × frequency pair (paper sign convention).
+	MAPE float64 `json:"mape"`
+	MPE  float64 `json:"mpe"`
+	// ByFreq breaks the headline numbers down per DVFS point.
+	ByFreq map[int]Headline `json:"by_freq,omitempty"`
+	// Workloads holds per-workload error at the analysis frequency,
+	// with the HCA cluster designation (Fig. 3).
+	Workloads []WorkloadResult `json:"workloads,omitempty"`
+	// Power summarises the fitted power model, when one was trained.
+	Power *PowerResult `json:"power,omitempty"`
+	// Latency is the lmbench memory-latency digest (Fig. 4).
+	Latency []LatencyDigest `json:"latency,omitempty"`
+	// ValidatorChecks / ValidatorViolations tally the invariant
+	// validators (-validate); violations detail in Entry.Diagnostics.
+	ValidatorChecks     int `json:"validator_checks,omitempty"`
+	ValidatorViolations int `json:"validator_violations,omitempty"`
+}
+
+// Headline is a MAPE/MPE pair.
+type Headline struct {
+	MAPE float64 `json:"mape"`
+	MPE  float64 `json:"mpe"`
+}
+
+// WorkloadResult is one workload's signed error and HCA designation at
+// the analysis frequency.
+type WorkloadResult struct {
+	Workload   string  `json:"workload"`
+	HCACluster int     `json:"hca_cluster"`
+	PE         float64 `json:"pe"`
+}
+
+// PowerResult summarises a fitted power.Model.
+type PowerResult struct {
+	Cluster   string      `json:"cluster"`
+	Terms     []PowerTerm `json:"terms"`
+	Intercept float64     `json:"intercept"`
+	R2        float64     `json:"r2"`
+	AdjR2     float64     `json:"adj_r2"`
+	SER       float64     `json:"ser"`
+	MAPE      float64     `json:"mape"`
+	MPE       float64     `json:"mpe"`
+	N         int         `json:"n"`
+}
+
+// PowerTerm is one selected PMC event and its coefficient.
+type PowerTerm struct {
+	Event string  `json:"event"`
+	Coef  float64 `json:"coef"`
+}
+
+// LatencyDigest pairs hardware and model lmbench latency at one working
+// set size.
+type LatencyDigest struct {
+	WorkingSetBytes int     `json:"working_set_bytes"`
+	HWNs            float64 `json:"hw_ns"`
+	SimNs           float64 `json:"sim_ns"`
+}
+
+// ResultsFromValidation converts a campaign's validation summary (and
+// optional clustering) into ledger results. The per-workload table is
+// taken at the summary's analysis frequency.
+func ResultsFromValidation(vs *core.ValidationSummary, freqMHz int, wc *core.WorkloadClustering) Results {
+	r := Results{Cluster: vs.Cluster, FreqMHz: freqMHz, MAPE: vs.MAPE, MPE: vs.MPE}
+	if len(vs.ByFreq) > 0 {
+		r.ByFreq = make(map[int]Headline, len(vs.ByFreq))
+		for f, h := range vs.ByFreq {
+			r.ByFreq[f] = Headline{MAPE: h.MAPE, MPE: h.MPE}
+		}
+	}
+	labels := map[string]int{}
+	if wc != nil {
+		labels = wc.Labels
+	}
+	for _, e := range vs.ErrorsAt(freqMHz) {
+		label, ok := labels[e.Workload]
+		if !ok {
+			label = -1
+		}
+		r.Workloads = append(r.Workloads, WorkloadResult{
+			Workload: e.Workload, HCACluster: label, PE: e.PE,
+		})
+	}
+	return r
+}
+
+// PowerFromModel converts a fitted power model into its ledger summary.
+func PowerFromModel(m *power.Model) *PowerResult {
+	if m == nil {
+		return nil
+	}
+	p := &PowerResult{
+		Cluster:   m.Cluster,
+		Intercept: m.Intercept,
+		R2:        m.Quality.R2,
+		AdjR2:     m.Quality.AdjR2,
+		SER:       m.Quality.SER,
+		MAPE:      m.Quality.MAPE,
+		MPE:       m.Quality.MPE,
+		N:         m.Quality.N,
+	}
+	for i, e := range m.Events {
+		p.Terms = append(p.Terms, PowerTerm{Event: e.Name(), Coef: m.Coef[i]})
+	}
+	return p
+}
+
+// LatencyFromPoints zips matched hardware and model lmbench sweeps. Sizes
+// present in only one sweep are dropped.
+func LatencyFromPoints(hw, sim []lmbench.Point) []LatencyDigest {
+	simNs := make(map[int]float64, len(sim))
+	for _, p := range sim {
+		simNs[p.WorkingSetBytes] = p.LatencyNs
+	}
+	var out []LatencyDigest
+	for _, p := range hw {
+		s, ok := simNs[p.WorkingSetBytes]
+		if !ok {
+			continue
+		}
+		out = append(out, LatencyDigest{WorkingSetBytes: p.WorkingSetBytes, HWNs: p.LatencyNs, SimNs: s})
+	}
+	return out
+}
+
+// Store is an append-only JSONL ledger on disk. Appends are atomic at the
+// line level (single O_APPEND write); reads tolerate truncated or corrupt
+// records by skipping them, mirroring the run cache's
+// corruption-tolerance discipline.
+type Store struct {
+	path string
+}
+
+// Open returns a store for path. No I/O happens until Append or Scan; a
+// nonexistent file is an empty ledger.
+func Open(path string) *Store { return &Store{path: path} }
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Append serialises e as one JSON line and appends it to the ledger,
+// creating the file (and parents) on first use. A zero Manifest.Schema is
+// stamped with the current SchemaVersion.
+func (s *Store) Append(e Entry) error {
+	if e.Manifest.Schema == 0 {
+		e.Manifest.Schema = SchemaVersion
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ledger: marshal entry: %w", err)
+	}
+	if dir := filepath.Dir(s.path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("ledger: %w", err)
+		}
+	}
+	f, err := os.OpenFile(s.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	defer f.Close()
+	data = append(data, '\n')
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("ledger: append: %w", err)
+	}
+	return f.Close()
+}
+
+// ScanResult reports what a Scan found.
+type ScanResult struct {
+	// Entries holds every decodable, schema-compatible record in file
+	// order.
+	Entries []Entry
+	// Skipped counts undecodable or schema-incompatible lines (a
+	// truncated final record counts here, not as an error).
+	Skipped int
+}
+
+// maxLine bounds a single ledger record; entries are a few KB, so 8 MiB
+// of headroom means a longer line is corruption, not data.
+const maxLine = 8 << 20
+
+// Scan reads the whole ledger. A missing file yields an empty result; a
+// corrupt line (bad JSON, wrong schema, over-long) is counted and
+// skipped, never fatal — interrupted writers must not poison the ledger.
+func (s *Store) Scan() (ScanResult, error) {
+	var res ScanResult
+	f, err := os.Open(s.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return res, nil
+		}
+		return res, fmt.Errorf("ledger: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			res.Skipped++
+			continue
+		}
+		if e.Manifest.Schema < 1 || e.Manifest.Schema > SchemaVersion {
+			res.Skipped++
+			continue
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// One pathological line; everything before it was decoded.
+			res.Skipped++
+			return res, nil
+		}
+		return res, fmt.Errorf("ledger: scan %s: %w", s.path, err)
+	}
+	return res, nil
+}
+
+// Latest returns the newest valid entry (ok=false on an empty or fully
+// corrupt ledger).
+func (s *Store) Latest() (Entry, bool, error) {
+	res, err := s.Scan()
+	if err != nil || len(res.Entries) == 0 {
+		return Entry{}, false, err
+	}
+	return res.Entries[len(res.Entries)-1], true, nil
+}
+
+// Baseline returns the oldest valid entry — the convention for a
+// committed baseline ledger holding one blessed record.
+func (s *Store) Baseline() (Entry, bool, error) {
+	res, err := s.Scan()
+	if err != nil || len(res.Entries) == 0 {
+		return Entry{}, false, err
+	}
+	return res.Entries[0], true, nil
+}

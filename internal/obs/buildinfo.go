@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build provenance. Scrape surfaces (the gemstone_build_info gauge) and
+// the experiment ledger's RunManifest both need to answer "which build
+// produced this number?"; ReadBuildInfo is the single source both share,
+// so a ledger entry can always be matched to the scrape series of the
+// process that wrote it.
+
+// BuildInfo identifies the running binary: toolchain, main module and —
+// when the binary was built inside a version-controlled checkout — the
+// VCS state stamped by the Go toolchain.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary (e.g. "go1.22.0").
+	GoVersion string `json:"go_version"`
+	// Path is the main module path ("gemstone").
+	Path string `json:"path,omitempty"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// VCSRevision is the commit hash the binary was built from, when the
+	// toolchain stamped one ("" under `go test` and vendor-less builds).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	// VCSTime is the commit timestamp (RFC 3339), when stamped.
+	VCSTime string `json:"vcs_time,omitempty"`
+	// VCSModified reports a dirty working tree at build time.
+	VCSModified bool `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// ReadBuildInfo returns the binary's build provenance. The underlying
+// runtime lookup is performed once and cached; the result is identical
+// for the lifetime of the process.
+func ReadBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.GoVersion != "" {
+			buildInfo.GoVersion = bi.GoVersion
+		}
+		buildInfo.Path = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo exports the binary's provenance as the constant-1
+// gauge gemstone_build_info, carrying the build identity as labels — the
+// standard Prometheus idiom for joining build metadata onto any other
+// series. It returns the BuildInfo it exported.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	bi := ReadBuildInfo()
+	modified := "false"
+	if bi.VCSModified {
+		modified = "true"
+	}
+	reg.Gauge("gemstone_build_info",
+		"Build provenance of the running binary; value is always 1.",
+		"go_version", "path", "version", "vcs_revision", "vcs_modified").
+		Set(1, bi.GoVersion, bi.Path, bi.Version, bi.VCSRevision, modified)
+	return bi
+}

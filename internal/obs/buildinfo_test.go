@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" {
+		t.Fatal("GoVersion must always be populated")
+	}
+	if bi != ReadBuildInfo() {
+		t.Fatal("ReadBuildInfo must be stable across calls")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	bi := RegisterBuildInfo(reg)
+	if bi != ReadBuildInfo() {
+		t.Fatal("RegisterBuildInfo must return the shared provenance record")
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE gemstone_build_info gauge") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `go_version="`+bi.GoVersion+`"`) {
+		t.Fatalf("missing go_version label:\n%s", out)
+	}
+
+	// The series value is the constant 1 regardless of label content.
+	for k, v := range reg.Snapshot() {
+		if strings.HasPrefix(k, "gemstone_build_info") && v != 1 {
+			t.Fatalf("%s = %v, want 1", k, v)
+		}
+	}
+
+	// Re-registering must not panic or duplicate the family.
+	RegisterBuildInfo(reg)
+}

@@ -1,0 +1,200 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"gemstone/internal/core"
+	"gemstone/internal/ledger"
+	"gemstone/internal/pmu"
+	"gemstone/internal/power"
+)
+
+func driftFixture() *ledger.DriftReport {
+	return &ledger.DriftReport{
+		BasePlatform:       "gem5-ex5-v1",
+		CurPlatform:        "gem5-ex5-v2",
+		FingerprintChanged: true,
+		ManifestNotes:      []string{"gem5 model version changed: v1 → v2"},
+		Headlines: []ledger.HeadlineDrift{
+			{Name: "MPE (pp)", Base: -51.7, Cur: 10.2, Delta: 61.9, Tolerance: 2, Breach: true},
+			{Name: "MAPE (pp)", Base: 59.1, Cur: 18.0, Delta: -41.1, Tolerance: 2, Breach: true},
+		},
+		Workloads: []ledger.WorkloadDrift{
+			{Workload: "par-bitcount", HCABase: 1, HCACur: 0, BasePE: -494, CurPE: -30,
+				DeltaPP: 464, RobustZ: math.Inf(1), Shifted: true},
+			{Workload: "mi-qsort", HCABase: 0, HCACur: 0, BasePE: -40, CurPE: -38,
+				DeltaPP: 2, RobustZ: 0.3},
+		},
+		Clusters: []ledger.ClusterDrift{
+			{Label: 0, N: 1, MeanDeltaPP: 2},
+			{Label: 1, N: 1, MeanDeltaPP: 464, Shifted: 1, Workloads: []string{"par-bitcount"}},
+		},
+		MissingWorkloads: []string{"mi-gone"},
+		Drift:            true,
+	}
+}
+
+func TestDriftTerminalRendering(t *testing.T) {
+	out := Drift(driftFixture())
+	for _, want := range []string{
+		"DRIFT DETECTED", "fingerprint changed",
+		"par-bitcount", "<< shifted",
+		"cluster 2: 1/1 workloads shifted",
+		"missing workloads: mi-gone",
+		"MPE (pp)", "!!",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	clean := &ledger.DriftReport{BasePlatform: "a", CurPlatform: "a",
+		Headlines: []ledger.HeadlineDrift{{Name: "MPE (pp)", Tolerance: 2}}}
+	out = Drift(clean)
+	if !strings.Contains(out, "OK — within tolerance") {
+		t.Fatalf("clean verdict missing:\n%s", out)
+	}
+}
+
+func TestDriftHTMLRendering(t *testing.T) {
+	history := []ledger.Entry{
+		{Results: ledger.Results{MPE: -51.7, MAPE: 59.1}},
+		{Results: ledger.Results{MPE: -50.9, MAPE: 58.2}},
+		{Results: ledger.Results{MPE: 10.2, MAPE: 18.0}},
+	}
+	out, err := DriftHTML(driftFixture(), history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!doctype html", "✗ Drift detected",
+		"par-bitcount", "⚠ shifted",
+		"<svg", "polyline", // the sparklines
+		"prefers-color-scheme: dark", // dark mode is selected, not flipped
+		"tabular-nums",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in HTML", want)
+		}
+	}
+	// No external assets: self-contained means no http(s) references.
+	if strings.Contains(out, "http://") || strings.Contains(out, "https://") {
+		t.Fatal("drift report must be self-contained")
+	}
+	// Workload names are user data and must be escaped.
+	r := driftFixture()
+	r.Workloads[0].Workload = `<script>alert(1)</script>`
+	out, err = DriftHTML(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<script>alert") {
+		t.Fatal("workload name not escaped")
+	}
+}
+
+func TestSparklineSVG(t *testing.T) {
+	svg := string(sparklineSVG([]float64{1, 2, 3, 2, 5}))
+	if !strings.Contains(svg, "polyline") || !strings.Contains(svg, `stroke-width="2"`) {
+		t.Fatalf("sparkline: %s", svg)
+	}
+	// Flat series must not divide by zero.
+	flat := string(sparklineSVG([]float64{4, 4, 4}))
+	if strings.Contains(flat, "NaN") {
+		t.Fatalf("flat sparkline has NaN: %s", flat)
+	}
+	// Long histories are windowed to the newest 12 points.
+	long := make([]float64, 40)
+	svg = string(sparklineSVG(long))
+	if n := strings.Count(svg, ","); n > 13 {
+		t.Fatalf("sparkline not windowed: %d points", n)
+	}
+}
+
+// roundTripCSV writes and re-parses the CSV, returning the parsed rows.
+func roundTripCSV(t *testing.T, header []string, rows [][]string) [][]string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, header, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(got) != len(rows)+1 {
+		t.Fatalf("rows = %d, want %d", len(got)-1, len(rows))
+	}
+	for i, want := range append([][]string{header}, rows...) {
+		if len(got[i]) != len(want) {
+			t.Fatalf("row %d: %v != %v", i, got[i], want)
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("row %d col %d: %q != %q", i, j, got[i][j], want[j])
+			}
+		}
+	}
+	return got
+}
+
+func TestValidationSummaryCSVRoundTrip(t *testing.T) {
+	vs := &core.ValidationSummary{
+		Cluster: "a15",
+		PerRun: []core.WorkloadError{
+			// Names with CSV metacharacters must survive quoting.
+			{Workload: `par-"patricia", large`, Cluster: "a15", FreqMHz: 1600,
+				HWSeconds: 1.25, SimSeconds: 1.875, PE: -50},
+			{Workload: "mi-qsort\nsmall", Cluster: "a15", FreqMHz: 800,
+				HWSeconds: 2.5, SimSeconds: 2.4, PE: 4},
+		},
+	}
+	header, rows := ValidationSummaryCSV(vs)
+	if len(header) != 6 || len(rows) != 2 {
+		t.Fatalf("shape: %d cols %d rows", len(header), len(rows))
+	}
+	got := roundTripCSV(t, header, rows)
+	if got[1][0] != `par-"patricia", large` {
+		t.Fatalf("quoted name corrupted: %q", got[1][0])
+	}
+}
+
+func TestFig3CSVRoundTrip(t *testing.T) {
+	wc := &core.WorkloadClustering{
+		Rows: []core.Fig3Row{
+			{Workload: "a,b", Cluster: 0, PE: -494.23},
+			{Workload: `quote"d`, Cluster: 3, PE: 10},
+		},
+	}
+	header, rows := Fig3CSV(wc)
+	got := roundTripCSV(t, header, rows)
+	if got[1][0] != "a,b" || got[2][0] != `quote"d` {
+		t.Fatalf("names corrupted: %v", got)
+	}
+	if got[1][2] != "-494.23" {
+		t.Fatalf("PE corrupted: %v", got[1])
+	}
+}
+
+func TestPowerModelCSVRoundTrip(t *testing.T) {
+	m := &power.Model{
+		Cluster:   "a15",
+		Intercept: 0.3117,
+		Events:    []pmu.Event{pmu.CPUCycles, pmu.L1DCacheRefill},
+		Coef:      []float64{0.63e-9, 1.2e-8},
+		PValues:   []float64{1e-10, 0.0042},
+		VIFs:      []float64{2.2, 5.1},
+	}
+	header, rows := PowerModelCSV(m)
+	if len(rows) != 3 { // intercept + two terms
+		t.Fatalf("rows = %d", len(rows))
+	}
+	got := roundTripCSV(t, header, rows)
+	if got[1][1] != "(intercept)" || !strings.Contains(got[2][1], "CPU_CYCLES") {
+		t.Fatalf("terms corrupted: %v", got)
+	}
+}

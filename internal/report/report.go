@@ -17,18 +17,26 @@ import (
 )
 
 // bar renders a signed horizontal ASCII bar of v scaled so that `scale`
-// maps to width characters.
+// maps to width characters. Output is always exactly 2·width+1 runes —
+// width left of the axis, the "|" axis, width right — so stacked rows
+// align regardless of sign. Values beyond ±scale (or non-finite) clamp
+// to a full bar; the clamp happens in the float domain because a huge
+// v/scale ratio overflows the int conversion before an int clamp runs.
 func bar(v, scale float64, width int) string {
 	if scale <= 0 {
 		scale = 1
 	}
-	n := int(math.Round(math.Abs(v) / scale * float64(width)))
-	if n > width {
-		n = width
+	frac := math.Abs(v) / scale
+	if math.IsNaN(frac) {
+		frac = 0
 	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(math.Round(frac * float64(width)))
 	b := strings.Repeat("#", n)
-	if v < 0 {
-		return fmt.Sprintf("%*s|", width, b)
+	if math.Signbit(v) {
+		return fmt.Sprintf("%*s|%-*s", width, b, width, "")
 	}
 	return fmt.Sprintf("%*s|%-*s", width, "", width, b)
 }
@@ -340,4 +348,32 @@ func Fig5CSV(rows []core.EventCorr) (header []string, out [][]string) {
 		out = append(out, []string{r.Event.String(), fmt.Sprintf("%.4f", r.Corr), fmt.Sprint(r.Cluster + 1)})
 	}
 	return header, out
+}
+
+// ValidationSummaryCSV converts the per-run validation errors for CSV
+// export — one row per workload × frequency.
+func ValidationSummaryCSV(vs *core.ValidationSummary) (header []string, rows [][]string) {
+	header = []string{"workload", "cluster", "freq_mhz", "hw_seconds", "sim_seconds", "pe_percent"}
+	for _, e := range vs.PerRun {
+		rows = append(rows, []string{
+			e.Workload, e.Cluster, fmt.Sprint(e.FreqMHz),
+			fmt.Sprintf("%.6g", e.HWSeconds), fmt.Sprintf("%.6g", e.SimSeconds),
+			fmt.Sprintf("%.2f", e.PE),
+		})
+	}
+	return header, rows
+}
+
+// PowerModelCSV converts a fitted power model's terms for CSV export —
+// one row per selected event plus an intercept row.
+func PowerModelCSV(m *power.Model) (header []string, rows [][]string) {
+	header = []string{"cluster", "term", "coefficient", "p_value", "vif"}
+	rows = append(rows, []string{m.Cluster, "(intercept)", fmt.Sprintf("%.6g", m.Intercept), "", ""})
+	for i, e := range m.Events {
+		rows = append(rows, []string{
+			m.Cluster, e.String(), fmt.Sprintf("%.6g", m.Coef[i]),
+			fmt.Sprintf("%.4g", m.PValues[i]), fmt.Sprintf("%.2f", m.VIFs[i]),
+		})
+	}
+	return header, rows
 }

@@ -17,17 +17,31 @@ func TestBar(t *testing.T) {
 		t.Fatalf("positive bar = %q", pos)
 	}
 	neg := bar(-0.5, 1, 10)
-	if !strings.HasSuffix(neg, "#####|") {
+	if !strings.Contains(neg, "#####|") {
 		t.Fatalf("negative bar = %q", neg)
 	}
-	// Clamped at width.
-	huge := bar(99, 1, 10)
-	if strings.Count(huge, "#") != 10 {
-		t.Fatalf("bar not clamped: %q", huge)
+	// Positive and negative rows must align: same total width, axis in
+	// the same column.
+	if len(pos) != len(neg) || len(pos) != 21 {
+		t.Fatalf("asymmetric bars: pos %d chars, neg %d chars", len(pos), len(neg))
+	}
+	if strings.Index(pos, "|") != strings.Index(neg, "|") {
+		t.Fatalf("axis misaligned: %q vs %q", pos, neg)
+	}
+	// Clamped at width for extreme values on both sides — par-bitcount's
+	// -494% PE against a 100%% scale must not panic or overflow.
+	for _, v := range []float64{99, -494, 1e300, -1e300} {
+		got := bar(v, 1, 10)
+		if strings.Count(got, "#") != 10 || len(got) != 21 {
+			t.Fatalf("bar(%g) not clamped: %q", v, got)
+		}
 	}
 	// Degenerate scale must not panic or divide by zero.
 	if z := bar(1, 0, 10); !strings.Contains(z, "#") {
 		t.Fatalf("zero-scale bar = %q", z)
+	}
+	if z := bar(0, 0, 10); strings.Count(z, "#") != 0 {
+		t.Fatalf("0/0 must render empty, got %q", z)
 	}
 }
 

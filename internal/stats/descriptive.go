@@ -13,6 +13,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
@@ -45,6 +46,62 @@ func Variance(xs []float64) float64 {
 
 // StdDev returns the sample standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median (0 for an empty slice). The input is
+// not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation from the median — the robust
+// spread estimate behind outlier flagging (0 for an empty slice). Scale by
+// 1.4826 to estimate a normal standard deviation.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// madSigma converts a MAD to a normal-consistent standard deviation.
+const madSigma = 1.4826
+
+// RobustZ returns the MAD-based robust z-scores of xs: |x−median|/(1.4826
+// MAD). When the MAD is zero (over half the sample identical) every
+// deviating element gets +Inf and the rest 0, so callers can still rank
+// by deviation.
+func RobustZ(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	med := Median(xs)
+	scale := madSigma * MAD(xs)
+	for i, x := range xs {
+		d := math.Abs(x - med)
+		switch {
+		case scale > 0:
+			out[i] = d / scale
+		case d > 0:
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
 
 // Min returns the smallest element; it panics on an empty slice.
 func Min(xs []float64) float64 {

@@ -447,3 +447,45 @@ func TestFCDF(t *testing.T) {
 		t.Fatal("FCDF(0) must be 0")
 	}
 }
+
+func TestMedianMAD(t *testing.T) {
+	if Median(nil) != 0 || MAD(nil) != 0 {
+		t.Fatal("empty Median/MAD must be 0")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %v", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+	// MAD of {1,2,3,4,100}: median 3, |dev| {2,1,0,1,97} -> MAD 1; the
+	// outlier does not inflate it the way StdDev is inflated.
+	if got := MAD([]float64{1, 2, 3, 4, 100}); got != 1 {
+		t.Fatalf("MAD = %v, want 1", got)
+	}
+}
+
+func TestRobustZ(t *testing.T) {
+	z := RobustZ([]float64{1, 2, 3, 4, 100})
+	// The outlier's robust z is (100-3)/(1.4826*1) ~= 65.4.
+	if !almostEq(z[4], 97/1.4826, 1e-9) {
+		t.Fatalf("outlier z = %v", z[4])
+	}
+	if z[2] != 0 {
+		t.Fatalf("median element z = %v, want 0", z[2])
+	}
+	// Degenerate spread: identical values score 0, deviants +Inf.
+	z = RobustZ([]float64{5, 5, 5, 9})
+	if z[0] != 0 || !math.IsInf(z[3], 1) {
+		t.Fatalf("degenerate z = %v", z)
+	}
+	if len(RobustZ(nil)) != 0 {
+		t.Fatal("RobustZ(nil) must be empty")
+	}
+}

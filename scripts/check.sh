@@ -3,6 +3,30 @@
 # detector. Equivalent to `make check` for environments without make.
 set -eu
 cd "$(dirname "$0")/.."
+
+# ISSUE.md's acceptance boxes must not reference files that don't
+# exist: extract backticked tokens that look like paths (contain a
+# slash, no spaces, not a flag) and stat each one. Catches the
+# acceptance list drifting from the tree. (Satellite boxes may cite Go
+# import paths like encoding/csv, so only the acceptance section is
+# path-checked.)
+if [ -f ISSUE.md ]; then
+	missing=$(awk '/^## Acceptance criteria/{f=1;next} /^## /{f=0} f' ISSUE.md |
+		(grep '^- \[' || true) |
+		(grep -o '`[^`]*`' || true) | tr -d '`' | sort -u |
+		while IFS= read -r ref; do
+			case $ref in
+			*" "*| -* | \.\.\.*) continue ;;
+			*/*) [ -e "$ref" ] || printf '%s\n' "$ref" ;;
+			esac
+		done)
+	if [ -n "$missing" ]; then
+		echo "check.sh: ISSUE.md checklist references missing files:" >&2
+		printf '  %s\n' $missing >&2
+		exit 1
+	fi
+fi
+
 go build ./...
 go vet ./...
 # The race detector slows the simulator ~10x; the core campaign tests

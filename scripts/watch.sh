@@ -1,0 +1,35 @@
+#!/bin/sh
+# Result-drift watchdog (make watch): re-run the v1 validation campaign
+# with the invariant validators enabled, append the results to a scratch
+# ledger, and compare it against the committed baseline with gemwatch.
+# Exit status follows gemwatch: 0 within tolerance, 1 drift, 2 errors.
+#
+#   sh scripts/watch.sh           compare against baselines/ledger.jsonl
+#   sh scripts/watch.sh -update   re-bless the baseline from this run
+#
+# Environment:
+#   BASELINE        baseline ledger path (default baselines/ledger.jsonl)
+#   GEMSTONE_FLAGS  extra gemstone flags (e.g. "-version 2" to reproduce
+#                   the Section VII drift on purpose)
+#   GEMWATCH_FLAGS  extra gemwatch flags (e.g. "-html drift.html")
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE=${BASELINE:-baselines/ledger.jsonl}
+LEDGER=$(mktemp "${TMPDIR:-/tmp}/gemstone-ledger.XXXXXX")
+trap 'rm -f "$LEDGER"' EXIT
+
+# The campaign is deterministic, so an unchanged model reproduces the
+# baseline numbers exactly; -analyses none skips the report rendering.
+go run ./cmd/gemstone -analyses none -validate -ledger "$LEDGER" \
+	${GEMSTONE_FLAGS:-} >/dev/null
+
+if [ "${1:-}" = "-update" ]; then
+	mkdir -p "$(dirname "$BASELINE")"
+	cp "$LEDGER" "$BASELINE"
+	echo "watch.sh: baseline re-blessed at $BASELINE"
+	exit 0
+fi
+
+go run ./cmd/gemwatch -ledger "$LEDGER" -baseline "$BASELINE" \
+	${GEMWATCH_FLAGS:-}
