@@ -12,7 +12,9 @@ check: build vet test
 
 # Fast development loop: -short skips the full-campaign analysis fixture
 # and the worker-count determinism sweep, and trims the golden
-# equivalence sweeps to a subset — seconds instead of minutes.
+# equivalence sweeps to a subset — seconds instead of minutes. The
+# internal/dist integration suite runs here too, with its campaigns
+# shrunk to 2 runs (CI also runs it as an explicit step).
 quick:
 	$(GO) test -short ./...
 

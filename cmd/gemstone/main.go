@@ -32,6 +32,9 @@
 //	-metrics-addr host:port  serve Prometheus /metrics, /debug/pprof and
 //	                         /healthz while running
 //	-log-format text|json    structured-log output format (default text)
+//	-workers   host:port,... distribute campaigns across these gemstoned
+//	                         workers; when none answer, campaigns degrade
+//	                         to local execution (identical results)
 //
 // Campaigns are cancellable: SIGINT stops the outstanding simulations and
 // exits; with -cachedir the completed runs are kept, so rerunning resumes
@@ -52,6 +55,7 @@ import (
 
 	"gemstone"
 	"gemstone/internal/core"
+	"gemstone/internal/dist"
 	"gemstone/internal/ledger"
 	"gemstone/internal/lmbench"
 	"gemstone/internal/obs"
@@ -184,6 +188,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON profile to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof and /healthz on this host:port")
 	logFormat := flag.String("log-format", obs.LogText, "log output format (text|json)")
+	workers := flag.String("workers", "", "comma-separated gemstoned worker addresses for distributed campaigns")
 	flag.Parse()
 
 	lg, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
@@ -254,6 +259,21 @@ func main() {
 		observers = append(observers, po)
 	}
 	observer := gemstone.MultiCollectObserver(observers...)
+	var coord *dist.Coordinator
+	if *workers != "" {
+		var addrs []string
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		coord = dist.NewCoordinator(dist.CoordinatorConfig{
+			Workers:  addrs,
+			Registry: reg,
+			Log:      logger,
+		})
+		logger.Info("distributing campaigns", "workers", len(addrs))
+	}
 	collect := func(pl *gemstone.Platform, opt gemstone.CollectOptions) (*gemstone.RunSet, error) {
 		opt.Cache = cache
 		opt.Observer = observer
@@ -261,7 +281,13 @@ func main() {
 		if validator != nil {
 			validator.AddPlatform(pl)
 		}
-		rs, err := gemstone.CollectContext(ctx, pl, opt)
+		var rs *gemstone.RunSet
+		var err error
+		if coord != nil {
+			rs, err = coord.Collect(ctx, pl, opt)
+		} else {
+			rs, err = gemstone.CollectContext(ctx, pl, opt)
+		}
 		if err == nil && validator != nil {
 			// Sweep the completed set instead of observing RunDone: cache
 			// hits replay without a RunDone callback, and the whole-set
@@ -313,10 +339,14 @@ func main() {
 		logger.Info("wrote gem5 stats files", "count", len(simRuns.Runs), "dir", *statsDir)
 	}
 
+	// All Section IV-VII analyses below share one operating point; the
+	// Session captures it once.
+	session := gemstone.NewSession(hwRuns, simRuns, *cluster, *freq)
+
 	var clustering *gemstone.WorkloadClustering
 	needClusters := on("fig3") || on("fig6") || on("fig7") || on("fig8") || on("versions")
 	if needClusters {
-		clustering, err = gemstone.ClusterWorkloads(hwRuns, simRuns, *cluster, *freq, 16)
+		clustering, err = session.ClusterWorkloads(16)
 		if err != nil {
 			fatal(err)
 		}
@@ -328,7 +358,7 @@ func main() {
 		if n := len(profiles); n < k {
 			k = n
 		}
-		if wc, cerr := gemstone.ClusterWorkloads(hwRuns, simRuns, *cluster, *freq, k); cerr == nil {
+		if wc, cerr := session.ClusterWorkloads(k); cerr == nil {
 			clustering = wc
 		} else {
 			logger.Warn("ledger: clustering unavailable", "err", cerr)
@@ -337,7 +367,7 @@ func main() {
 
 	var summary *gemstone.ValidationSummary
 	if on("validate") || *ledgerPath != "" {
-		summary, err = gemstone.Validate(hwRuns, simRuns, *cluster)
+		summary, err = session.Validate()
 		if err != nil {
 			fatal(err)
 		}
@@ -370,7 +400,7 @@ func main() {
 		fmt.Println(report.Fig4(curves))
 	}
 	if on("fig5") {
-		rows, err := gemstone.PMCErrorCorrelation(hwRuns, simRuns, *cluster, *freq, 30)
+		rows, err := session.PMCErrorCorrelation(30)
 		if err != nil {
 			fatal(err)
 		}
@@ -396,7 +426,7 @@ func main() {
 		fmt.Println(report.Dendrogram(dend, names))
 	}
 	if on("consistency") {
-		fc, err := core.ErrorConsistency(hwRuns, simRuns, *cluster)
+		fc, err := session.ErrorConsistency()
 		if err != nil {
 			fatal(err)
 		}
@@ -408,7 +438,7 @@ func main() {
 		fmt.Println()
 	}
 	if on("gem5corr") {
-		rows, err := gemstone.Gem5EventCorrelation(hwRuns, simRuns, *cluster, *freq, 0.3, 8)
+		rows, err := session.Gem5EventCorrelation(0.3, 8)
 		if err != nil {
 			fatal(err)
 		}
@@ -417,11 +447,11 @@ func main() {
 	if on("regress") {
 		sw := gemstone.DefaultStepwiseOptions()
 		sw.MaxTerms = 8
-		pmcRep, err := gemstone.ErrorRegressionPMC(hwRuns, simRuns, *cluster, *freq, sw)
+		pmcRep, err := session.ErrorRegressionPMC(sw)
 		if err != nil {
 			fatal(err)
 		}
-		g5Rep, err := gemstone.ErrorRegressionGem5(hwRuns, simRuns, *cluster, *freq, sw)
+		g5Rep, err := session.ErrorRegressionGem5(sw)
 		if err != nil {
 			fatal(err)
 		}
@@ -429,8 +459,7 @@ func main() {
 	}
 	if on("fig6") {
 		excl := pathologicalCluster(clustering)
-		ratios, bp, err := gemstone.EventComparison(hwRuns, simRuns, *cluster, *freq,
-			clustering.Labels, nil, gemstone.DefaultMapping(), excl)
+		ratios, bp, err := session.EventComparison(clustering.Labels, nil, gemstone.DefaultMapping(), excl)
 		if err != nil {
 			fatal(err)
 		}
@@ -440,7 +469,7 @@ func main() {
 	var model *gemstone.PowerModel
 	if on("power") || on("fig7") || on("fig8") || on("versions") {
 		logger.Info("building power model", "cluster", *cluster, "pool", "restricted")
-		model, err = gemstone.BuildPowerModel(hwRuns, *cluster,
+		model, err = session.BuildPowerModel(
 			gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
 		if err != nil {
 			fatal(err)
@@ -451,7 +480,7 @@ func main() {
 		// power analysis was requested; tolerate failure rather than lose
 		// the timing results.
 		logger.Info("building power model for the ledger", "cluster", *cluster)
-		if m, merr := gemstone.BuildPowerModel(hwRuns, *cluster,
+		if m, merr := session.BuildPowerModel(
 			gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()}); merr == nil {
 			model = m
 		} else {
@@ -466,8 +495,7 @@ func main() {
 		writeCSV(*csvDir, "power_model.csv", func() ([]string, [][]string) { return report.PowerModelCSV(model) })
 	}
 	if on("fig7") {
-		an, err := gemstone.AnalyzePowerEnergy(model, gemstone.DefaultMapping(),
-			hwRuns, simRuns, *cluster, *freq, clustering.Labels)
+		an, err := session.AnalyzePowerEnergy(model, gemstone.DefaultMapping(), clustering.Labels)
 		if err != nil {
 			fatal(err)
 		}
@@ -502,7 +530,7 @@ func main() {
 		if ver == gemstone.V2 {
 			v1Runs, v2Runs = otherRuns, simRuns
 		}
-		vc, err := gemstone.CompareVersions(hwRuns, v1Runs, v2Runs, *cluster, *freq,
+		vc, err := session.WithSim(v1Runs).CompareVersions(v2Runs,
 			model, gemstone.DefaultMapping(), clustering.Labels)
 		if err != nil {
 			fatal(err)
@@ -531,6 +559,7 @@ func main() {
 			clustering: clustering,
 			model:      model,
 			validator:  validator,
+			coord:      coord,
 		})
 		if err := gemstone.OpenLedger(*ledgerPath).Append(entry); err != nil {
 			fatal(err)
@@ -574,6 +603,7 @@ type ledgerInputs struct {
 	clustering *gemstone.WorkloadClustering
 	model      *gemstone.PowerModel
 	validator  *gemstone.Validator
+	coord      *dist.Coordinator
 }
 
 // buildLedgerEntry assembles the flight-recorder record for this
@@ -607,6 +637,17 @@ func buildLedgerEntry(in ledgerInputs) gemstone.LedgerEntry {
 	}
 	if in.tracer != nil {
 		man.PhaseSeconds = ledger.PhaseSeconds(in.tracer.Events())
+	}
+	if in.coord != nil {
+		for _, ws := range in.coord.WorkerStats() {
+			man.DistWorkers = append(man.DistWorkers, ledger.DistWorker{
+				Addr:     ws.Addr,
+				Capacity: ws.Capacity,
+				Jobs:     ws.Jobs,
+				Retries:  ws.Retries,
+				Alive:    ws.Alive,
+			})
+		}
 	}
 
 	var results gemstone.LedgerResults

@@ -1,0 +1,86 @@
+// Command gemstoned is the GemStone campaign worker daemon: it serves the
+// internal/dist wire protocol, executing simulation jobs a coordinator
+// (gemstone -workers) ships to it. Every platform the repo models is
+// available — the coordinator names one by spec + configuration
+// fingerprint and the daemon rebuilds it locally, so both binaries must
+// model the same machine for a job to be accepted.
+//
+// Usage:
+//
+//	gemstoned [flags]
+//
+//	-listen       host:port  job endpoint                  (default :9177)
+//	-max-parallel N          concurrent simulations        (default GOMAXPROCS)
+//	-metrics-addr host:port  serve Prometheus /metrics, /debug/pprof and
+//	                         /healthz while running
+//	-log-format   text|json  structured-log output format  (default text)
+//
+// SIGINT drains in-flight jobs and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"gemstone/internal/dist"
+	"gemstone/internal/obs"
+)
+
+func main() {
+	listen := flag.String("listen", ":9177", "serve the worker protocol on this host:port")
+	maxParallel := flag.Int("max-parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof and /healthz on this host:port")
+	logFormat := flag.String("log-format", obs.LogText, "log output format (text|json)")
+	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemstoned:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			logger.Error("metrics listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		logger.Info("metrics listening", "addr", srv.Addr())
+	}
+
+	worker := dist.NewWorker(dist.WorkerConfig{
+		MaxParallel: *maxParallel,
+		Registry:    reg,
+		Log:         logger,
+	})
+	server := &http.Server{Addr: *listen, Handler: worker.Handler()}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		logger.Info("draining", "runs", worker.Runs())
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutdownCtx)
+	}()
+
+	logger.Info("worker listening", "addr", *listen,
+		"capacity", worker.Capacity(), "proto", dist.ProtoVersion)
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("worker server failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("worker stopped", "runs", worker.Runs())
+}

@@ -14,10 +14,16 @@
 //
 //	hwRuns, _ := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{})  // Experiment 1/3/4
 //	simRuns, _ := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), gemstone.CollectOptions{}) // Experiment 2
-//	summary, _ := gemstone.Validate(hwRuns, simRuns, gemstone.ClusterA15)
-//	clusters, _ := gemstone.ClusterWorkloads(hwRuns, simRuns, gemstone.ClusterA15, 1000, 16)
-//	model, _ := gemstone.BuildPowerModel(hwRuns, gemstone.ClusterA15, gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
-//	energy, _ := gemstone.AnalyzePowerEnergy(model, gemstone.DefaultMapping(), hwRuns, simRuns, gemstone.ClusterA15, 1000, clusters.Labels)
+//	s := gemstone.NewSession(hwRuns, simRuns, gemstone.ClusterA15, 1000)
+//	summary, _ := s.Validate()
+//	clusters, _ := s.ClusterWorkloads(16)
+//	model, _ := s.BuildPowerModel(gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
+//	energy, _ := s.AnalyzePowerEnergy(model, gemstone.DefaultMapping(), clusters.Labels)
+//
+// Every Session method also exists as a top-level function taking the run
+// sets and operating point explicitly (gemstone.Validate, ...); the two
+// surfaces are interchangeable. Campaigns distribute across machines with
+// internal/dist's coordinator and the gemstoned worker daemon.
 package gemstone
 
 import (

@@ -151,8 +151,11 @@ type CollectError struct {
 	Failed []RunError
 	// Skipped lists jobs abandoned without being attempted.
 	Skipped []RunKey
-	// Cause carries the context error when cancellation (rather than a
-	// run failure) ended the campaign.
+	// Cause carries the context's cancellation cause (context.Cause) when
+	// cancellation rather than a run failure ended the campaign:
+	// context.Canceled, context.DeadlineExceeded, or whatever error the
+	// caller handed to its CancelCauseFunc. It participates in Unwrap, so
+	// errors.Is(err, context.DeadlineExceeded) just works.
 	Cause error
 	// Partial holds every completed measurement.
 	Partial *RunSet
@@ -191,9 +194,69 @@ func (e *CollectError) Unwrap() []error {
 // Collect runs the campaign described by opt on pl and returns the run
 // set. It reproduces Experiment 1 (and, on sensored platforms, 3 and 4 —
 // the power data rides along with the PMU samples) or Experiment 2 when
-// pl is a gem5 model. It is CollectContext without cancellation.
+// pl is a gem5 model. CollectContext is the canonical entrypoint; Collect
+// is exactly CollectContext(context.Background(), pl, opt).
 func Collect(pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
 	return CollectContext(context.Background(), pl, opt)
+}
+
+// PlannedJob is one schedulable unit of a campaign: the workload profile
+// to run, the run key naming the (workload, cluster, frequency) point,
+// and — when the planning options carry a cache — the content-addressed
+// cache key of the measurement. The distributed coordinator
+// (internal/dist) ships PlannedJobs to remote workers; CollectContext
+// feeds them to its local worker pool. Either way the job list is
+// identical, which is what makes a distributed campaign bit-for-bit
+// equivalent to a local one.
+type PlannedJob struct {
+	Profile workload.Profile
+	Key     RunKey
+	// CacheKey is the content-addressed run-cache key ("" when the
+	// planning options had no cache; derive one with CacheKey if needed).
+	CacheKey string
+}
+
+// PlanCampaign fills opt's defaults against pl and expands it into the
+// campaign's ordered job list. Jobs are ordered workload-major (workload,
+// then cluster, then frequency) so that consecutive jobs pulled by one
+// worker usually share a workload: the worker's SimContext then replays
+// its cached expanded instruction stream instead of regenerating it per
+// run. The ordering never changes the collected data — runs are
+// independent and individually deterministic.
+func PlanCampaign(pl *platform.Platform, opt *CollectOptions) ([]PlannedJob, error) {
+	if err := opt.fill(pl); err != nil {
+		return nil, err
+	}
+	cfg := pl.Config()
+	clusterFP := map[string]string{}
+	if opt.Cache != nil {
+		// Fingerprint each cluster once so per-run cache keys are a hash
+		// away.
+		for _, cl := range opt.Clusters {
+			cc, err := pl.Cluster(cl)
+			if err != nil {
+				return nil, err
+			}
+			clusterFP[cl] = cc.Fingerprint()
+		}
+	}
+	var jobs []PlannedJob
+	for _, prof := range opt.Workloads {
+		var profJSON []byte
+		if opt.Cache != nil {
+			profJSON = profileKeyJSON(prof)
+		}
+		for _, cl := range opt.Clusters {
+			for _, f := range opt.Freqs[cl] {
+				j := PlannedJob{Profile: prof, Key: RunKey{Workload: prof.Name, Cluster: cl, FreqMHz: f}}
+				if opt.Cache != nil {
+					j.CacheKey = cacheKeyFromParts(cfg.Name, cfg.HasSensors, cl, clusterFP[cl], profJSON, f)
+				}
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	return jobs, nil
 }
 
 // CollectContext runs the campaign described by opt on pl.
@@ -214,50 +277,10 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 	campaign := opt.Tracer.Start("collect", obs.String("platform", pl.Name()))
 	defer campaign.End()
 	planSpan := campaign.Child("plan")
-	if err := opt.fill(pl); err != nil {
+	jobs, err := PlanCampaign(pl, &opt)
+	if err != nil {
 		planSpan.End()
 		return nil, err
-	}
-
-	// Plan: expand options into the job list and fingerprint each cluster
-	// once so per-run cache keys are a hash away.
-	type job struct {
-		prof workload.Profile
-		key  RunKey
-		ck   string // content-addressed cache key ("" without a cache)
-	}
-	cfg := pl.Config()
-	clusterFP := map[string]string{}
-	if opt.Cache != nil {
-		for _, cl := range opt.Clusters {
-			cc, err := pl.Cluster(cl)
-			if err != nil {
-				return nil, err
-			}
-			clusterFP[cl] = cc.Fingerprint()
-		}
-	}
-	// Jobs are ordered workload-major (workload, then cluster, then
-	// frequency) so that consecutive jobs pulled by one worker usually
-	// share a workload: the worker's SimContext then replays its cached
-	// expanded instruction stream instead of regenerating it per run. The
-	// ordering never changes the collected data — runs are independent and
-	// individually deterministic.
-	var jobs []job
-	for _, prof := range opt.Workloads {
-		var profJSON []byte
-		if opt.Cache != nil {
-			profJSON = profileKeyJSON(prof)
-		}
-		for _, cl := range opt.Clusters {
-			for _, f := range opt.Freqs[cl] {
-				j := job{prof: prof, key: RunKey{Workload: prof.Name, Cluster: cl, FreqMHz: f}}
-				if opt.Cache != nil {
-					j.ck = cacheKeyFromParts(cfg.Name, cfg.HasSensors, cl, clusterFP[cl], profJSON, f)
-				}
-				jobs = append(jobs, j)
-			}
-		}
 	}
 	planSpan.Annotate(obs.Int("jobs", len(jobs)))
 	planSpan.End()
@@ -319,10 +342,10 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 					// allocation per job even on untraced campaigns.
 					var sp *obs.Span
 					if ws != nil {
-						sp = ws.Child("cache-get", obs.String("key", j.key.String()))
+						sp = ws.Child("cache-get", obs.String("key", j.Key.String()))
 					}
 					t0 := time.Now()
-					m, ok := opt.Cache.Get(j.ck)
+					m, ok := opt.Cache.Get(j.CacheKey)
 					cacheNS.Add(int64(time.Since(t0)))
 					if sp != nil {
 						sp.Annotate(obs.Bool("hit", ok))
@@ -331,34 +354,34 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 					if ok {
 						hits.Add(1)
 						mu.Lock()
-						rs.Runs[j.key] = m
+						rs.Runs[j.Key] = m
 						mu.Unlock()
 						if observer != nil {
-							observer.CacheHit(j.key)
+							observer.CacheHit(j.Key)
 						}
 						continue
 					}
 				}
 				if observer != nil {
-					observer.RunStart(j.key)
+					observer.RunStart(j.Key)
 				}
 				var sp *obs.Span
 				if ws != nil {
-					sp = ws.Child("simulate", obs.String("key", j.key.String()))
+					sp = ws.Child("simulate", obs.String("key", j.Key.String()))
 				}
 				t0 := time.Now()
-				m, err := sim.RunSpan(j.prof, j.key.Cluster, j.key.FreqMHz, sp)
+				m, err := sim.RunSpan(j.Profile, j.Key.Cluster, j.Key.FreqMHz, sp)
 				elapsed := time.Since(t0)
 				sp.End()
 				simNS.Add(int64(elapsed))
 				if err != nil {
-					err = fmt.Errorf("core: collecting %s on %s: %w", j.key, pl.Name(), err)
+					err = fmt.Errorf("core: collecting %s on %s: %w", j.Key, pl.Name(), err)
 					mu.Lock()
-					failed = append(failed, RunError{Key: j.key, Err: err})
+					failed = append(failed, RunError{Key: j.Key, Err: err})
 					mu.Unlock()
 					stop.Store(true)
 					if observer != nil {
-						observer.RunError(j.key, err)
+						observer.RunError(j.Key, err)
 					}
 					return
 				}
@@ -366,18 +389,18 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 				if opt.Cache != nil {
 					var sp *obs.Span
 					if ws != nil {
-						sp = ws.Child("cache-put", obs.String("key", j.key.String()))
+						sp = ws.Child("cache-put", obs.String("key", j.Key.String()))
 					}
 					t0 = time.Now()
-					opt.Cache.Put(j.ck, m)
+					opt.Cache.Put(j.CacheKey, m)
 					cacheNS.Add(int64(time.Since(t0)))
 					sp.End()
 				}
 				mu.Lock()
-				rs.Runs[j.key] = m
+				rs.Runs[j.Key] = m
 				mu.Unlock()
 				if observer != nil {
-					observer.RunDone(j.key, m, elapsed)
+					observer.RunDone(j.Key, m, elapsed)
 				}
 			}
 		}(w)
@@ -391,8 +414,8 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 			attempted[f.Key] = true
 		}
 		for _, j := range jobs {
-			if _, done := rs.Runs[j.key]; !done && !attempted[j.key] {
-				skipped = append(skipped, j.key)
+			if _, done := rs.Runs[j.Key]; !done && !attempted[j.Key] {
+				skipped = append(skipped, j.Key)
 			}
 		}
 	}
@@ -417,8 +440,12 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 			Platform: pl.Name(),
 			Failed:   failed,
 			Skipped:  skipped,
-			Cause:    ctx.Err(),
-			Partial:  rs,
+			// context.Cause, not ctx.Err(): a deadline-exceeded or
+			// WithCancelCause campaign reports *why* it was cancelled, so
+			// errors.Is(err, context.DeadlineExceeded) and custom causes
+			// work without string matching.
+			Cause:   context.Cause(ctx),
+			Partial: rs,
 		}
 	}
 	return rs, nil

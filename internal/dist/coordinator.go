@@ -1,0 +1,884 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gemstone/internal/core"
+	"gemstone/internal/obs"
+	"gemstone/internal/platform"
+	"gemstone/internal/xrand"
+)
+
+// CoordinatorConfig tunes a Coordinator. The zero value of every field is
+// usable: no workers means every campaign runs locally.
+type CoordinatorConfig struct {
+	// Workers lists worker base addresses ("host:port" or a full URL).
+	Workers []string
+	// Client issues all worker HTTP requests. Tests install a Chaos
+	// transport here; nil means a private default client.
+	Client *http.Client
+	// ProbeTimeout bounds the per-worker hello probe; 0 means 5s.
+	ProbeTimeout time.Duration
+	// RunTimeout is the job lease: a dispatched job that has not answered
+	// within it is reassigned. 0 means 2 minutes.
+	RunTimeout time.Duration
+	// MaxAttempts bounds remote attempts per job before the coordinator
+	// simulates it locally. 0 means 3.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape retry delays: attempt n waits
+	// BackoffBase<<(n-1), capped at BackoffMax, jittered ±50%. Zero means
+	// 50ms base, 2s cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the deterministic jitter source; 0 means 1.
+	Seed uint64
+	// Registry, when non-nil, receives gemstone_dist_* metrics.
+	Registry *obs.Registry
+	// Log, when non-nil, receives coordinator logging.
+	Log *slog.Logger
+}
+
+// WorkerStats is the per-worker provenance a coordinator accumulates
+// across campaigns, recorded into the run ledger manifest.
+type WorkerStats struct {
+	// Addr is the worker's base URL.
+	Addr string `json:"addr"`
+	// Capacity is the parallelism the worker advertised at probe time.
+	Capacity int `json:"capacity"`
+	// Jobs counts measurements this worker contributed.
+	Jobs int `json:"jobs"`
+	// Retries counts failed attempts against this worker.
+	Retries int `json:"retries"`
+	// Alive reports whether the worker was healthy after its last campaign.
+	Alive bool `json:"alive"`
+}
+
+// Lease records one in-flight job assignment.
+type Lease struct {
+	// Worker is the base URL of the worker holding the job.
+	Worker string
+	// Expires is when the lease times out and the job is reassigned.
+	Expires time.Time
+}
+
+// Coordinator shards campaigns across remote workers. It is safe for
+// sequential campaigns (the usual hw-then-sim pair); worker provenance
+// accumulates across them for the ledger.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	client *http.Client
+	log    *slog.Logger
+
+	// Metrics are nil when no Registry was configured; every use is
+	// nil-guarded so a bare Coordinator stays allocation-free on the
+	// metrics path.
+	mWorkerUp   *obs.Gauge
+	mInflight   *obs.Gauge
+	mQueue      *obs.Gauge
+	mRetries    *obs.Counter
+	mJobs       *obs.Counter
+	mHTTPErrors *obs.Counter
+	mDuplicates *obs.Counter
+
+	mu       sync.Mutex
+	leases   map[string]Lease
+	stats    map[string]*WorkerStats
+	degraded int
+}
+
+// NewCoordinator builds a coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 5 * time.Second
+	}
+	if cfg.RunTimeout <= 0 {
+		cfg.RunTimeout = 2 * time.Minute
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		client: cfg.Client,
+		log:    cfg.Log,
+		leases: make(map[string]Lease),
+		stats:  make(map[string]*WorkerStats),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if reg := cfg.Registry; reg != nil {
+		c.mWorkerUp = reg.Gauge("gemstone_dist_worker_up",
+			"Worker health: 1 when the last probe or request succeeded.", "worker")
+		c.mInflight = reg.Gauge("gemstone_dist_inflight_leases",
+			"Jobs currently leased to remote workers.")
+		c.mQueue = reg.Gauge("gemstone_dist_queue_depth",
+			"Jobs waiting for a worker slot.")
+		c.mRetries = reg.Counter("gemstone_dist_retries_total",
+			"Remote job attempts that failed and were rescheduled.")
+		c.mJobs = reg.Counter("gemstone_dist_jobs_total",
+			"Jobs finished, by execution mode.", "mode")
+		c.mHTTPErrors = reg.Counter("gemstone_dist_http_errors_total",
+			"Worker request failures, by kind.", "kind")
+		c.mDuplicates = reg.Counter("gemstone_dist_duplicates_total",
+			"Responses discarded because the job had already been recorded.")
+	}
+	return c
+}
+
+// WorkerStats reports per-worker provenance accumulated across this
+// coordinator's campaigns, sorted by address.
+func (c *Coordinator) WorkerStats() []WorkerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStats, 0, len(c.stats))
+	for _, ws := range c.stats {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// DegradedCampaigns counts campaigns that ran fully locally because no
+// worker answered the probe (or the platform had no wire spec).
+func (c *Coordinator) DegradedCampaigns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// Leases snapshots the in-flight lease table (tests and debugging).
+func (c *Coordinator) Leases() map[string]Lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Lease, len(c.leases))
+	for id, l := range c.leases {
+		out[id] = l
+	}
+	return out
+}
+
+func (c *Coordinator) leaseAcquire(id, worker string) {
+	c.mu.Lock()
+	c.leases[id] = Lease{Worker: worker, Expires: time.Now().Add(c.cfg.RunTimeout)}
+	n := len(c.leases)
+	c.mu.Unlock()
+	if c.mInflight != nil {
+		c.mInflight.Set(float64(n))
+	}
+}
+
+func (c *Coordinator) leaseRelease(id string) {
+	c.mu.Lock()
+	delete(c.leases, id)
+	n := len(c.leases)
+	c.mu.Unlock()
+	if c.mInflight != nil {
+		c.mInflight.Set(float64(n))
+	}
+}
+
+func (c *Coordinator) workerStat(addr string) *WorkerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, ok := c.stats[addr]
+	if !ok {
+		ws = &WorkerStats{Addr: addr}
+		c.stats[addr] = ws
+	}
+	return ws
+}
+
+func (c *Coordinator) logf() *slog.Logger {
+	if c.log != nil {
+		return c.log
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// workerConn is one probed, healthy worker for the duration of a campaign.
+type workerConn struct {
+	base     string // normalised base URL
+	capacity int
+	alive    atomic.Bool
+	fails    atomic.Int32 // consecutive request failures
+}
+
+// deadAfter is the consecutive-failure count that marks a worker dead for
+// the rest of the campaign. Two strikes: a single fault-injected hiccup
+// must not bench a healthy worker, but a crashed one fails every request
+// and is benched almost immediately.
+const deadAfter = 2
+
+func normalizeAddr(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimRight(addr, "/")
+	}
+	return "http://" + strings.TrimRight(addr, "/")
+}
+
+// probe hellos every configured worker and returns the healthy ones.
+func (c *Coordinator) probe(ctx context.Context) []*workerConn {
+	var conns []*workerConn
+	for _, addr := range c.cfg.Workers {
+		base := normalizeAddr(addr)
+		ws := c.workerStat(base)
+		hello, err := c.hello(ctx, base)
+		if err != nil {
+			c.logf().Warn("worker probe failed", "worker", base, "err", err)
+			if c.mWorkerUp != nil {
+				c.mWorkerUp.Set(0, base)
+			}
+			ws.Alive = false
+			continue
+		}
+		if hello.Proto != ProtoVersion {
+			c.logf().Warn("worker speaks a different protocol",
+				"worker", base, "proto", hello.Proto, "want", ProtoVersion)
+			if c.mWorkerUp != nil {
+				c.mWorkerUp.Set(0, base)
+			}
+			ws.Alive = false
+			continue
+		}
+		if c.mWorkerUp != nil {
+			c.mWorkerUp.Set(1, base)
+		}
+		ws.Alive = true
+		ws.Capacity = hello.Capacity
+		conn := &workerConn{base: base, capacity: hello.Capacity}
+		conn.alive.Store(true)
+		conns = append(conns, conn)
+	}
+	return conns
+}
+
+func (c *Coordinator) hello(ctx context.Context, base string) (Hello, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+PathHello, nil)
+	if err != nil {
+		return Hello{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return Hello{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Hello{}, fmt.Errorf("dist: hello: status %s", resp.Status)
+	}
+	var h Hello
+	if err := gob.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Hello{}, fmt.Errorf("dist: decoding hello: %w", err)
+	}
+	return h, nil
+}
+
+// Collect runs a campaign across the configured workers. It is a drop-in
+// replacement for core.CollectContext with the identical result contract:
+// the returned RunSet (and its canonical archive bytes) are bit-for-bit
+// what a local collection produces. When no worker answers the probe — or
+// the platform cannot be named over the wire — it degrades to pure-local
+// execution with no error.
+func (c *Coordinator) Collect(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	start := time.Now()
+	jobs, err := core.PlanCampaign(pl, &opt)
+	if err != nil {
+		return nil, err
+	}
+	planTime := time.Since(start)
+
+	spec, ok := SpecFor(pl)
+	conns := c.probe(ctx)
+	if !ok || len(conns) == 0 {
+		reason := "no workers available"
+		if !ok {
+			reason = "platform has no wire spec"
+		}
+		c.logf().Info("degrading campaign to local execution",
+			"platform", pl.Name(), "reason", reason)
+		c.mu.Lock()
+		c.degraded++
+		c.mu.Unlock()
+		return core.CollectContext(ctx, pl, opt)
+	}
+
+	cp := &campaign{
+		c:        c,
+		ctx:      ctx,
+		pl:       pl,
+		opt:      &opt,
+		jobs:     jobs,
+		ids:      make([]string, len(jobs)),
+		spec:     spec,
+		fp:       pl.Config().Fingerprint(),
+		conns:    conns,
+		pending:  make(chan int, len(jobs)),
+		local:    make(chan int, len(jobs)),
+		done:     make(chan struct{}),
+		stopCh:   make(chan struct{}),
+		runs:     make(map[core.RunKey]platform.Measurement, len(jobs)),
+		attempts: make([]int, len(jobs)),
+		started:  make([]bool, len(jobs)),
+		rng:      xrand.New(c.cfg.Seed),
+	}
+	for i, j := range jobs {
+		if j.CacheKey != "" {
+			cp.ids[i] = j.CacheKey
+			continue
+		}
+		id, err := core.CacheKey(pl, j.Profile, j.Key.Cluster, j.Key.FreqMHz)
+		if err != nil {
+			return nil, err
+		}
+		cp.ids[i] = id
+	}
+	return cp.run(start, planTime)
+}
+
+// campaign is the per-Collect state machine. Job ownership is structural:
+// an index lives in exactly one place at a time — the pending channel, the
+// local channel, a retry timer, or a dispatch in flight — so the buffered
+// channels never block and a job can never run twice concurrently on the
+// coordinator's initiative. (Duplicate *responses* — chaos or a worker
+// answering after its lease expired — are absorbed by record's idempotence
+// guard instead.)
+type campaign struct {
+	c     *Coordinator
+	ctx   context.Context
+	pl    *platform.Platform
+	opt   *core.CollectOptions
+	jobs  []core.PlannedJob
+	ids   []string
+	spec  PlatformSpec
+	fp    string
+	conns []*workerConn
+
+	pending chan int
+	local   chan int
+	done    chan struct{}
+
+	remaining atomic.Int64
+	stop      atomic.Bool
+	stopCh    chan struct{} // closed by fail; wakes every blocked loop
+	stopOnce  sync.Once
+	drainOnce sync.Once
+
+	mu      sync.Mutex
+	runs    map[core.RunKey]platform.Measurement
+	failed  []core.RunError
+	started []bool
+
+	attempts []int // guarded by mu
+
+	hits, remote, localRuns, dups atomic.Int64
+	simNS, cacheNS                atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *xrand.RNG
+}
+
+func (cp *campaign) observer() core.CollectObserver { return cp.opt.Observer }
+
+func (cp *campaign) run(start time.Time, planTime time.Duration) (*core.RunSet, error) {
+	if obsv := cp.observer(); obsv != nil {
+		obsv.CollectStart(cp.pl.Name(), len(cp.jobs))
+	}
+	cp.remaining.Store(int64(len(cp.jobs)))
+
+	// Cache pass: hits complete immediately, misses queue for dispatch.
+	for i := range cp.jobs {
+		if cp.opt.Cache != nil {
+			t0 := time.Now()
+			m, ok := cp.opt.Cache.Get(cp.ids[i])
+			cp.cacheNS.Add(int64(time.Since(t0)))
+			if ok {
+				cp.hits.Add(1)
+				if cp.c.mJobs != nil {
+					cp.c.mJobs.Inc("cache")
+				}
+				if obsv := cp.observer(); obsv != nil {
+					obsv.CacheHit(cp.jobs[i].Key)
+				}
+				cp.mu.Lock()
+				cp.runs[cp.jobs[i].Key] = m
+				cp.mu.Unlock()
+				cp.finish()
+				continue
+			}
+		}
+		cp.pending <- i
+	}
+	cp.setQueueGauge()
+
+	var wg sync.WaitGroup
+	for _, w := range cp.conns {
+		for s := 0; s < w.capacity; s++ {
+			wg.Add(1)
+			go func(w *workerConn) {
+				defer wg.Done()
+				cp.workerLoop(w)
+			}(w)
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cp.localLoop()
+	}()
+	wg.Wait()
+	cp.setQueueGauge()
+
+	rs := &core.RunSet{Platform: cp.pl.Name(), Runs: cp.runs}
+	cp.mu.Lock()
+	failed := cp.failed
+	cp.mu.Unlock()
+	failedKeys := make(map[core.RunKey]bool, len(failed))
+	for _, re := range failed {
+		failedKeys[re.Key] = true
+	}
+	var skipped []core.RunKey
+	for _, j := range cp.jobs {
+		if _, ok := cp.runs[j.Key]; !ok && !failedKeys[j.Key] {
+			skipped = append(skipped, j.Key)
+		}
+	}
+
+	stats := core.CollectStats{
+		Platform:  cp.pl.Name(),
+		Jobs:      len(cp.jobs),
+		Simulated: int(cp.remote.Load() + cp.localRuns.Load()),
+		CacheHits: int(cp.hits.Load()),
+		Errors:    len(failed),
+		Skipped:   len(skipped),
+		PlanTime:  planTime,
+		CacheTime: time.Duration(cp.cacheNS.Load()),
+		SimTime:   time.Duration(cp.simNS.Load()),
+		WallTime:  time.Since(start),
+	}
+	if obsv := cp.observer(); obsv != nil {
+		obsv.CollectDone(stats)
+	}
+	cp.c.logf().Info("distributed campaign done",
+		"platform", stats.Platform, "jobs", stats.Jobs,
+		"remote", cp.remote.Load(), "local", cp.localRuns.Load(),
+		"cache_hits", stats.CacheHits, "duplicates", cp.dups.Load(),
+		"errors", stats.Errors, "wall", stats.WallTime.Round(time.Millisecond).String())
+
+	if len(failed) > 0 || cp.ctx.Err() != nil {
+		return nil, &core.CollectError{
+			Platform: cp.pl.Name(),
+			Failed:   failed,
+			Skipped:  skipped,
+			Cause:    context.Cause(cp.ctx),
+			Partial:  rs,
+		}
+	}
+	return rs, nil
+}
+
+func (cp *campaign) setQueueGauge() {
+	if cp.c.mQueue != nil {
+		cp.c.mQueue.Set(float64(len(cp.pending)))
+	}
+}
+
+// finish marks one job complete; the last one releases every loop.
+func (cp *campaign) finish() {
+	if cp.remaining.Add(-1) == 0 {
+		close(cp.done)
+	}
+}
+
+// record stores a measurement exactly once. The duplicate guard makes
+// completion idempotent: a chaos-duplicated response, or a worker
+// answering after its lease expired and the job was reassigned, is
+// counted and discarded instead of double-finishing the campaign. Both
+// executions of a deterministic job carry identical bits, so dropping
+// either copy preserves the equivalence contract.
+func (cp *campaign) record(i int, m platform.Measurement, simTime time.Duration, mode string) {
+	key := cp.jobs[i].Key
+	cp.mu.Lock()
+	if _, dup := cp.runs[key]; dup {
+		cp.mu.Unlock()
+		cp.dups.Add(1)
+		if cp.c.mDuplicates != nil {
+			cp.c.mDuplicates.Inc()
+		}
+		return
+	}
+	cp.runs[key] = m
+	cp.mu.Unlock()
+
+	switch mode {
+	case "remote":
+		cp.remote.Add(1)
+	case "local":
+		cp.localRuns.Add(1)
+	}
+	if cp.c.mJobs != nil {
+		cp.c.mJobs.Inc(mode)
+	}
+	cp.simNS.Add(int64(simTime))
+	if cp.opt.Cache != nil {
+		t0 := time.Now()
+		cp.opt.Cache.Put(cp.ids[i], m)
+		cp.cacheNS.Add(int64(time.Since(t0)))
+	}
+	if obsv := cp.observer(); obsv != nil {
+		obsv.RunDone(key, m, simTime)
+	}
+	cp.finish()
+}
+
+// fail records a terminal run failure and stops the campaign, mirroring
+// core.CollectContext's fail-fast: the remaining jobs become skipped.
+func (cp *campaign) fail(i int, err error) {
+	re := core.RunError{Key: cp.jobs[i].Key, Err: err}
+	cp.mu.Lock()
+	cp.failed = append(cp.failed, re)
+	cp.mu.Unlock()
+	cp.stop.Store(true)
+	cp.stopOnce.Do(func() { close(cp.stopCh) })
+	if obsv := cp.observer(); obsv != nil {
+		obsv.RunError(re.Key, err)
+	}
+}
+
+// runStartOnce fires the observer's RunStart exactly once per job, however
+// many attempts it takes.
+func (cp *campaign) runStartOnce(i int) {
+	cp.mu.Lock()
+	first := !cp.started[i]
+	cp.started[i] = true
+	cp.mu.Unlock()
+	if first {
+		if obsv := cp.observer(); obsv != nil {
+			obsv.RunStart(cp.jobs[i].Key)
+		}
+	}
+}
+
+func (cp *campaign) aliveWorkers() int {
+	n := 0
+	for _, w := range cp.conns {
+		if w.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// workerLoop pulls pending jobs and dispatches them to one worker slot.
+func (cp *campaign) workerLoop(w *workerConn) {
+	for {
+		if cp.stop.Load() || !w.alive.Load() {
+			return
+		}
+		select {
+		case <-cp.done:
+			return
+		case <-cp.stopCh:
+			return
+		case <-cp.ctx.Done():
+			return
+		case i := <-cp.pending:
+			cp.setQueueGauge()
+			if cp.stop.Load() {
+				return
+			}
+			if !w.alive.Load() {
+				// This slot was benched while blocked on the queue; hand
+				// the job back without burning an attempt.
+				cp.reroute(i)
+				return
+			}
+			cp.dispatch(w, i)
+		}
+	}
+}
+
+// reroute sends a job to another live worker, or to the local lane when
+// none remain.
+func (cp *campaign) reroute(i int) {
+	if cp.aliveWorkers() == 0 {
+		cp.local <- i
+		return
+	}
+	cp.pending <- i
+	cp.setQueueGauge()
+}
+
+// dispatch runs one remote attempt of job i on w and routes the outcome:
+// success records, a terminal (simulation) failure stops the campaign, and
+// a transport/server failure reschedules with exponential backoff and
+// jitter — to any live worker, or locally once attempts are exhausted.
+func (cp *campaign) dispatch(w *workerConn, i int) {
+	cp.runStartOnce(i)
+	cp.c.leaseAcquire(cp.ids[i], w.base)
+	m, simSec, err := cp.runRemote(w, i)
+	cp.c.leaseRelease(cp.ids[i])
+
+	if err == nil {
+		w.fails.Store(0)
+		st := cp.c.workerStat(w.base)
+		cp.c.mu.Lock()
+		st.Jobs++
+		cp.c.mu.Unlock()
+		cp.record(i, m, time.Duration(simSec*float64(time.Second)), "remote")
+		return
+	}
+
+	if isTerminal(err) {
+		cp.fail(i, err)
+		return
+	}
+
+	// Retryable failure: charge the worker and the job, then reschedule.
+	cp.noteWorkerFailure(w, err)
+	if cp.c.mRetries != nil {
+		cp.c.mRetries.Inc()
+	}
+	cp.mu.Lock()
+	cp.attempts[i]++
+	n := cp.attempts[i]
+	cp.mu.Unlock()
+	cp.c.logf().Warn("remote attempt failed",
+		"job", cp.jobs[i].Key.String(), "worker", w.base, "attempt", n, "err", err)
+
+	if n >= cp.c.cfg.MaxAttempts || cp.aliveWorkers() == 0 {
+		cp.local <- i
+		return
+	}
+	delay := cp.backoff(n)
+	time.AfterFunc(delay, func() {
+		if cp.stop.Load() {
+			return
+		}
+		select {
+		case <-cp.done:
+			return
+		case <-cp.ctx.Done():
+			return
+		default:
+		}
+		cp.pending <- i
+		cp.setQueueGauge()
+	})
+}
+
+// noteWorkerFailure charges a failed attempt to w; deadAfter consecutive
+// failures bench it for the rest of the campaign. When the last live
+// worker is benched, a drainer moves queued jobs to the local lane so
+// nothing starves waiting for workers that will never answer.
+func (cp *campaign) noteWorkerFailure(w *workerConn, err error) {
+	st := cp.c.workerStat(w.base)
+	cp.c.mu.Lock()
+	st.Retries++
+	cp.c.mu.Unlock()
+	if w.fails.Add(1) < deadAfter {
+		return
+	}
+	if !w.alive.CompareAndSwap(true, false) {
+		return
+	}
+	if cp.c.mWorkerUp != nil {
+		cp.c.mWorkerUp.Set(0, w.base)
+	}
+	cp.c.mu.Lock()
+	st.Alive = false
+	cp.c.mu.Unlock()
+	cp.c.logf().Warn("worker benched for this campaign", "worker", w.base, "err", err)
+	if cp.aliveWorkers() == 0 {
+		cp.drainOnce.Do(func() { go cp.drainToLocal() })
+	}
+}
+
+// drainToLocal forwards every queued job to the local lane once no worker
+// remains alive.
+func (cp *campaign) drainToLocal() {
+	for {
+		select {
+		case <-cp.done:
+			return
+		case <-cp.stopCh:
+			return
+		case <-cp.ctx.Done():
+			return
+		case i := <-cp.pending:
+			if cp.stop.Load() {
+				return
+			}
+			cp.local <- i
+		}
+	}
+}
+
+// localLoop is the coordinator-side fallback lane: jobs whose remote
+// attempts are exhausted (or that lost every worker) simulate here on a
+// reused SimContext, exactly as a local campaign would.
+func (cp *campaign) localLoop() {
+	var sim *platform.SimContext // built on first use
+	for {
+		if cp.stop.Load() {
+			return
+		}
+		select {
+		case <-cp.done:
+			return
+		case <-cp.stopCh:
+			return
+		case <-cp.ctx.Done():
+			return
+		case i := <-cp.local:
+			if cp.stop.Load() {
+				return
+			}
+			cp.runStartOnce(i)
+			if sim == nil {
+				sim = platform.NewSimContext(cp.pl)
+			}
+			j := cp.jobs[i]
+			t0 := time.Now()
+			m, err := sim.Run(j.Profile, j.Key.Cluster, j.Key.FreqMHz)
+			if err != nil {
+				cp.fail(i, err)
+				return
+			}
+			cp.record(i, m, time.Since(t0), "local")
+		}
+	}
+}
+
+// backoff computes the jittered delay before attempt n+1.
+func (cp *campaign) backoff(n int) time.Duration {
+	d := cp.c.cfg.BackoffBase << (n - 1)
+	if d > cp.c.cfg.BackoffMax || d <= 0 {
+		d = cp.c.cfg.BackoffMax
+	}
+	cp.rngMu.Lock()
+	f := 0.5 + cp.rng.Float64()
+	cp.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// remoteError is a retryable worker-request failure, tagged for the
+// gemstone_dist_http_errors_total metric.
+type remoteError struct {
+	kind string // conn | status | decode | proto | misroute | digest
+	err  error
+}
+
+func (e *remoteError) Error() string { return fmt.Sprintf("dist: %s: %v", e.kind, e.err) }
+func (e *remoteError) Unwrap() error { return e.err }
+
+// simFailedError wraps a worker's 422: the simulation itself failed.
+// Deterministic simulations fail everywhere, so this is terminal — the
+// campaign stops instead of retrying, matching local Collect.
+type simFailedError struct{ msg string }
+
+func (e *simFailedError) Error() string { return e.msg }
+
+func isTerminal(err error) bool {
+	var sf *simFailedError
+	return errors.As(err, &sf)
+}
+
+// runRemote performs one HTTP attempt of job i against w under the lease
+// timeout, verifying protocol version, job identity and payload digest
+// before trusting the measurement.
+func (cp *campaign) runRemote(w *workerConn, i int) (platform.Measurement, float64, error) {
+	j := cp.jobs[i]
+	job := Job{
+		Proto:      ProtoVersion,
+		ID:         cp.ids[i],
+		Spec:       cp.spec,
+		PlatformFP: cp.fp,
+		Profile:    j.Profile,
+		Cluster:    j.Key.Cluster,
+		FreqMHz:    j.Key.FreqMHz,
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(job); err != nil {
+		return platform.Measurement{}, 0, cp.httpErr("encode", err)
+	}
+	ctx, cancel := context.WithTimeout(cp.ctx, cp.c.cfg.RunTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+PathRun, bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return platform.Measurement{}, 0, cp.httpErr("encode", err)
+	}
+	req.Header.Set("Content-Type", contentType)
+
+	resp, err := cp.c.client.Do(req)
+	if err != nil {
+		kind := "conn"
+		if ctx.Err() == context.DeadlineExceeded {
+			kind = "lease-expired"
+		}
+		return platform.Measurement{}, 0, cp.httpErr(kind, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to decoding
+	case http.StatusUnprocessableEntity:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return platform.Measurement{}, 0, &simFailedError{msg: strings.TrimSpace(string(msg))}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return platform.Measurement{}, 0, cp.httpErr("status",
+			fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg))))
+	}
+
+	var res RunResult
+	if err := gob.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return platform.Measurement{}, 0, cp.httpErr("decode", err)
+	}
+	if res.Proto != ProtoVersion {
+		return platform.Measurement{}, 0, cp.httpErr("proto",
+			fmt.Errorf("result protocol %d, want %d", res.Proto, ProtoVersion))
+	}
+	if res.ID != job.ID {
+		return platform.Measurement{}, 0, cp.httpErr("misroute",
+			fmt.Errorf("result for %s, want %s", res.ID, job.ID))
+	}
+	m, err := res.Measurement()
+	if err != nil {
+		return platform.Measurement{}, 0, cp.httpErr("digest", err)
+	}
+	return m, res.SimSeconds, nil
+}
+
+func (cp *campaign) httpErr(kind string, err error) error {
+	if cp.c.mHTTPErrors != nil {
+		cp.c.mHTTPErrors.Inc(kind)
+	}
+	return &remoteError{kind: kind, err: err}
+}

@@ -75,6 +75,26 @@ type RunManifest struct {
 	// ("collect", "plan", "simulate", "cache-get", "pipeline", ...) —
 	// cumulative across lanes, so concurrent phases sum beyond wall time.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// DistWorkers records the remote workers of a distributed campaign
+	// (gemstone -workers): who simulated what, and how reliably. Empty for
+	// purely local runs.
+	DistWorkers []DistWorker `json:"dist_workers,omitempty"`
+}
+
+// DistWorker is per-worker provenance from a distributed campaign. It is
+// the manifest's own shape (not internal/dist's) so ledger readers never
+// depend on the wire package.
+type DistWorker struct {
+	// Addr is the worker's base URL.
+	Addr string `json:"addr"`
+	// Capacity is the parallelism the worker advertised.
+	Capacity int `json:"capacity"`
+	// Jobs counts measurements the worker contributed.
+	Jobs int `json:"jobs"`
+	// Retries counts failed attempts charged to the worker.
+	Retries int `json:"retries"`
+	// Alive reports whether the worker was still healthy at the end.
+	Alive bool `json:"alive"`
 }
 
 // CampaignStats is the JSON-friendly form of core.CollectStats.

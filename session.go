@@ -1,0 +1,146 @@
+package gemstone
+
+// Session captures the (hwRuns, simRuns, cluster, freqMHz) tuple that
+// every analysis of Sections IV-VII takes, and exposes the analysis
+// surface as methods. The top-level functions remain the primitive API —
+// each method is a thin delegation — so existing callers keep working;
+// Session removes the repetition from the common flow:
+//
+//	s := gemstone.NewSession(hwRuns, simRuns, gemstone.ClusterA15, 1000)
+//	summary, _ := s.Validate()
+//	clusters, _ := s.ClusterWorkloads(16)
+//	corr, _ := s.PMCErrorCorrelation(30)
+//
+// A Session is immutable: At and On return derived sessions, so sweeping
+// operating points is s.At(1400), not a parameter re-plumb. Methods are
+// safe for concurrent use (the underlying run sets are read-only).
+type Session struct {
+	hw      *RunSet
+	sim     *RunSet
+	cluster string
+	freqMHz int
+}
+
+// NewSession pairs a hardware reference run set with a model run set at
+// one analysis operating point.
+func NewSession(hwRuns, simRuns *RunSet, cluster string, freqMHz int) *Session {
+	return &Session{hw: hwRuns, sim: simRuns, cluster: cluster, freqMHz: freqMHz}
+}
+
+// HW returns the hardware reference run set.
+func (s *Session) HW() *RunSet { return s.hw }
+
+// Sim returns the model run set.
+func (s *Session) Sim() *RunSet { return s.sim }
+
+// Cluster returns the analysed cluster name.
+func (s *Session) Cluster() string { return s.cluster }
+
+// FreqMHz returns the analysis operating point.
+func (s *Session) FreqMHz() int { return s.freqMHz }
+
+// At returns a derived session analysing the same run sets at another
+// frequency.
+func (s *Session) At(freqMHz int) *Session {
+	d := *s
+	d.freqMHz = freqMHz
+	return &d
+}
+
+// On returns a derived session analysing the same run sets on another
+// cluster.
+func (s *Session) On(cluster string) *Session {
+	d := *s
+	d.cluster = cluster
+	return &d
+}
+
+// WithSim returns a derived session comparing the same hardware reference
+// against another model run set (a different gem5 version, an ablation).
+func (s *Session) WithSim(simRuns *RunSet) *Session {
+	d := *s
+	d.sim = simRuns
+	return &d
+}
+
+// Validate compares the model against the hardware reference across every
+// shared frequency of the session's cluster.
+func (s *Session) Validate() (*ValidationSummary, error) {
+	return Validate(s.hw, s.sim, s.cluster)
+}
+
+// ClusterWorkloads groups workloads by hardware PMC behaviour into k
+// clusters and annotates them with model errors (Fig. 3).
+func (s *Session) ClusterWorkloads(k int) (*WorkloadClustering, error) {
+	return ClusterWorkloads(s.hw, s.sim, s.cluster, s.freqMHz, k)
+}
+
+// PMCErrorCorrelation correlates the top kEvents hardware PMC rates with
+// the model's execution-time error (Fig. 5).
+func (s *Session) PMCErrorCorrelation(kEvents int) ([]EventCorr, error) {
+	return PMCErrorCorrelation(s.hw, s.sim, s.cluster, s.freqMHz, kEvents)
+}
+
+// Gem5EventCorrelation correlates gem5 statistics with the execution-time
+// error and clusters the significant ones (Section IV-C).
+func (s *Session) Gem5EventCorrelation(minAbsCorr float64, k int) ([]Gem5EventCorr, error) {
+	return Gem5EventCorrelation(s.hw, s.sim, s.cluster, s.freqMHz, minAbsCorr, k)
+}
+
+// ErrorRegressionPMC regresses the model error onto hardware PMC events
+// (Section IV-D).
+func (s *Session) ErrorRegressionPMC(opt StepwiseOptions) (*RegressionReport, error) {
+	return ErrorRegressionPMC(s.hw, s.sim, s.cluster, s.freqMHz, opt)
+}
+
+// ErrorRegressionGem5 regresses the model error onto gem5 statistics.
+func (s *Session) ErrorRegressionGem5(opt StepwiseOptions) (*RegressionReport, error) {
+	return ErrorRegressionGem5(s.hw, s.sim, s.cluster, s.freqMHz, opt)
+}
+
+// EventComparison matches gem5 events to HW PMC equivalents and reports
+// their count ratios per workload cluster (Fig. 6).
+func (s *Session) EventComparison(labels map[string]int, events []PMUEvent,
+	mapping EventMapping, excludeClusters map[int]bool) ([]EventRatio, *BPComparison, error) {
+	return EventComparison(s.hw, s.sim, s.cluster, s.freqMHz, labels, events, mapping, excludeClusters)
+}
+
+// BuildPowerModel trains an empirical PMC power model on the session's
+// hardware runs (Section V).
+func (s *Session) BuildPowerModel(opt PowerBuildOptions) (*PowerModel, error) {
+	return BuildPowerModel(s.hw, s.cluster, opt)
+}
+
+// AnalyzePowerEnergy applies a power model to both run sets and compares
+// the resulting power and energy (Fig. 7).
+func (s *Session) AnalyzePowerEnergy(model *PowerModel, mapping EventMapping,
+	labels map[string]int) (*PowerEnergyAnalysis, error) {
+	return AnalyzePowerEnergy(model, mapping, s.hw, s.sim, s.cluster, s.freqMHz, labels)
+}
+
+// ErrorConsistency computes the cross-frequency error-pattern correlation
+// (Section IV).
+func (s *Session) ErrorConsistency() (*FrequencyConsistency, error) {
+	return ErrorConsistency(s.hw, s.sim, s.cluster)
+}
+
+// CompareVersions runs the Section VII study with the session's model runs
+// as V1 and v2Runs as V2, against the session's hardware reference.
+func (s *Session) CompareVersions(v2Runs *RunSet, model *PowerModel,
+	mapping EventMapping, labels map[string]int) (*VersionComparison, error) {
+	return CompareVersions(s.hw, s.sim, v2Runs, s.cluster, s.freqMHz, model, mapping, labels)
+}
+
+// AssessEventReliability computes per-event gem5 accuracy (the Fig. 7
+// legend numbers).
+func (s *Session) AssessEventReliability(mapping EventMapping, candidates []PMUEvent) ([]EventReliability, error) {
+	return AssessEventReliability(s.hw, s.sim, s.cluster, s.freqMHz, mapping, candidates)
+}
+
+// DeriveEventRestraints implements Fig. 1's feedback path over the
+// session's run sets: events unavailable or badly modelled in gem5 are
+// excluded from the power-model candidate pool.
+func (s *Session) DeriveEventRestraints(mapping EventMapping, candidates []PMUEvent,
+	maxMAPE float64) (pool, excluded []PMUEvent, err error) {
+	return DeriveEventRestraints(s.hw, s.sim, s.cluster, s.freqMHz, mapping, candidates, maxMAPE)
+}

@@ -1,0 +1,107 @@
+package gemstone_test
+
+import (
+	"testing"
+
+	"gemstone"
+)
+
+// TestSessionMatchesTopLevelFunctions pins the Session API contract: every
+// method is a thin delegation, so its result must match the corresponding
+// top-level call exactly.
+func TestSessionMatchesTopLevelFunctions(t *testing.T) {
+	hwRuns, simRuns := smallCampaign(t)
+	s := gemstone.NewSession(hwRuns, simRuns, gemstone.ClusterA15, 1000)
+
+	if s.HW() != hwRuns || s.Sim() != simRuns {
+		t.Fatal("accessors do not return the captured run sets")
+	}
+	if s.Cluster() != gemstone.ClusterA15 || s.FreqMHz() != 1000 {
+		t.Fatalf("operating point = (%s, %d)", s.Cluster(), s.FreqMHz())
+	}
+
+	vs, err := s.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gemstone.Validate(hwRuns, simRuns, gemstone.ClusterA15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.MAPE != want.MAPE || vs.MPE != want.MPE {
+		t.Fatalf("Session.Validate = (%v, %v), top-level = (%v, %v)",
+			vs.MAPE, vs.MPE, want.MAPE, want.MPE)
+	}
+
+	wc, err := s.ClusterWorkloads(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWC, err := gemstone.ClusterWorkloads(hwRuns, simRuns, gemstone.ClusterA15, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Rows) != len(wantWC.Rows) {
+		t.Fatalf("Session.ClusterWorkloads rows = %d, want %d", len(wc.Rows), len(wantWC.Rows))
+	}
+
+	corr, err := s.PMCErrorCorrelation(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCorr, err := gemstone.PMCErrorCorrelation(hwRuns, simRuns, gemstone.ClusterA15, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr) != len(wantCorr) {
+		t.Fatalf("PMCErrorCorrelation rows = %d, want %d", len(corr), len(wantCorr))
+	}
+	for i := range corr {
+		if corr[i] != wantCorr[i] {
+			t.Fatalf("row %d: %+v != %+v", i, corr[i], wantCorr[i])
+		}
+	}
+
+	model, err := s.BuildPowerModel(gemstone.PowerBuildOptions{Pool: gemstone.RestrictedPool()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := s.AnalyzePowerEnergy(model, gemstone.DefaultMapping(), wc.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe == nil {
+		t.Fatal("AnalyzePowerEnergy returned nil")
+	}
+
+	// The fixture has a single frequency, so consistency must fail — the
+	// same way through both surfaces.
+	_, errS := s.ErrorConsistency()
+	_, errT := gemstone.ErrorConsistency(hwRuns, simRuns, gemstone.ClusterA15)
+	if errS == nil || errT == nil || errS.Error() != errT.Error() {
+		t.Fatalf("ErrorConsistency: session=%v top-level=%v", errS, errT)
+	}
+}
+
+// TestSessionDerivation pins that At/On/WithSim derive new sessions
+// without mutating the original.
+func TestSessionDerivation(t *testing.T) {
+	hwRuns, simRuns := smallCampaign(t)
+	s := gemstone.NewSession(hwRuns, simRuns, gemstone.ClusterA15, 1000)
+
+	at := s.At(1400)
+	if at.FreqMHz() != 1400 || at.Cluster() != gemstone.ClusterA15 {
+		t.Fatalf("At(1400) = (%s, %d)", at.Cluster(), at.FreqMHz())
+	}
+	on := s.On(gemstone.ClusterA7)
+	if on.Cluster() != gemstone.ClusterA7 || on.FreqMHz() != 1000 {
+		t.Fatalf("On(a7) = (%s, %d)", on.Cluster(), on.FreqMHz())
+	}
+	with := s.WithSim(hwRuns)
+	if with.Sim() != hwRuns || with.HW() != hwRuns {
+		t.Fatal("WithSim did not swap the model run set")
+	}
+	if s.FreqMHz() != 1000 || s.Cluster() != gemstone.ClusterA15 || s.Sim() != simRuns {
+		t.Fatal("derivation mutated the original session")
+	}
+}
