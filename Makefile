@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check quick build vet test bench bench-compare fuzz clean watch experiments baseline
+.PHONY: check quick build vet test serve-test bench bench-compare fuzz clean watch experiments baseline
 
 check: build vet test
 
@@ -26,6 +26,14 @@ vet:
 
 test:
 	$(GO) test -race -timeout 45m ./...
+
+# Campaign-service integration suite: the end-to-end golden test (two
+# tenants through `gemstone serve` with a worker killed mid-campaign),
+# admission control, spec fuzz seeds, and the dist concurrent-campaign
+# regression — everything under -race. -short trims campaign sizes and
+# skips the chaos soak; drop it for the full soak.
+serve-test:
+	$(GO) test -race -short -count=1 ./internal/serve/ ./internal/dist/
 
 # Campaign, observability and stats benchmarks; writes machine-readable
 # results to BENCH_hotloop.json (see scripts/bench.sh). BENCH_obs.json is

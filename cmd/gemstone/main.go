@@ -7,6 +7,8 @@
 // Usage:
 //
 //	gemstone [flags]
+//	gemstone serve [flags]   start the multi-tenant campaign service
+//	                         (HTTP/JSON API; see serve.go for flags)
 //
 //	-cluster   a15|a7        cluster to analyse            (default a15)
 //	-freq      MHz           analysis operating point      (default 1000)
@@ -174,6 +176,12 @@ func fatal(err error) {
 }
 
 func main() {
+	// Subcommand dispatch: `gemstone serve` starts the campaign service;
+	// everything else is the classic one-shot flag-driven pipeline.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	cluster := flag.String("cluster", gemstone.ClusterA15, "cluster to analyse (a7|a15)")
 	freq := flag.Int("freq", 1000, "analysis frequency in MHz")
 	version := flag.Int("version", 1, "gem5 model version (1|2)")

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"gemstone/internal/core"
+	"gemstone/internal/dist"
+	"gemstone/internal/ledger"
+	"gemstone/internal/obs"
+	"gemstone/internal/serve"
+)
+
+// serveMain is the `gemstone serve` subcommand: the multi-tenant
+// campaign service. Where the bare CLI runs one campaign and exits,
+// serve turns the same collector into a daemon — campaigns are POSTed
+// as JSON, followed over SSE, and their analyses and canonical archives
+// read back over HTTP.
+//
+// Usage:
+//
+//	gemstone serve [flags]
+//
+//	-listen        host:port  API endpoint                   (default :9178)
+//	-workers       host:port,... distribute campaigns across these
+//	                          gemstoned workers (local execution when empty)
+//	-cachedir      dir        persistent run cache (namespaced per tenant)
+//	-ledger        file       append per-campaign provenance entries
+//	-max-campaigns N          fleet-wide in-flight campaign bound (default 4)
+//	-tenant-quota  N          per-tenant in-flight campaign bound (default 2)
+//	-campaign-workers N       per-campaign local parallelism (0 = GOMAXPROCS)
+//	-metrics-addr  host:port  separate observability endpoint; the API
+//	                          itself always serves /metrics and /healthz
+//	-log-format    text|json  structured-log output format   (default text)
+//
+// SIGINT stops admission, cancels running campaigns (their SSE streams
+// end with an error frame) and exits.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("gemstone serve", flag.ExitOnError)
+	listen := fs.String("listen", ":9178", "serve the campaign API on this host:port")
+	workers := fs.String("workers", "", "comma-separated gemstoned worker addresses")
+	cacheDir := fs.String("cachedir", "", "memoise runs in a persistent cache at this directory")
+	ledgerPath := fs.String("ledger", "", "append per-campaign provenance entries to this JSONL ledger")
+	maxCampaigns := fs.Int("max-campaigns", 0, "max in-flight campaigns fleet-wide (0 = default)")
+	tenantQuota := fs.Int("tenant-quota", 0, "max in-flight campaigns per tenant (0 = default)")
+	campaignWorkers := fs.Int("campaign-workers", 0, "per-campaign local collection parallelism (0 = GOMAXPROCS)")
+	metricsAddr := fs.String("metrics-addr", "", "serve a separate /metrics endpoint on this host:port")
+	logFormat := fs.String("log-format", obs.LogText, "log output format (text|json)")
+	_ = fs.Parse(args)
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemstone serve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			logger.Error("metrics listener failed", "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		logger.Info("metrics listening", "addr", srv.Addr())
+	}
+
+	var cache core.RunCache
+	if *cacheDir != "" {
+		if cache, err = core.OpenRunCache(*cacheDir); err != nil {
+			logger.Error("run cache unavailable", "err", err)
+			os.Exit(1)
+		}
+	}
+
+	var store *ledger.Store
+	if *ledgerPath != "" {
+		store = ledger.Open(*ledgerPath)
+	}
+
+	var coord *dist.Coordinator
+	if *workers != "" {
+		var addrs []string
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		coord = dist.NewCoordinator(dist.CoordinatorConfig{
+			Workers:  addrs,
+			Registry: reg,
+			Log:      logger,
+		})
+		logger.Info("distributing campaigns", "workers", len(addrs))
+	}
+
+	svc := serve.New(serve.Config{
+		Coordinator:  coord,
+		Cache:        cache,
+		Ledger:       store,
+		Registry:     reg,
+		Log:          logger,
+		MaxCampaigns: *maxCampaigns,
+		TenantQuota:  *tenantQuota,
+		Workers:      *campaignWorkers,
+	})
+
+	server := &http.Server{
+		Addr:              *listen,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		logger.Info("shutting down")
+		// Cancel campaigns first so SSE streams terminate with their
+		// error frame, then drain the HTTP server.
+		_ = svc.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutdownCtx)
+	}()
+
+	logger.Info("campaign service listening", "addr", *listen)
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	}
+}

@@ -330,6 +330,50 @@ func (c *TieredCache) Put(key string, m platform.Measurement) {
 	c.disk.Put(key, m)
 }
 
+// NamespaceCache isolates a tenant's view of a shared run cache: every
+// key is re-derived as a hash over (namespace, key), so two tenants
+// running the identical campaign never observe each other's entries.
+// The service layer uses this to give each tenant an independent cache
+// without provisioning per-tenant stores — isolation costs one SHA-256
+// per access, not a directory per tenant. Derived keys are hex, so they
+// remain filesystem-safe for DiskCache regardless of namespace bytes.
+type NamespaceCache struct {
+	ns    string
+	inner RunCache
+}
+
+// NewNamespaceCache wraps inner so all keys are scoped to namespace ns.
+// An empty namespace is valid and still distinct from the unwrapped
+// cache (the key is re-derived either way).
+func NewNamespaceCache(ns string, inner RunCache) *NamespaceCache {
+	return &NamespaceCache{ns: ns, inner: inner}
+}
+
+// Namespace returns the namespace this view is scoped to.
+func (c *NamespaceCache) Namespace() string { return c.ns }
+
+// scope derives the namespaced key. Both fields are length-framed, so
+// (ns="a", key="bc") and (ns="ab", key="c") can never collide.
+func (c *NamespaceCache) scope(key string) string {
+	buf := make([]byte, 0, 8*2+len(c.ns)+len(key))
+	buf = appendKeyField(buf, c.ns)
+	buf = appendKeyField(buf, key)
+	sum := sha256.Sum256(buf)
+	var dst [2 * sha256.Size]byte
+	hex.Encode(dst[:], sum[:])
+	return string(dst[:])
+}
+
+// Get looks the key up inside the namespace.
+func (c *NamespaceCache) Get(key string) (platform.Measurement, bool) {
+	return c.inner.Get(c.scope(key))
+}
+
+// Put stores the measurement inside the namespace.
+func (c *NamespaceCache) Put(key string, m platform.Measurement) {
+	c.inner.Put(c.scope(key), m)
+}
+
 // OpenRunCache builds the standard two-tier cache: a default-sized LRU in
 // front of an on-disk store at dir.
 func OpenRunCache(dir string) (*TieredCache, error) {

@@ -111,6 +111,65 @@ func TestMemoryCacheLRU(t *testing.T) {
 	}
 }
 
+// TestNamespaceCacheIsolation is the tenancy contract: the same key
+// written through two namespaces lands in two distinct entries, each
+// readable only through its own namespace, and the derived keys stay
+// filesystem-safe hex so a DiskCache backing works unchanged.
+func TestNamespaceCacheIsolation(t *testing.T) {
+	inner := NewMemoryCache(16)
+	a := NewNamespaceCache("tenant-a", inner)
+	b := NewNamespaceCache("tenant-b", inner)
+
+	a.Put("k", testMeasurement(1))
+	if _, ok := b.Get("k"); ok {
+		t.Fatal("tenant-b read tenant-a's entry")
+	}
+	if _, ok := inner.Get("k"); ok {
+		t.Fatal("namespaced key stored verbatim in the shared cache")
+	}
+	m, ok := a.Get("k")
+	if !ok || m.Seconds != 1 {
+		t.Fatal("tenant-a lost its own entry")
+	}
+
+	b.Put("k", testMeasurement(2))
+	if m, _ := a.Get("k"); m.Seconds != 1 {
+		t.Fatal("tenant-b's write clobbered tenant-a's entry")
+	}
+	if m, _ := b.Get("k"); m.Seconds != 2 {
+		t.Fatal("tenant-b read back the wrong entry")
+	}
+
+	t.Run("length framing", func(t *testing.T) {
+		// (ns="a", key="bc") must not alias (ns="ab", key="c").
+		NewNamespaceCache("a", inner).Put("bc", testMeasurement(3))
+		if _, ok := NewNamespaceCache("ab", inner).Get("c"); ok {
+			t.Fatal("namespace/key boundary ambiguous: concatenation aliases")
+		}
+	})
+
+	t.Run("disk-backed", func(t *testing.T) {
+		disk, err := NewDiskCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A hostile namespace (path separators, dots) must still produce
+		// a plain hex file name inside the cache dir.
+		ns := NewNamespaceCache("../t/../../evil", disk)
+		ns.Put("k", testMeasurement(4))
+		if m, ok := ns.Get("k"); !ok || m.Seconds != 4 {
+			t.Fatal("disk round trip through namespace failed")
+		}
+		ents, err := os.ReadDir(disk.Dir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 1 {
+			t.Fatalf("expected 1 cache file inside the dir, found %d", len(ents))
+		}
+	})
+}
+
 func TestDiskCacheRoundTrip(t *testing.T) {
 	c, err := NewDiskCache(t.TempDir())
 	if err != nil {

@@ -65,6 +65,19 @@ type WorkerStats struct {
 	Alive bool `json:"alive"`
 }
 
+// LeaseKey identifies one in-flight job assignment. Leases are keyed by
+// (campaign, job), never by job alone: concurrent campaigns may schedule
+// the identical content-addressed job (same platform, workload and DVFS
+// point — hence the same ID) at the same time, and each campaign's lease
+// must expire and reassign independently of the other's.
+type LeaseKey struct {
+	// Campaign is the campaign the assignment belongs to (see
+	// CollectNamed).
+	Campaign string
+	// Job is the content-addressed job ID (the run-cache key).
+	Job string
+}
+
 // Lease records one in-flight job assignment.
 type Lease struct {
 	// Worker is the base URL of the worker holding the job.
@@ -74,8 +87,12 @@ type Lease struct {
 }
 
 // Coordinator shards campaigns across remote workers. It is safe for
-// sequential campaigns (the usual hw-then-sim pair); worker provenance
-// accumulates across them for the ledger.
+// concurrent campaigns over one shared fleet: each worker's advertised
+// capacity is enforced by a shared slot pool (a campaign never opens
+// request slots the fleet does not have), the lease table is keyed by
+// (campaign, job) so identical jobs in overlapping campaigns cannot
+// collide, and worker provenance accumulates across campaigns for the
+// ledger.
 type Coordinator struct {
 	cfg    CoordinatorConfig
 	client *http.Client
@@ -92,10 +109,23 @@ type Coordinator struct {
 	mHTTPErrors *obs.Counter
 	mDuplicates *obs.Counter
 
+	// seq names anonymous campaigns (Collect without CollectNamed).
+	seq atomic.Int64
+
 	mu       sync.Mutex
-	leases   map[string]Lease
+	leases   map[LeaseKey]Lease
 	stats    map[string]*WorkerStats
+	slots    map[string]*slotPool
 	degraded int
+}
+
+// slotPool bounds the coordinator-side request slots of one worker across
+// every concurrent campaign. The channel's capacity is the worker's
+// advertised parallelism: holding a token is holding the right to have
+// one request in flight against that worker.
+type slotPool struct {
+	ch       chan struct{}
+	capacity int
 }
 
 // NewCoordinator builds a coordinator.
@@ -122,8 +152,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		cfg:    cfg,
 		client: cfg.Client,
 		log:    cfg.Log,
-		leases: make(map[string]Lease),
+		leases: make(map[LeaseKey]Lease),
 		stats:  make(map[string]*WorkerStats),
+		slots:  make(map[string]*slotPool),
 	}
 	if c.client == nil {
 		c.client = &http.Client{}
@@ -169,19 +200,20 @@ func (c *Coordinator) DegradedCampaigns() int {
 }
 
 // Leases snapshots the in-flight lease table (tests and debugging).
-func (c *Coordinator) Leases() map[string]Lease {
+func (c *Coordinator) Leases() map[LeaseKey]Lease {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]Lease, len(c.leases))
-	for id, l := range c.leases {
-		out[id] = l
+	out := make(map[LeaseKey]Lease, len(c.leases))
+	for k, l := range c.leases {
+		out[k] = l
 	}
 	return out
 }
 
-func (c *Coordinator) leaseAcquire(id, worker string) {
+func (c *Coordinator) leaseAcquire(campaign, job, worker string) {
 	c.mu.Lock()
-	c.leases[id] = Lease{Worker: worker, Expires: time.Now().Add(c.cfg.RunTimeout)}
+	c.leases[LeaseKey{Campaign: campaign, Job: job}] =
+		Lease{Worker: worker, Expires: time.Now().Add(c.cfg.RunTimeout)}
 	n := len(c.leases)
 	c.mu.Unlock()
 	if c.mInflight != nil {
@@ -189,14 +221,32 @@ func (c *Coordinator) leaseAcquire(id, worker string) {
 	}
 }
 
-func (c *Coordinator) leaseRelease(id string) {
+func (c *Coordinator) leaseRelease(campaign, job string) {
 	c.mu.Lock()
-	delete(c.leases, id)
+	delete(c.leases, LeaseKey{Campaign: campaign, Job: job})
 	n := len(c.leases)
 	c.mu.Unlock()
 	if c.mInflight != nil {
 		c.mInflight.Set(float64(n))
 	}
+}
+
+// slotsFor returns the shared slot channel for a worker, (re)building it
+// when the advertised capacity changed (a restarted worker may come back
+// with different parallelism; outstanding tokens of the old pool drain
+// into the abandoned channel harmlessly).
+func (c *Coordinator) slotsFor(base string, capacity int) chan struct{} {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp, ok := c.slots[base]
+	if !ok || sp.capacity != capacity {
+		sp = &slotPool{ch: make(chan struct{}, capacity), capacity: capacity}
+		c.slots[base] = sp
+	}
+	return sp.ch
 }
 
 func (c *Coordinator) workerStat(addr string) *WorkerStats {
@@ -218,9 +268,13 @@ func (c *Coordinator) logf() *slog.Logger {
 }
 
 // workerConn is one probed, healthy worker for the duration of a campaign.
+// The alive flag and failure count are per-campaign (a worker benched by
+// one campaign's faults is re-probed by the next); the slots channel is
+// the fleet-shared capacity pool.
 type workerConn struct {
 	base     string // normalised base URL
 	capacity int
+	slots    chan struct{} // shared across concurrent campaigns
 	alive    atomic.Bool
 	fails    atomic.Int32 // consecutive request failures
 }
@@ -238,19 +292,31 @@ func normalizeAddr(addr string) string {
 	return "http://" + strings.TrimRight(addr, "/")
 }
 
+// noteProbe records a probe outcome in the shared per-worker stats.
+// Campaigns probe concurrently, so the write happens under the
+// coordinator lock like every other WorkerStats mutation.
+func (c *Coordinator) noteProbe(base string, alive bool, capacity int) {
+	st := c.workerStat(base)
+	c.mu.Lock()
+	st.Alive = alive
+	if alive {
+		st.Capacity = capacity
+	}
+	c.mu.Unlock()
+}
+
 // probe hellos every configured worker and returns the healthy ones.
 func (c *Coordinator) probe(ctx context.Context) []*workerConn {
 	var conns []*workerConn
 	for _, addr := range c.cfg.Workers {
 		base := normalizeAddr(addr)
-		ws := c.workerStat(base)
 		hello, err := c.hello(ctx, base)
 		if err != nil {
 			c.logf().Warn("worker probe failed", "worker", base, "err", err)
 			if c.mWorkerUp != nil {
 				c.mWorkerUp.Set(0, base)
 			}
-			ws.Alive = false
+			c.noteProbe(base, false, 0)
 			continue
 		}
 		if hello.Proto != ProtoVersion {
@@ -259,15 +325,18 @@ func (c *Coordinator) probe(ctx context.Context) []*workerConn {
 			if c.mWorkerUp != nil {
 				c.mWorkerUp.Set(0, base)
 			}
-			ws.Alive = false
+			c.noteProbe(base, false, 0)
 			continue
 		}
 		if c.mWorkerUp != nil {
 			c.mWorkerUp.Set(1, base)
 		}
-		ws.Alive = true
-		ws.Capacity = hello.Capacity
-		conn := &workerConn{base: base, capacity: hello.Capacity}
+		c.noteProbe(base, true, hello.Capacity)
+		conn := &workerConn{
+			base:     base,
+			capacity: hello.Capacity,
+			slots:    c.slotsFor(base, hello.Capacity),
+		}
 		conn.alive.Store(true)
 		conns = append(conns, conn)
 	}
@@ -302,7 +371,21 @@ func (c *Coordinator) hello(ctx context.Context, base string) (Hello, error) {
 // what a local collection produces. When no worker answers the probe — or
 // the platform cannot be named over the wire — it degrades to pure-local
 // execution with no error.
+//
+// Collect may be called concurrently: campaigns share the worker fleet
+// (per-worker capacity is enforced fleet-wide, so overlapping campaigns
+// queue for slots instead of overloading workers) and an auto-assigned
+// campaign name keys each one's leases.
 func (c *Coordinator) Collect(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	return c.CollectNamed(ctx, fmt.Sprintf("campaign-%d", c.seq.Add(1)), pl, opt)
+}
+
+// CollectNamed is Collect with a caller-chosen campaign name. The name
+// keys the campaign's leases and appears in coordinator logging, so a
+// service scheduling concurrent campaigns (gemstone serve) can attribute
+// in-flight work to the tenant campaign that owns it. Names must be
+// unique among in-flight campaigns.
+func (c *Coordinator) CollectNamed(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 	start := time.Now()
 	jobs, err := core.PlanCampaign(pl, &opt)
 	if err != nil {
@@ -327,6 +410,7 @@ func (c *Coordinator) Collect(ctx context.Context, pl *platform.Platform, opt co
 
 	cp := &campaign{
 		c:        c,
+		id:       name,
 		ctx:      ctx,
 		pl:       pl,
 		opt:      &opt,
@@ -367,6 +451,7 @@ func (c *Coordinator) Collect(ctx context.Context, pl *platform.Platform, opt co
 // guard instead.)
 type campaign struct {
 	c     *Coordinator
+	id    string // lease-table key prefix and log tag
 	ctx   context.Context
 	pl    *platform.Platform
 	opt   *core.CollectOptions
@@ -482,6 +567,7 @@ func (cp *campaign) run(start time.Time, planTime time.Duration) (*core.RunSet, 
 		obsv.CollectDone(stats)
 	}
 	cp.c.logf().Info("distributed campaign done",
+		"campaign", cp.id,
 		"platform", stats.Platform, "jobs", stats.Jobs,
 		"remote", cp.remote.Load(), "local", cp.localRuns.Load(),
 		"cache_hits", stats.CacheHits, "duplicates", cp.dups.Load(),
@@ -615,7 +701,20 @@ func (cp *campaign) workerLoop(w *workerConn) {
 				cp.reroute(i)
 				return
 			}
+			// Acquire a fleet-shared capacity token before dispatching:
+			// concurrent campaigns contend here, so the worker never sees
+			// more in-flight requests than it advertised. The token is
+			// taken only while a job is in hand (never while idling on the
+			// queue), so an idle campaign cannot starve a busy one.
+			select {
+			case w.slots <- struct{}{}:
+			case <-cp.stopCh:
+				return // campaign is failing; i becomes a skipped job
+			case <-cp.ctx.Done():
+				return
+			}
 			cp.dispatch(w, i)
+			<-w.slots
 		}
 	}
 }
@@ -637,9 +736,9 @@ func (cp *campaign) reroute(i int) {
 // jitter — to any live worker, or locally once attempts are exhausted.
 func (cp *campaign) dispatch(w *workerConn, i int) {
 	cp.runStartOnce(i)
-	cp.c.leaseAcquire(cp.ids[i], w.base)
+	cp.c.leaseAcquire(cp.id, cp.ids[i], w.base)
 	m, simSec, err := cp.runRemote(w, i)
-	cp.c.leaseRelease(cp.ids[i])
+	cp.c.leaseRelease(cp.id, cp.ids[i])
 
 	if err == nil {
 		w.fails.Store(0)
@@ -666,7 +765,8 @@ func (cp *campaign) dispatch(w *workerConn, i int) {
 	n := cp.attempts[i]
 	cp.mu.Unlock()
 	cp.c.logf().Warn("remote attempt failed",
-		"job", cp.jobs[i].Key.String(), "worker", w.base, "attempt", n, "err", err)
+		"campaign", cp.id, "job", cp.jobs[i].Key.String(),
+		"worker", w.base, "attempt", n, "err", err)
 
 	if n >= cp.c.cfg.MaxAttempts || cp.aliveWorkers() == 0 {
 		cp.local <- i

@@ -54,6 +54,14 @@ type RunManifest struct {
 	// Gem5Version is the simulated gem5 model version (Section VII).
 	Gem5Version int `json:"gem5_version"`
 
+	// Tenant and CampaignID attribute entries produced through the
+	// campaign service (`gemstone serve`): Tenant is the submitting
+	// tenant's identifier, CampaignID the service-assigned campaign.
+	// Both are empty for CLI invocations, so existing ledgers and
+	// readers are unaffected (omitempty keeps old entries byte-stable).
+	Tenant     string `json:"tenant,omitempty"`
+	CampaignID string `json:"campaign_id,omitempty"`
+
 	// Cluster and FreqMHz are the analysis operating point.
 	Cluster string `json:"cluster"`
 	FreqMHz int    `json:"freq_mhz"`

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP server instrumentation for the campaign service. One middleware
+// wraps every route of `gemstone serve` and emits the request-level RED
+// metrics (rate, errors, duration) under a service-scoped prefix, so a
+// single registry can carry both campaign metrics and the HTTP surface
+// without per-handler boilerplate.
+
+// httpDurationBounds buckets request latency from sub-millisecond JSON
+// handlers out to multi-minute SSE streams that stay open for a whole
+// campaign.
+var httpDurationBounds = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300, 1800,
+}
+
+// statusRecorder captures the response status code while passing the
+// writer through. It deliberately forwards http.Flusher: the events
+// endpoint streams SSE frames and a wrapper that hides Flush would
+// silently buffer the stream until the campaign ends.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+// ResponseController (used by handlers that need Flush errors) also
+// finds the underlying writer through Unwrap.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// InstrumentHandler wraps h with request metrics labelled by route (a
+// static pattern like "/v1/campaigns/{id}/events", never the raw URL —
+// raw paths would explode series cardinality), method and status code:
+//
+//	<name>_requests_total{route,method,code}
+//	<name>_requests_in_flight{route}
+//	<name>_request_seconds{route,method}
+//
+// The route label is passed explicitly rather than read back from the
+// request so the middleware works on any Go 1.22 mux.
+func InstrumentHandler(reg *Registry, name, route string, h http.Handler) http.Handler {
+	total := reg.Counter(name+"_requests_total",
+		"HTTP requests served, by route, method and status code.",
+		"route", "method", "code")
+	inflight := reg.Gauge(name+"_requests_in_flight",
+		"HTTP requests currently being served, by route.", "route")
+	seconds := reg.Histogram(name+"_request_seconds",
+		"HTTP request duration in seconds, by route and method.",
+		httpDurationBounds, "route", "method")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		inflight.Add(1, route)
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			inflight.Add(-1, route)
+			seconds.Observe(time.Since(start).Seconds(), route, req.Method)
+			code := rec.status
+			if code == 0 { // handler never wrote; net/http sends 200
+				code = http.StatusOK
+			}
+			total.Inc(route, req.Method, strconv.Itoa(code))
+		}()
+		h.ServeHTTP(rec, req)
+	})
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"gemstone/internal/core"
+	"gemstone/internal/platform"
+)
+
+// State is a campaign's lifecycle phase.
+type State string
+
+// Campaign states. The only transitions are pending → running →
+// done | failed; terminal states never change.
+const (
+	StatePending State = "pending"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Event is one frame of a campaign's progress stream. Seq is assigned
+// at append time and is the SSE event id, so a reconnecting client can
+// see where the stream it re-reads diverges from what it already saw
+// (the stream always replays from the start — campaigns are bounded, so
+// the full history is small).
+type Event struct {
+	// Seq is the 1-based position of the event in the campaign stream.
+	Seq int `json:"seq"`
+	// Type names the frame: submitted, started, collect-start, run-done,
+	// collect-done, validated, done, error.
+	Type string `json:"type"`
+	// Platform scopes collect-start/run-done/collect-done frames.
+	Platform string `json:"platform,omitempty"`
+	// Jobs is the campaign size on collect-start frames.
+	Jobs int `json:"jobs,omitempty"`
+	// Done counts completed runs on run-done/collect-done frames.
+	Done int `json:"done,omitempty"`
+	// CacheHits counts replayed runs on collect-done frames.
+	CacheHits int `json:"cache_hits,omitempty"`
+	// MAPE carries the headline error on validated/done frames.
+	MAPE float64 `json:"mape,omitempty"`
+	// Error carries the failure message on error frames.
+	Error string `json:"error,omitempty"`
+}
+
+// Campaign is one submitted campaign: its identity, spec, event history
+// and (once done) its collected run sets. All mutable state is guarded
+// by mu; readers take snapshots.
+type Campaign struct {
+	// ID is the service-assigned campaign identifier.
+	ID string
+	// Tenant is the submitting tenant.
+	Tenant string
+	// Spec is the validated campaign spec.
+	Spec *CampaignSpec
+	// Created is the submission time.
+	Created time.Time
+
+	mu     sync.Mutex
+	state  State
+	events []Event
+	notify chan struct{} // closed and replaced on every append
+	hw     *core.RunSet
+	sim    *core.RunSet
+	err    error
+	vs     *core.ValidationSummary // cached validation analysis
+}
+
+func newCampaign(id, tenant string, spec *CampaignSpec) *Campaign {
+	return &Campaign{
+		ID:      id,
+		Tenant:  tenant,
+		Spec:    spec,
+		Created: time.Now(),
+		state:   StatePending,
+		notify:  make(chan struct{}),
+	}
+}
+
+// append records an event (assigning its sequence number) and wakes
+// every stream subscriber. Returns the stored event.
+func (c *Campaign) append(e Event) Event {
+	c.mu.Lock()
+	e.Seq = len(c.events) + 1
+	c.events = append(c.events, e)
+	close(c.notify)
+	c.notify = make(chan struct{})
+	c.mu.Unlock()
+	return e
+}
+
+// setState transitions the campaign.
+func (c *Campaign) setState(s State) {
+	c.mu.Lock()
+	c.state = s
+	c.mu.Unlock()
+}
+
+// State returns the current lifecycle phase.
+func (c *Campaign) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// snapshot returns the events from index from on, the channel that will
+// be closed on the next append, and the current state. A subscriber
+// loops: drain events, and if the state is terminal stop, otherwise
+// wait on the channel.
+func (c *Campaign) snapshot(from int) ([]Event, <-chan struct{}, State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var tail []Event
+	if from < len(c.events) {
+		tail = append(tail, c.events[from:]...)
+	}
+	return tail, c.notify, c.state
+}
+
+// complete records a successful campaign.
+func (c *Campaign) complete(hw, sim *core.RunSet, vs *core.ValidationSummary) {
+	c.mu.Lock()
+	c.hw, c.sim, c.vs = hw, sim, vs
+	c.state = StateDone
+	c.mu.Unlock()
+}
+
+// failWith records a failed campaign.
+func (c *Campaign) failWith(err error) {
+	c.mu.Lock()
+	c.err = err
+	c.state = StateFailed
+	c.mu.Unlock()
+}
+
+// results returns the collected run sets and cached validation; ok is
+// false until the campaign is done.
+func (c *Campaign) results() (hw, sim *core.RunSet, vs *core.ValidationSummary, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hw, c.sim, c.vs, c.state == StateDone
+}
+
+// Err returns the failure of a failed campaign, nil otherwise.
+func (c *Campaign) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// campaignObserver adapts a campaign's event stream to the collector's
+// observer callbacks. Counters are per-collect (the campaign runs two:
+// hardware then model); emit routes through the server so event metrics
+// stay accurate.
+type campaignObserver struct {
+	emit func(Event)
+
+	mu       sync.Mutex
+	platform string
+	done     int
+}
+
+// CollectStart implements core.CollectObserver.
+func (o *campaignObserver) CollectStart(platformName string, jobs int) {
+	o.mu.Lock()
+	o.platform, o.done = platformName, 0
+	o.mu.Unlock()
+	o.emit(Event{Type: "collect-start", Platform: platformName, Jobs: jobs})
+}
+
+// RunStart implements core.CollectObserver.
+func (o *campaignObserver) RunStart(core.RunKey) {}
+
+// CacheHit implements core.CollectObserver.
+func (o *campaignObserver) CacheHit(core.RunKey) { o.runDone() }
+
+// RunDone implements core.CollectObserver.
+func (o *campaignObserver) RunDone(core.RunKey, platform.Measurement, time.Duration) {
+	o.runDone()
+}
+
+func (o *campaignObserver) runDone() {
+	o.mu.Lock()
+	o.done++
+	e := Event{Type: "run-done", Platform: o.platform, Done: o.done}
+	o.mu.Unlock()
+	o.emit(e)
+}
+
+// RunError implements core.CollectObserver. Failures surface through
+// the collector's returned error; per-run noise stays off the stream.
+func (o *campaignObserver) RunError(core.RunKey, error) {}
+
+// CollectDone implements core.CollectObserver.
+func (o *campaignObserver) CollectDone(s core.CollectStats) {
+	o.emit(Event{
+		Type:      "collect-done",
+		Platform:  s.Platform,
+		Done:      s.Simulated + s.CacheHits,
+		CacheHits: s.CacheHits,
+	})
+}

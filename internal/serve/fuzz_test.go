@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gemstone/internal/core"
+	"gemstone/internal/platform"
+)
+
+// fuzzServer lazily builds one shared service whose collector is a stub
+// (valid fuzz inputs must not launch real simulations), reused across
+// every fuzz iteration — the decode path under test is per-request, the
+// server is not.
+var fuzzServer struct {
+	once sync.Once
+	url  string
+}
+
+func fuzzServerURL() string {
+	fuzzServer.once.Do(func() {
+		svc := New(Config{
+			// Admission must never push back during fuzzing: a valid spec
+			// that hits a 429 would look like a decode outcome.
+			MaxCampaigns: -1,
+			TenantQuota:  -1,
+			Collector: func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+				return &core.RunSet{Platform: pl.Name(), Runs: map[core.RunKey]platform.Measurement{}}, nil
+			},
+		})
+		srv := httptest.NewServer(svc.Handler())
+		fuzzServer.url = srv.URL
+		// Deliberately not closed: the fuzz process exits with the server.
+	})
+	return fuzzServer.url
+}
+
+// FuzzCampaignSpec feeds arbitrary bytes to the campaign-spec decoder,
+// both directly and through the HTTP surface. The contract: parsing
+// never panics, every rejection is exactly ErrMalformed or ErrInvalid
+// (400 or 422 over HTTP — never a 5xx), and an accepted spec
+// re-validates cleanly with defaults applied.
+func FuzzCampaignSpec(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"cluster":"a15","freq_mhz":1000,"freqs_mhz":[1000],"workloads":["mi-qsort"]}`))
+	f.Add([]byte(`{"gem5_version":2,"cluster":"a7"}`))
+	f.Add([]byte(`{"max_workloads":2}`))
+	f.Add([]byte(`{"cluster":"m7"}`))
+	f.Add([]byte(`{"workloads":["no-such-workload"]}`))
+	f.Add([]byte(`{"freqs_mhz":[123456]}`))
+	f.Add([]byte(`{"bogus":"field"}`))
+	f.Add([]byte(`{"freq_mhz":"fast"}`))
+	f.Add([]byte(`{} {}`))
+	f.Add([]byte(`{"workloads":[` + strings.Repeat(`"mi-qsort",`, 100) + `"mi-qsort"]}`))
+	f.Add(bytes.Repeat([]byte(`[`), 1024))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseCampaignSpec(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error outside the taxonomy: %v", err)
+			}
+		} else {
+			// Accepted specs are fully defaulted: re-validation must be
+			// idempotent and the collector options constructible.
+			if len(spec.Profiles()) == 0 || len(spec.FreqsMHz) == 0 || spec.Cluster == "" {
+				t.Fatalf("accepted spec missing defaults: %+v", spec)
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("accepted spec fails re-validation: %v", err)
+			}
+			opt := spec.Options()
+			if len(opt.Workloads) != len(spec.Profiles()) {
+				t.Fatalf("options dropped workloads: %d vs %d", len(opt.Workloads), len(spec.Profiles()))
+			}
+		}
+
+		// The same bytes through the HTTP surface: 202 on accept, 400 on
+		// malformed, 422 on invalid — never a panic (500) and never a
+		// mismatch with the direct parse.
+		resp, herr := http.Post(fuzzServerURL()+"/v1/campaigns", "application/json", bytes.NewReader(data))
+		if herr != nil {
+			t.Fatalf("POST failed: %v", herr)
+		}
+		resp.Body.Close()
+		want := http.StatusAccepted
+		switch {
+		case errors.Is(err, ErrMalformed):
+			want = http.StatusBadRequest
+		case errors.Is(err, ErrInvalid):
+			want = http.StatusUnprocessableEntity
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("HTTP status %d, want %d (parse err: %v)", resp.StatusCode, want, err)
+		}
+	})
+}

@@ -1,0 +1,616 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gemstone/internal/core"
+	"gemstone/internal/dist"
+	"gemstone/internal/gem5"
+	"gemstone/internal/hw"
+	"gemstone/internal/ledger"
+	"gemstone/internal/obs"
+	"gemstone/internal/platform"
+	"gemstone/internal/workload"
+)
+
+// testSpec is the small real campaign every service test runs: n
+// validation workloads on the big cluster at one frequency, model V1.
+func testSpec(n int) *CampaignSpec {
+	var names []string
+	for _, p := range workload.Validation()[:n] {
+		names = append(names, p.Name)
+	}
+	return &CampaignSpec{
+		Gem5Version: 1,
+		Cluster:     hw.ClusterA15,
+		FreqMHz:     1000,
+		FreqsMHz:    []int{1000},
+		Workloads:   names,
+	}
+}
+
+func campaignSize(t *testing.T) int {
+	t.Helper()
+	if testing.Short() {
+		return 2
+	}
+	return 3
+}
+
+// startWorker serves a fresh gemstoned worker over httptest.
+func startWorker(t *testing.T, wrap func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	h := http.Handler(dist.NewWorker(dist.WorkerConfig{MaxParallel: 2}).Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// archiveBytes renders the canonical RunSet archive.
+func archiveBytes(t *testing.T, rs *core.RunSet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.SaveRunSet(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// localGolden collects the spec locally on both platforms — the byte
+// equivalence reference for everything the service serves.
+func localGolden(t *testing.T, spec *CampaignSpec) (hwSet, simSet *core.RunSet) {
+	t.Helper()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hwSet, err := core.Collect(hw.Platform(), spec.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSet, err = core.Collect(gem5.Platform(gem5.V1), spec.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hwSet, simSet
+}
+
+// client issues one API request with the tenant header.
+func doReq(t *testing.T, method, url, tenant string, body io.Reader) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// submit POSTs a spec and returns the assigned campaign ID.
+func submit(t *testing.T, base, tenant string, spec *CampaignSpec) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := doReq(t, http.MethodPost, base+"/v1/campaigns", tenant, bytes.NewReader(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatal("submit: empty campaign id")
+	}
+	return st.ID
+}
+
+// followSSE reads the campaign's event stream to completion and returns
+// the decoded events. The server closes the stream after the terminal
+// frame, so reading to EOF is the termination contract.
+func followSSE(t *testing.T, base, tenant, id string) []Event {
+	t.Helper()
+	resp := doReq(t, http.MethodGet, base+"/v1/campaigns/"+id+"/events", tenant, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events: content type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var e Event
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				t.Fatalf("events: bad frame %q: %v", data, err)
+			}
+			events = append(events, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("events: stream error: %v", err)
+	}
+	return events
+}
+
+// fetch GETs a campaign sub-resource and returns status + body.
+func fetch(t *testing.T, base, tenant, path string) (int, []byte) {
+	t.Helper()
+	resp := doReq(t, http.MethodGet, base+path, tenant, nil)
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestServiceEndToEnd is the acceptance golden test: two concurrent
+// campaigns from distinct tenants run through `gemstone serve` over a
+// two-worker fleet with one worker killed mid-campaign, and each
+// produces gob archives byte-identical to a local Collect of the same
+// spec. It runs in -short mode (smaller campaign), so CI's short serve
+// step exercises the full path.
+func TestServiceEndToEnd(t *testing.T) {
+	n := campaignSize(t)
+	spec := testSpec(n)
+	goldenHW, goldenSim := localGolden(t, spec)
+
+	healthy := startWorker(t, nil)
+	// The doomed worker dies after one accepted job: every later request
+	// aborts like a crashed process, mid-campaign.
+	doomed := startWorker(t, func(h http.Handler) http.Handler {
+		return &dist.KillSwitch{Handler: h, After: 1}
+	})
+	reg := obs.NewRegistry()
+	coord := dist.NewCoordinator(dist.CoordinatorConfig{
+		Workers:  []string{healthy.URL, doomed.URL},
+		Registry: reg,
+	})
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.jsonl")
+	svc := New(Config{
+		Coordinator: coord,
+		Cache:       core.NewMemoryCache(0),
+		Ledger:      ledger.Open(ledgerPath),
+		Registry:    reg,
+	})
+	defer svc.Close()
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	tenants := []string{"alice", "bob"}
+	ids := make([]string, len(tenants))
+	for i, tn := range tenants {
+		ids[i] = submit(t, api.URL, tn, testSpec(n))
+	}
+
+	// Follow both event streams concurrently — the campaigns overlap on
+	// the shared fleet.
+	eventsByTenant := make([][]Event, len(tenants))
+	var wg sync.WaitGroup
+	for i := range tenants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eventsByTenant[i] = followSSE(t, api.URL, tenants[i], ids[i])
+		}(i)
+	}
+	wg.Wait()
+
+	wantHW, wantSim := archiveBytes(t, goldenHW), archiveBytes(t, goldenSim)
+	for i, tn := range tenants {
+		events := eventsByTenant[i]
+		if len(events) == 0 {
+			t.Fatalf("%s: empty event stream", tn)
+		}
+		last := events[len(events)-1]
+		if last.Type != "done" {
+			t.Fatalf("%s: stream ended with %q (error=%q), want done", tn, last.Type, last.Error)
+		}
+		for j, e := range events {
+			if e.Seq != j+1 {
+				t.Fatalf("%s: event %d has seq %d", tn, j, e.Seq)
+			}
+		}
+
+		// The acceptance criterion: service archives byte-identical to
+		// local Collect.
+		status, gotHW := fetch(t, api.URL, tn, "/v1/campaigns/"+ids[i]+"/archive/hw")
+		if status != http.StatusOK {
+			t.Fatalf("%s: hw archive status %d", tn, status)
+		}
+		if !bytes.Equal(gotHW, wantHW) {
+			t.Errorf("%s: hw archive differs from local collect (%d vs %d bytes)", tn, len(gotHW), len(wantHW))
+		}
+		status, gotSim := fetch(t, api.URL, tn, "/v1/campaigns/"+ids[i]+"/archive/sim")
+		if status != http.StatusOK {
+			t.Fatalf("%s: sim archive status %d", tn, status)
+		}
+		if !bytes.Equal(gotSim, wantSim) {
+			t.Errorf("%s: sim archive differs from local collect (%d vs %d bytes)", tn, len(gotSim), len(wantSim))
+		}
+
+		// The analysis surface matches a local Session.
+		status, body := fetch(t, api.URL, tn, "/v1/campaigns/"+ids[i]+"/validation")
+		if status != http.StatusOK {
+			t.Fatalf("%s: validation status %d: %s", tn, status, body)
+		}
+		var vs core.ValidationSummary
+		if err := json.Unmarshal(body, &vs); err != nil {
+			t.Fatal(err)
+		}
+		localVS, err := core.Validate(goldenHW, goldenSim, spec.Cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs.MAPE != localVS.MAPE || vs.MPE != localVS.MPE {
+			t.Errorf("%s: served MAPE/MPE %.4f/%.4f, local %.4f/%.4f",
+				tn, vs.MAPE, vs.MPE, localVS.MAPE, localVS.MPE)
+		}
+
+		status, body = fetch(t, api.URL, tn, "/v1/campaigns/"+ids[i]+"/clusters")
+		if status != http.StatusOK {
+			t.Fatalf("%s: clusters status %d: %s", tn, status, body)
+		}
+		var wc core.WorkloadClustering
+		if err := json.Unmarshal(body, &wc); err != nil {
+			t.Fatal(err)
+		}
+		if len(wc.Labels) != n {
+			t.Errorf("%s: clustering labelled %d workloads, want %d", tn, len(wc.Labels), n)
+		}
+
+		// Power models need more observations than a smoke campaign
+		// provides; the endpoint must answer cleanly either way.
+		if status, _ = fetch(t, api.URL, tn, "/v1/campaigns/"+ids[i]+"/power"); status != http.StatusOK && status != http.StatusUnprocessableEntity {
+			t.Errorf("%s: power status %d, want 200 or 422", tn, status)
+		}
+	}
+
+	t.Run("tenancy", func(t *testing.T) {
+		// Cross-tenant reads 404: bob cannot see alice's campaign, and
+		// the response is indistinguishable from a missing ID.
+		if status, _ := fetch(t, api.URL, "bob", "/v1/campaigns/"+ids[0]); status != http.StatusNotFound {
+			t.Fatalf("cross-tenant status %d, want 404", status)
+		}
+		if status, _ := fetch(t, api.URL, "bob", "/v1/campaigns/"+ids[0]+"/archive/hw"); status != http.StatusNotFound {
+			t.Fatalf("cross-tenant archive status %d, want 404", status)
+		}
+		// Listing is tenant-scoped.
+		status, body := fetch(t, api.URL, "alice", "/v1/campaigns")
+		if status != http.StatusOK {
+			t.Fatalf("list status %d", status)
+		}
+		var list []json.RawMessage
+		if err := json.Unmarshal(body, &list); err != nil {
+			t.Fatal(err)
+		}
+		if len(list) != 1 {
+			t.Fatalf("alice sees %d campaigns, want 1", len(list))
+		}
+	})
+
+	t.Run("ledger provenance", func(t *testing.T) {
+		scan, err := ledger.Open(ledgerPath).Scan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scan.Entries) != 2 {
+			t.Fatalf("ledger has %d entries, want 2", len(scan.Entries))
+		}
+		seen := map[string]bool{}
+		for _, e := range scan.Entries {
+			if e.Manifest.Tenant == "" || e.Manifest.CampaignID == "" {
+				t.Fatalf("entry missing tenant/campaign provenance: %+v", e.Manifest)
+			}
+			seen[e.Manifest.Tenant] = true
+		}
+		if !seen["alice"] || !seen["bob"] {
+			t.Fatalf("ledger tenants %v, want alice and bob", seen)
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		snap := reg.Snapshot()
+		for _, tn := range tenants {
+			key := fmt.Sprintf(`gemstone_serve_campaigns_total{tenant=%q,outcome="done"}`, tn)
+			if snap[key] != 1 {
+				t.Errorf("%s = %v, want 1", key, snap[key])
+			}
+		}
+		if snap["gemstone_serve_campaigns_active"] != 0 {
+			t.Errorf("active gauge = %v after completion", snap["gemstone_serve_campaigns_active"])
+		}
+		if snap[`gemstone_serve_requests_total{route="/v1/campaigns",method="POST",code="202"}`] < 2 {
+			t.Error("HTTP instrumentation missing POST /v1/campaigns samples")
+		}
+	})
+}
+
+// TestAdmissionControl pins the 429 surface: fleet capacity and
+// per-tenant quotas, with slots released when campaigns finish.
+func TestAdmissionControl(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 16)
+	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		started <- name
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("stub: campaign aborted")
+	}
+	reg := obs.NewRegistry()
+	svc := New(Config{Collector: stub, Registry: reg, MaxCampaigns: 2, TenantQuota: 1})
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	spec := testSpec(1)
+	post := func(tenant string) *http.Response {
+		body, _ := json.Marshal(spec)
+		return doReq(t, http.MethodPost, api.URL+"/v1/campaigns", tenant, bytes.NewReader(body))
+	}
+
+	// First campaign per tenant is admitted, the second trips the
+	// tenant quota, a third tenant trips fleet capacity.
+	r1 := post("alice")
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice #1: %d", r1.StatusCode)
+	}
+	r1.Body.Close()
+	<-started
+
+	r2 := post("alice")
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice #2: %d, want 429", r2.StatusCode)
+	}
+	var e apiError
+	if err := json.NewDecoder(r2.Body).Decode(&e); err != nil || e.Reason != "tenant-quota" {
+		t.Fatalf("alice #2 reason %q (err %v), want tenant-quota", e.Reason, err)
+	}
+	r2.Body.Close()
+
+	r3 := post("bob")
+	if r3.StatusCode != http.StatusAccepted {
+		t.Fatalf("bob: %d", r3.StatusCode)
+	}
+	r3.Body.Close()
+	<-started
+
+	r4 := post("carol")
+	if r4.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("carol: %d, want 429", r4.StatusCode)
+	}
+	e = apiError{}
+	if err := json.NewDecoder(r4.Body).Decode(&e); err != nil || e.Reason != "capacity" {
+		t.Fatalf("carol reason %q (err %v), want capacity", e.Reason, err)
+	}
+	r4.Body.Close()
+
+	snap := reg.Snapshot()
+	if snap[`gemstone_serve_rejected_total{reason="tenant-quota"}`] != 1 ||
+		snap[`gemstone_serve_rejected_total{reason="capacity"}`] != 1 {
+		t.Errorf("rejection metrics wrong: %v %v",
+			snap[`gemstone_serve_rejected_total{reason="tenant-quota"}`],
+			snap[`gemstone_serve_rejected_total{reason="capacity"}`])
+	}
+
+	// Releasing the stub frees the slots: carol is admitted once the
+	// in-flight campaigns settle.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := post("carol")
+		code := r.StatusCode
+		r.Body.Close()
+		if code == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("carol still rejected (%d) after slots should have freed", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	svc.Close()
+}
+
+// TestSpecErrors pins the decode taxonomy at the HTTP boundary —
+// malformed bytes 400, well-formed-but-invalid specs 422 — and that
+// rejected submissions neither start campaigns nor leak goroutines.
+func TestSpecErrors(t *testing.T) {
+	svc := New(Config{Collector: func(context.Context, string, *platform.Platform, core.CollectOptions) (*core.RunSet, error) {
+		t.Error("rejected spec started a campaign")
+		return nil, nil
+	}})
+	defer svc.Close()
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty body", "", http.StatusBadRequest},
+		{"not json", "not json at all", http.StatusBadRequest},
+		{"wrong type", `"a string"`, http.StatusBadRequest},
+		{"unknown field", `{"bogus_field": 1}`, http.StatusBadRequest},
+		{"trailing data", `{} {}`, http.StatusBadRequest},
+		{"type mismatch", `{"freq_mhz": "fast"}`, http.StatusBadRequest},
+		{"bad version", `{"gem5_version": 99}`, http.StatusUnprocessableEntity},
+		{"bad cluster", `{"cluster": "m7"}`, http.StatusUnprocessableEntity},
+		{"bad workload", `{"workloads": ["no-such-workload"]}`, http.StatusUnprocessableEntity},
+		{"dup workload", `{"workloads": ["mi-qsort", "mi-qsort"]}`, http.StatusUnprocessableEntity},
+		{"bad freq", `{"freqs_mhz": [123]}`, http.StatusUnprocessableEntity},
+		{"analysis freq not swept", `{"freq_mhz": 1400, "freqs_mhz": [1000]}`, http.StatusUnprocessableEntity},
+		{"negative max", `{"max_workloads": -1}`, http.StatusUnprocessableEntity},
+	}
+	before := runtime.NumGoroutine()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := doReq(t, http.MethodPost, api.URL+"/v1/campaigns", "t", strings.NewReader(tc.body))
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, b)
+			}
+		})
+	}
+	// Rejected submissions must not leave campaign goroutines behind.
+	// Allow slack for the HTTP server's transient conn goroutines.
+	time.Sleep(50 * time.Millisecond)
+	if after := runtime.NumGoroutine(); after > before+5 {
+		t.Errorf("goroutines grew %d -> %d across rejected submissions", before, after)
+	}
+
+	t.Run("bad tenant header", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodGet, api.URL+"/v1/campaigns", nil)
+		req.Header.Set(TenantHeader, "no spaces allowed")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+// TestChaosSoak runs a campaign through the service while the transport
+// drops, corrupts and delays worker traffic and a KillSwitch crashes a
+// worker mid-campaign. The SSE stream must still terminate with a
+// complete, correct result set — byte-identical archives. Guarded by
+// -short: the retry/backoff churn makes it the slowest service test.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in short mode")
+	}
+	n := 4
+	spec := testSpec(n)
+	goldenHW, goldenSim := localGolden(t, spec)
+
+	healthy := startWorker(t, nil)
+	doomed := startWorker(t, func(h http.Handler) http.Handler {
+		return &dist.KillSwitch{Handler: h, After: 2}
+	})
+	chaos := &dist.Chaos{
+		Seed:          7,
+		DropProb:      0.15,
+		DuplicateProb: 0.05,
+		CorruptProb:   0.1,
+		DelayProb:     0.1,
+		Delay:         50 * time.Millisecond,
+		MaxFaults:     30,
+	}
+	coord := dist.NewCoordinator(dist.CoordinatorConfig{
+		Workers:     []string{healthy.URL, doomed.URL},
+		Client:      &http.Client{Transport: chaos},
+		RunTimeout:  10 * time.Second,
+		MaxAttempts: 4,
+	})
+	svc := New(Config{Coordinator: coord, Registry: obs.NewRegistry()})
+	defer svc.Close()
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	id := submit(t, api.URL, "soak", spec)
+	events := followSSE(t, api.URL, "soak", id)
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if last := events[len(events)-1]; last.Type != "done" {
+		t.Fatalf("stream ended with %q (error=%q), want done", last.Type, last.Error)
+	}
+
+	status, gotHW := fetch(t, api.URL, "soak", "/v1/campaigns/"+id+"/archive/hw")
+	if status != http.StatusOK {
+		t.Fatalf("hw archive status %d", status)
+	}
+	if !bytes.Equal(gotHW, archiveBytes(t, goldenHW)) {
+		t.Error("hw archive differs from local collect under chaos")
+	}
+	status, gotSim := fetch(t, api.URL, "soak", "/v1/campaigns/"+id+"/archive/sim")
+	if status != http.StatusOK {
+		t.Fatalf("sim archive status %d", status)
+	}
+	if !bytes.Equal(gotSim, archiveBytes(t, goldenSim)) {
+		t.Error("sim archive differs from local collect under chaos")
+	}
+	t.Logf("chaos: %d faults (%d drops, %d dups, %d corrupts, %d delays)",
+		chaos.Faults(), chaos.Drops(), chaos.Duplicates(), chaos.Corrupts(), chaos.Delays())
+}
+
+// TestServerCloseCancelsCampaigns pins shutdown: Close cancels running
+// campaigns, their streams end with an error frame, and Close returns.
+func TestServerCloseCancelsCampaigns(t *testing.T) {
+	block := make(chan struct{})
+	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		close(block)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	svc := New(Config{Collector: stub})
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	id := submit(t, api.URL, "t", testSpec(1))
+	<-block
+
+	events := make(chan []Event, 1)
+	go func() { events <- followSSE(t, api.URL, "t", id) }()
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case evs := <-events:
+		if len(evs) == 0 {
+			t.Fatal("empty stream")
+		}
+		if last := evs[len(evs)-1]; last.Type != "error" {
+			t.Fatalf("stream ended with %q, want error", last.Type)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream did not terminate after Close")
+	}
+
+	// New submissions are refused after Close.
+	body, _ := json.Marshal(testSpec(1))
+	resp := doReq(t, http.MethodPost, api.URL+"/v1/campaigns", "t", bytes.NewReader(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post after close: %d, want 503", resp.StatusCode)
+	}
+}

@@ -33,6 +33,14 @@ go vet ./...
 # need more than the default 10m timeout.
 go test -race -timeout 45m ./...
 
+# Execute (not merely build) the committed fuzz seed corpora: running a
+# Fuzz target without -fuzz replays every seed in testdata/fuzz/ as a
+# unit test, so a regressing seed fails the gate deterministically. The
+# explicit -run keeps this step honest even if the main suite above ever
+# narrows its selection.
+go test -count=1 -run '^Fuzz' \
+	./internal/core ./internal/workload ./internal/serve
+
 # staticcheck is advisory: run it when installed, but only fail the
 # gate when CHECK_STRICT=1 (CI images without the tool still pass).
 if command -v staticcheck >/dev/null 2>&1; then
