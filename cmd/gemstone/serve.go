@@ -36,6 +36,8 @@ import (
 //	-ledger        file       append per-campaign provenance entries
 //	-max-campaigns N          fleet-wide in-flight campaign bound (default 4)
 //	-tenant-quota  N          per-tenant in-flight campaign bound (default 2)
+//	-max-retained  N          terminal campaigns kept in memory before the
+//	                          oldest are evicted (default 64, -1 = forever)
 //	-campaign-workers N       per-campaign local parallelism (0 = GOMAXPROCS)
 //	-metrics-addr  host:port  separate observability endpoint; the API
 //	                          itself always serves /metrics and /healthz
@@ -51,6 +53,7 @@ func serveMain(args []string) {
 	ledgerPath := fs.String("ledger", "", "append per-campaign provenance entries to this JSONL ledger")
 	maxCampaigns := fs.Int("max-campaigns", 0, "max in-flight campaigns fleet-wide (0 = default)")
 	tenantQuota := fs.Int("tenant-quota", 0, "max in-flight campaigns per tenant (0 = default)")
+	maxRetained := fs.Int("max-retained", 0, "terminal campaigns retained before eviction (0 = default, -1 = forever)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "per-campaign local collection parallelism (0 = GOMAXPROCS)")
 	metricsAddr := fs.String("metrics-addr", "", "serve a separate /metrics endpoint on this host:port")
 	logFormat := fs.String("log-format", obs.LogText, "log output format (text|json)")
@@ -112,6 +115,7 @@ func serveMain(args []string) {
 		Log:          logger,
 		MaxCampaigns: *maxCampaigns,
 		TenantQuota:  *tenantQuota,
+		MaxRetained:  *maxRetained,
 		Workers:      *campaignWorkers,
 	})
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"gemstone/internal/core"
 	"gemstone/internal/gem5"
@@ -167,4 +168,67 @@ func TestFleetSlotsSharedAcrossCampaigns(t *testing.T) {
 	if peak > 2 {
 		t.Fatalf("worker saw %d concurrent runs, advertised capacity 2", peak)
 	}
+}
+
+// TestSlotPoolResizePreservesHeldSlots is the regression test for the
+// capacity-change race: when a restarted worker comes back advertising
+// different parallelism, slotsFor must resize the existing pool in
+// place, never swap in a fresh one — otherwise campaigns probed under
+// the old capacity keep dispatching through the abandoned pool and the
+// fleet can exceed the worker's new capacity until they finish.
+func TestSlotPoolResizePreservesHeldSlots(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{})
+	sp := c.slotsFor("http://w1", 2)
+	if got := c.slotsFor("http://w1", 3); got != sp {
+		t.Fatal("capacity change replaced the slot pool; held slots would escape accounting")
+	}
+	c.slotsFor("http://w1", 2)
+
+	cancel := make(chan struct{})
+	// An old campaign holds both slots.
+	for i := 0; i < 2; i++ {
+		if !sp.acquire(cancel, nil) {
+			t.Fatalf("acquire %d failed with free slots", i)
+		}
+	}
+
+	// The worker restarts advertising capacity 1: nothing is revoked,
+	// but a new campaign gets no slot until *both* old holders release —
+	// held slots count against the shrunk limit.
+	c.slotsFor("http://w1", 1)
+	acquired := make(chan bool, 1)
+	go func() { acquired <- sp.acquire(cancel, nil) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-acquired:
+			t.Fatalf("acquired a slot with %d old slots held, limit 1", 2-i)
+		case <-time.After(20 * time.Millisecond):
+		}
+		sp.release()
+	}
+	select {
+	case ok := <-acquired:
+		if !ok {
+			t.Fatal("acquire reported cancellation after slots freed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquire still blocked after enough releases")
+	}
+	sp.release()
+
+	// A waiter blocked on a full pool unblocks when cancelled.
+	if !sp.acquire(cancel, nil) {
+		t.Fatal("acquire failed on an empty pool")
+	}
+	go func() { acquired <- sp.acquire(cancel, nil) }()
+	close(cancel)
+	select {
+	case ok := <-acquired:
+		if ok {
+			t.Fatal("cancelled acquire reported success")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire did not return")
+	}
+	sp.release()
 }

@@ -120,12 +120,70 @@ type Coordinator struct {
 }
 
 // slotPool bounds the coordinator-side request slots of one worker across
-// every concurrent campaign. The channel's capacity is the worker's
-// advertised parallelism: holding a token is holding the right to have
-// one request in flight against that worker.
+// every concurrent campaign. The limit is the worker's advertised
+// parallelism: holding a slot is holding the right to have one request
+// in flight against that worker. It is a resizable counting semaphore
+// rather than a buffered channel so that when a restarted worker comes
+// back advertising different parallelism the limit adjusts in place:
+// slots held by campaigns probed under the old capacity keep counting
+// against the new limit, and the fleet can never exceed the worker's
+// current advertised capacity — not even transiently across old and new
+// campaigns together.
 type slotPool struct {
-	ch       chan struct{}
-	capacity int
+	mu    sync.Mutex
+	limit int
+	held  int
+	wake  chan struct{} // closed and replaced whenever a slot may have freed
+}
+
+func newSlotPool(limit int) *slotPool {
+	return &slotPool{limit: limit, wake: make(chan struct{})}
+}
+
+// acquire blocks until a slot is free or either cancel channel is
+// closed, reporting whether the slot was taken.
+func (sp *slotPool) acquire(cancelA, cancelB <-chan struct{}) bool {
+	for {
+		sp.mu.Lock()
+		if sp.held < sp.limit {
+			sp.held++
+			sp.mu.Unlock()
+			return true
+		}
+		wake := sp.wake
+		sp.mu.Unlock()
+		select {
+		case <-wake:
+		case <-cancelA:
+			return false
+		case <-cancelB:
+			return false
+		}
+	}
+}
+
+// release returns a slot and wakes every waiter (each re-checks under
+// the lock, so a spurious wake-up costs one loop iteration, never a
+// slot).
+func (sp *slotPool) release() {
+	sp.mu.Lock()
+	sp.held--
+	close(sp.wake)
+	sp.wake = make(chan struct{})
+	sp.mu.Unlock()
+}
+
+// setLimit adjusts the pool's capacity in place. Growing wakes waiters;
+// shrinking below the held count revokes nothing — in-flight requests
+// finish, and new acquisitions wait until enough slots release.
+func (sp *slotPool) setLimit(limit int) {
+	sp.mu.Lock()
+	if limit != sp.limit {
+		sp.limit = limit
+		close(sp.wake)
+		sp.wake = make(chan struct{})
+	}
+	sp.mu.Unlock()
 }
 
 // NewCoordinator builds a coordinator.
@@ -231,22 +289,25 @@ func (c *Coordinator) leaseRelease(campaign, job string) {
 	}
 }
 
-// slotsFor returns the shared slot channel for a worker, (re)building it
-// when the advertised capacity changed (a restarted worker may come back
-// with different parallelism; outstanding tokens of the old pool drain
-// into the abandoned channel harmlessly).
-func (c *Coordinator) slotsFor(base string, capacity int) chan struct{} {
+// slotsFor returns the shared slot pool for a worker, resizing it in
+// place when the advertised capacity changed (a restarted worker may
+// come back with different parallelism). Pool identity is stable for a
+// worker's lifetime, so campaigns probed under the old capacity and
+// campaigns probed under the new one are counted by the same semaphore.
+func (c *Coordinator) slotsFor(base string, capacity int) *slotPool {
 	if capacity < 1 {
 		capacity = 1
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	sp, ok := c.slots[base]
-	if !ok || sp.capacity != capacity {
-		sp = &slotPool{ch: make(chan struct{}, capacity), capacity: capacity}
+	if !ok {
+		sp = newSlotPool(capacity)
 		c.slots[base] = sp
+	} else {
+		sp.setLimit(capacity)
 	}
-	return sp.ch
+	return sp
 }
 
 func (c *Coordinator) workerStat(addr string) *WorkerStats {
@@ -269,12 +330,12 @@ func (c *Coordinator) logf() *slog.Logger {
 
 // workerConn is one probed, healthy worker for the duration of a campaign.
 // The alive flag and failure count are per-campaign (a worker benched by
-// one campaign's faults is re-probed by the next); the slots channel is
-// the fleet-shared capacity pool.
+// one campaign's faults is re-probed by the next); the slot pool is the
+// fleet-shared capacity semaphore.
 type workerConn struct {
 	base     string // normalised base URL
 	capacity int
-	slots    chan struct{} // shared across concurrent campaigns
+	slots    *slotPool // shared across concurrent campaigns
 	alive    atomic.Bool
 	fails    atomic.Int32 // consecutive request failures
 }
@@ -701,20 +762,16 @@ func (cp *campaign) workerLoop(w *workerConn) {
 				cp.reroute(i)
 				return
 			}
-			// Acquire a fleet-shared capacity token before dispatching:
+			// Acquire a fleet-shared capacity slot before dispatching:
 			// concurrent campaigns contend here, so the worker never sees
-			// more in-flight requests than it advertised. The token is
+			// more in-flight requests than it advertised. The slot is
 			// taken only while a job is in hand (never while idling on the
 			// queue), so an idle campaign cannot starve a busy one.
-			select {
-			case w.slots <- struct{}{}:
-			case <-cp.stopCh:
-				return // campaign is failing; i becomes a skipped job
-			case <-cp.ctx.Done():
-				return
+			if !w.slots.acquire(cp.stopCh, cp.ctx.Done()) {
+				return // campaign is failing or cancelled; i becomes a skipped job
 			}
 			cp.dispatch(w, i)
-			<-w.slots
+			w.slots.release()
 		}
 	}
 }

@@ -86,11 +86,19 @@ func newCampaign(id, tenant string, spec *CampaignSpec) *Campaign {
 // every stream subscriber. Returns the stored event.
 func (c *Campaign) append(e Event) Event {
 	c.mu.Lock()
+	e = c.appendLocked(e)
+	c.mu.Unlock()
+	return e
+}
+
+// appendLocked is append's body; the caller holds mu. Terminal
+// transitions use it to publish their frame and state in one critical
+// section.
+func (c *Campaign) appendLocked(e Event) Event {
 	e.Seq = len(c.events) + 1
 	c.events = append(c.events, e)
 	close(c.notify)
 	c.notify = make(chan struct{})
-	c.mu.Unlock()
 	return e
 }
 
@@ -122,20 +130,29 @@ func (c *Campaign) snapshot(from int) ([]Event, <-chan struct{}, State) {
 	return tail, c.notify, c.state
 }
 
-// complete records a successful campaign.
-func (c *Campaign) complete(hw, sim *core.RunSet, vs *core.ValidationSummary) {
+// complete records a successful campaign: results, the terminal "done"
+// frame and the StateDone transition commit under one mutex hold, so no
+// snapshot can ever observe a terminal state whose terminal event is
+// not yet in the history (the stream handler keys its exit on exactly
+// that invariant).
+func (c *Campaign) complete(hw, sim *core.RunSet, vs *core.ValidationSummary, e Event) Event {
 	c.mu.Lock()
 	c.hw, c.sim, c.vs = hw, sim, vs
+	e = c.appendLocked(e)
 	c.state = StateDone
 	c.mu.Unlock()
+	return e
 }
 
-// failWith records a failed campaign.
-func (c *Campaign) failWith(err error) {
+// failWith records a failed campaign; like complete, the error, the
+// terminal "error" frame and the StateFailed transition are atomic.
+func (c *Campaign) failWith(err error, e Event) Event {
 	c.mu.Lock()
 	c.err = err
+	e = c.appendLocked(e)
 	c.state = StateFailed
 	c.mu.Unlock()
+	return e
 }
 
 // results returns the collected run sets and cached validation; ok is

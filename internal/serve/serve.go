@@ -57,16 +57,26 @@ type Config struct {
 	// TenantQuota bounds in-flight campaigns per tenant; 0 means 2,
 	// negative means unlimited.
 	TenantQuota int
+	// MaxRetained bounds terminal (done or failed) campaigns kept in
+	// memory across all tenants; when a campaign settles beyond the cap
+	// the oldest terminal campaigns — and their run sets, analyses and
+	// event histories — are evicted, so a long-running daemon's memory
+	// is bounded by in-flight work plus a fixed archive window, not by
+	// lifetime submissions. Evicted campaigns 404; clients that need an
+	// archive longer download it (or re-submit: the run cache replays
+	// it). 0 means 64, negative means retain forever.
+	MaxRetained int
 	// Workers bounds each campaign's local collection parallelism
 	// (core.CollectOptions.Workers); 0 means GOMAXPROCS.
 	Workers int
 }
 
-// DefaultMaxCampaigns and DefaultTenantQuota are the zero-value
-// admission bounds.
+// DefaultMaxCampaigns, DefaultTenantQuota and DefaultMaxRetained are
+// the zero-value admission and retention bounds.
 const (
 	DefaultMaxCampaigns = 4
 	DefaultTenantQuota  = 2
+	DefaultMaxRetained  = 64
 )
 
 // DefaultTenant is the tenant of requests without an X-Gemstone-Tenant
@@ -102,6 +112,7 @@ type Server struct {
 	mActive    *obs.Gauge     // gemstone_serve_campaigns_active
 	mRejected  *obs.Counter   // gemstone_serve_rejected_total{reason}
 	mEvents    *obs.Counter   // gemstone_serve_events_total{type}
+	mEvicted   *obs.Counter   // gemstone_serve_evicted_total
 	mSeconds   *obs.Histogram // gemstone_serve_campaign_seconds{outcome}
 }
 
@@ -118,6 +129,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.TenantQuota == 0 {
 		cfg.TenantQuota = DefaultTenantQuota
+	}
+	if cfg.MaxRetained == 0 {
+		cfg.MaxRetained = DefaultMaxRetained
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
@@ -136,6 +150,8 @@ func New(cfg Config) *Server {
 			"Campaign submissions rejected by admission control, by reason.", "reason")
 		s.mEvents = reg.Counter("gemstone_serve_events_total",
 			"Campaign stream events emitted, by event type.", "type")
+		s.mEvicted = reg.Counter("gemstone_serve_evicted_total",
+			"Terminal campaigns evicted by the retention cap.")
 		s.mSeconds = reg.Histogram("gemstone_serve_campaign_seconds",
 			"Campaign wall time in seconds, by outcome.", campaignDurationBounds, "outcome")
 	}
@@ -188,6 +204,7 @@ func (s *Server) routes() *http.ServeMux {
 	handle("POST", "/v1/campaigns", s.handleSubmit)
 	handle("GET", "/v1/campaigns", s.handleList)
 	handle("GET", "/v1/campaigns/{id}", s.handleStatus)
+	handle("DELETE", "/v1/campaigns/{id}", s.handleDelete)
 	handle("GET", "/v1/campaigns/{id}/events", s.handleEvents)
 	handle("GET", "/v1/campaigns/{id}/validation", s.handleValidation)
 	handle("GET", "/v1/campaigns/{id}/clusters", s.handleClusters)
@@ -371,6 +388,41 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, campaignStatus(c))
 }
 
+// handleDelete is DELETE /v1/campaigns/{id}: release a terminal
+// campaign's results and event history ahead of the retention cap.
+// Running campaigns 409 — cancellation is not part of the surface, so
+// an admission slot can never be freed by deleting its campaign.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.tenant(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	if c == nil || c.Tenant != tenant {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "", "no campaign %q", id)
+		return
+	}
+	if !c.State().Terminal() {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "not-done",
+			"campaign is %s; only terminal campaigns can be deleted", c.State())
+		return
+	}
+	delete(s.campaigns, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.log().Info("campaign deleted", "campaign", id, "tenant", tenant)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // handleEvents is GET /v1/campaigns/{id}/events: the SSE stream. The
 // full event history replays from the start, then frames stream live
 // until the campaign reaches a terminal state, whose frame ("done" or
@@ -407,8 +459,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			cursor++
+			if e.Type == "done" || e.Type == "error" {
+				// The terminal frame is always the stream's last write:
+				// close immediately so exactly one is ever delivered.
+				flusher.Flush()
+				return
+			}
 		}
 		flusher.Flush()
+		// Backstop: complete/failWith append the terminal frame and set
+		// the terminal state under one campaign mutex hold, so a terminal
+		// state with nothing left to drain means the terminal frame was
+		// already written above — never that it is still in flight.
 		if state.Terminal() && len(tail) == 0 {
 			return
 		}
@@ -553,11 +615,17 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// emit appends an event to the campaign and counts it.
+// emit appends an event to the campaign and counts it. Terminal frames
+// never pass through here — complete/failWith append them atomically
+// with the state transition, and the caller counts them via countEvent.
 func (s *Server) emit(c *Campaign, e Event) {
 	c.append(e)
+	s.countEvent(e.Type)
+}
+
+func (s *Server) countEvent(typ string) {
 	if s.mEvents != nil {
-		s.mEvents.Inc(e.Type)
+		s.mEvents.Inc(typ)
 	}
 }
 
@@ -625,10 +693,14 @@ func (s *Server) runCampaign(c *Campaign) {
 			var vs *core.ValidationSummary
 			vs, err = core.Validate(hwSet, simSet, c.Spec.Cluster)
 			if err == nil {
-				c.complete(hwSet, simSet, vs)
 				s.emit(c, Event{Type: "validated", MAPE: vs.MAPE})
 				s.appendLedger(c, hwPl, simPl, recorder, vs)
-				s.emit(c, Event{Type: "done", MAPE: vs.MAPE})
+				// The results, the terminal frame and the StateDone
+				// transition commit atomically (after the ledger I/O), so
+				// no event stream can observe a terminal campaign whose
+				// "done" frame is not yet appended.
+				c.complete(hwSet, simSet, vs, Event{Type: "done", MAPE: vs.MAPE})
+				s.countEvent("done")
 				s.log().Info("campaign done", "campaign", c.ID, "tenant", c.Tenant,
 					"mape", vs.MAPE, "wall", time.Since(start))
 				return
@@ -636,13 +708,13 @@ func (s *Server) runCampaign(c *Campaign) {
 		}
 	}
 	outcome = "failed"
-	c.failWith(err)
-	s.emit(c, Event{Type: "error", Error: err.Error()})
+	c.failWith(err, Event{Type: "error", Error: err.Error()})
+	s.countEvent("error")
 	s.log().Warn("campaign failed", "campaign", c.ID, "tenant", c.Tenant, "err", err)
 }
 
-// settle releases the campaign's admission slot and records outcome
-// metrics.
+// settle releases the campaign's admission slot, applies the retention
+// cap and records outcome metrics.
 func (s *Server) settle(c *Campaign, outcome string, wall time.Duration) {
 	s.mu.Lock()
 	s.active--
@@ -650,7 +722,15 @@ func (s *Server) settle(c *Campaign, outcome string, wall time.Duration) {
 	if s.perTenant[c.Tenant] == 0 {
 		delete(s.perTenant, c.Tenant)
 	}
+	evicted := s.evictLocked()
 	s.mu.Unlock()
+	if len(evicted) > 0 {
+		if s.mEvicted != nil {
+			s.mEvicted.Add(float64(len(evicted)))
+		}
+		s.log().Info("evicted terminal campaigns beyond retention cap",
+			"evicted", evicted, "cap", s.cfg.MaxRetained)
+	}
 	if s.mActive != nil {
 		s.mActive.Add(-1)
 	}
@@ -662,9 +742,44 @@ func (s *Server) settle(c *Campaign, outcome string, wall time.Duration) {
 	}
 }
 
+// evictLocked enforces cfg.MaxRetained: while more terminal campaigns
+// are retained than the cap allows, the oldest are dropped (in-flight
+// campaigns are never touched — admission control bounds those). The
+// caller holds s.mu; the returned IDs are for logging.
+func (s *Server) evictLocked() []string {
+	max := s.cfg.MaxRetained
+	if max < 0 {
+		return nil
+	}
+	terminal := 0
+	for _, id := range s.order {
+		if c := s.campaigns[id]; c != nil && c.State().Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= max {
+		return nil
+	}
+	var evicted []string
+	kept := s.order[:0]
+	for _, id := range s.order {
+		c := s.campaigns[id]
+		if terminal > max && c != nil && c.State().Terminal() {
+			delete(s.campaigns, id)
+			terminal--
+			evicted = append(evicted, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	return evicted
+}
+
 // appendLedger writes the campaign's provenance entry, attributed to
-// tenant and campaign ID. Ledger failures are logged, never fatal — the
-// campaign's results are already committed.
+// tenant and campaign ID. It runs before the campaign's terminal
+// transition (the "done" frame means the ledger write has already been
+// attempted), and its failures are logged, never fatal.
 func (s *Server) appendLedger(c *Campaign, hwPl, simPl *platform.Platform,
 	recorder *ledger.CampaignRecorder, vs *core.ValidationSummary) {
 	if s.cfg.Ledger == nil {

@@ -614,3 +614,195 @@ func TestServerCloseCancelsCampaigns(t *testing.T) {
 		t.Fatalf("post after close: %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestTerminalFrameAtomicity is the regression test for the SSE
+// terminal-frame race: complete/failWith commit the terminal frame and
+// the terminal state under one campaign mutex hold, so a subscriber
+// running the stream handler's loop can never observe a terminal state
+// without having already drained the terminal frame. A mid-window
+// snapshot (terminal state, "done" not yet appended) would make the
+// stream close one frame short.
+func TestTerminalFrameAtomicity(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		c := newCampaign("c", "t", testSpec(1))
+		fail := make(chan string, 1)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			cursor := 0
+			var last Event
+			for {
+				tail, notify, state := c.snapshot(cursor)
+				cursor += len(tail)
+				if len(tail) > 0 {
+					last = tail[len(tail)-1]
+					if last.Type == "done" || last.Type == "error" {
+						return // the handler's normal exit: terminal frame written
+					}
+					continue
+				}
+				if state.Terminal() {
+					// The handler's backstop exit: nothing to drain and the
+					// state is terminal — the terminal frame must already
+					// have been delivered.
+					select {
+					case fail <- fmt.Sprintf("terminal state observed with last frame %q, want done", last.Type):
+					default:
+					}
+					return
+				}
+				<-notify
+			}
+		}()
+		c.append(Event{Type: "started"})
+		c.append(Event{Type: "validated"})
+		c.complete(nil, nil, nil, Event{Type: "done"})
+		<-done
+		select {
+		case msg := <-fail:
+			t.Fatal(msg)
+		default:
+		}
+	}
+}
+
+// waitTerminal polls a campaign's status until it reports a terminal
+// state (an already-evicted campaign counts: eviction implies terminal).
+func waitTerminal(t *testing.T, base, tenant, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body := fetch(t, base, tenant, "/v1/campaigns/"+id)
+		if status == http.StatusNotFound {
+			return
+		}
+		var st statusBody
+		if err := json.Unmarshal(body, &st); err == nil && st.State.Terminal() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s not terminal after 10s (last status %d: %s)", id, status, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRetentionEviction pins the memory bound on terminal campaigns:
+// once more than MaxRetained campaigns have settled, the oldest are
+// evicted (404, gone from the listing) so a long-running daemon's
+// footprint is in-flight work plus a fixed archive window — never the
+// lifetime submission count.
+func TestRetentionEviction(t *testing.T) {
+	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		return nil, fmt.Errorf("stub: fail fast")
+	}
+	reg := obs.NewRegistry()
+	svc := New(Config{Collector: stub, Registry: reg, MaxRetained: 2, MaxCampaigns: -1, TenantQuota: -1})
+	defer svc.Close()
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id := submit(t, api.URL, "t", testSpec(1))
+		ids = append(ids, id)
+		waitTerminal(t, api.URL, "t", id)
+	}
+
+	// Eviction runs when a campaign settles (after its terminal frame),
+	// so poll briefly for the oldest two to disappear.
+	for _, id := range ids[:2] {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			status, _ := fetch(t, api.URL, "t", "/v1/campaigns/"+id)
+			if status == http.StatusNotFound {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s still retained beyond MaxRetained=2", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for _, id := range ids[2:] {
+		if status, _ := fetch(t, api.URL, "t", "/v1/campaigns/"+id); status != http.StatusOK {
+			t.Fatalf("retained campaign %s: status %d, want 200", id, status)
+		}
+	}
+	status, body := fetch(t, api.URL, "t", "/v1/campaigns")
+	if status != http.StatusOK {
+		t.Fatalf("list status %d", status)
+	}
+	var list []json.RawMessage
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("listing has %d campaigns, want the 2 retained", len(list))
+	}
+	// The counter increments just after the eviction's critical section,
+	// so give it a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := reg.Snapshot()["gemstone_serve_evicted_total"]; got == 2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Errorf("gemstone_serve_evicted_total = %v, want 2", got)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDeleteCampaign pins the DELETE surface: running campaigns 409
+// (deletion never frees an admission slot), terminal campaigns delete
+// to 204 and then 404, and cross-tenant deletes 404 without removing
+// anything.
+func TestDeleteCampaign(t *testing.T) {
+	release := make(chan struct{})
+	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, fmt.Errorf("stub: campaign aborted")
+	}
+	svc := New(Config{Collector: stub})
+	defer svc.Close()
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	id := submit(t, api.URL, "alice", testSpec(1))
+
+	resp := doReq(t, http.MethodDelete, api.URL+"/v1/campaigns/"+id, "alice", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete of running campaign: %d, want 409", resp.StatusCode)
+	}
+
+	close(release)
+	waitTerminal(t, api.URL, "alice", id)
+
+	resp = doReq(t, http.MethodDelete, api.URL+"/v1/campaigns/"+id, "bob", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant delete: %d, want 404", resp.StatusCode)
+	}
+	if status, _ := fetch(t, api.URL, "alice", "/v1/campaigns/"+id); status != http.StatusOK {
+		t.Fatalf("campaign gone after cross-tenant delete: status %d", status)
+	}
+
+	resp = doReq(t, http.MethodDelete, api.URL+"/v1/campaigns/"+id, "alice", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d, want 204", resp.StatusCode)
+	}
+	if status, _ := fetch(t, api.URL, "alice", "/v1/campaigns/"+id); status != http.StatusNotFound {
+		t.Fatalf("campaign still present after delete: status %d", status)
+	}
+	resp = doReq(t, http.MethodDelete, api.URL+"/v1/campaigns/"+id, "alice", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete: %d, want 404", resp.StatusCode)
+	}
+}
