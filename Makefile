@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check quick build vet test serve-test bench bench-compare fuzz clean watch experiments baseline
+.PHONY: check quick build vet test serve-test trace-smoke bench bench-compare fuzz clean watch experiments baseline
 
-check: build vet test
+check: build vet test trace-smoke
 
 # Fast development loop: -short skips the full-campaign analysis fixture
 # and the worker-count determinism sweep, and trims the golden
@@ -34,6 +34,16 @@ test:
 # skips the chaos soak; drop it for the full soak.
 serve-test:
 	$(GO) test -race -short -count=1 ./internal/serve/ ./internal/dist/
+
+# Trace-overhead smoke: the same two-worker campaign traced and
+# untraced, interleaved best-of-5, asserting tracing stays within the
+# 2% bar (plus a small absolute term for sub-second scheduler jitter).
+# Deliberately NOT under -race — it is a wall-clock measurement, and
+# the race detector's instrumentation swamps the signal. BENCH_obs.json
+# carries the precise steady-state numbers
+# (BenchmarkCollect_ColdCache vs BenchmarkCollect_ColdCacheTraced).
+trace-smoke:
+	GEMSTONE_TRACE_SMOKE=1 $(GO) test -short -count=1 -run TestTraceOverheadSmoke ./internal/dist/
 
 # Campaign, observability and stats benchmarks; writes machine-readable
 # results to BENCH_hotloop.json (see scripts/bench.sh). BENCH_obs.json is

@@ -30,7 +30,11 @@
 //	                         flight recorder; compare runs with gemwatch)
 //	-trace     file          write a Chrome trace-event JSON profile of
 //	                         the campaigns (open in chrome://tracing or
-//	                         ui.perfetto.dev)
+//	                         ui.perfetto.dev); combined with -workers the
+//	                         profile is fleet-wide — every worker's spans
+//	                         are shipped back, clock-offset corrected and
+//	                         stitched under the dispatching campaign span,
+//	                         one process lane per worker
 //	-metrics-addr host:port  serve Prometheus /metrics, /debug/pprof and
 //	                         /healthz while running
 //	-log-format text|json    structured-log output format (default text)

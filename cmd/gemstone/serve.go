@@ -39,6 +39,9 @@ import (
 //	-max-retained  N          terminal campaigns kept in memory before the
 //	                          oldest are evicted (default 64, -1 = forever)
 //	-campaign-workers N       per-campaign local parallelism (0 = GOMAXPROCS)
+//	-trace-campaigns          record a fleet-wide trace per campaign, with
+//	                          worker spans stitched in, served from
+//	                          GET /v1/campaigns/{id}/trace once terminal
 //	-metrics-addr  host:port  separate observability endpoint; the API
 //	                          itself always serves /metrics and /healthz
 //	-log-format    text|json  structured-log output format   (default text)
@@ -55,6 +58,7 @@ func serveMain(args []string) {
 	tenantQuota := fs.Int("tenant-quota", 0, "max in-flight campaigns per tenant (0 = default)")
 	maxRetained := fs.Int("max-retained", 0, "terminal campaigns retained before eviction (0 = default, -1 = forever)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "per-campaign local collection parallelism (0 = GOMAXPROCS)")
+	traceCampaigns := fs.Bool("trace-campaigns", false, "record a fleet-wide Chrome trace per campaign, served from /v1/campaigns/{id}/trace")
 	metricsAddr := fs.String("metrics-addr", "", "serve a separate /metrics endpoint on this host:port")
 	logFormat := fs.String("log-format", obs.LogText, "log output format (text|json)")
 	_ = fs.Parse(args)
@@ -108,15 +112,16 @@ func serveMain(args []string) {
 	}
 
 	svc := serve.New(serve.Config{
-		Coordinator:  coord,
-		Cache:        cache,
-		Ledger:       store,
-		Registry:     reg,
-		Log:          logger,
-		MaxCampaigns: *maxCampaigns,
-		TenantQuota:  *tenantQuota,
-		MaxRetained:  *maxRetained,
-		Workers:      *campaignWorkers,
+		Coordinator:    coord,
+		Cache:          cache,
+		Ledger:         store,
+		Registry:       reg,
+		Log:            logger,
+		MaxCampaigns:   *maxCampaigns,
+		TenantQuota:    *tenantQuota,
+		MaxRetained:    *maxRetained,
+		Workers:        *campaignWorkers,
+		TraceCampaigns: *traceCampaigns,
 	})
 
 	server := &http.Server{

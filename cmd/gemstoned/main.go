@@ -5,6 +5,13 @@
 // fingerprint and the daemon rebuilds it locally, so both binaries must
 // model the same machine for a job to be accepted.
 //
+// When a job arrives carrying a recording trace context (coordinator
+// run with -trace, or `gemstone serve -trace-campaigns`), the worker
+// records spans for its phases — dispatch receive, cache probe,
+// simulate, encode — and returns them with the result; the coordinator
+// stitches them, clock-offset corrected, into the fleet-wide campaign
+// trace. Without a recording context the daemon records nothing.
+//
 // Usage:
 //
 //	gemstoned [flags]

@@ -92,6 +92,12 @@ type CollectOptions struct {
 	// simulator's internal phases nest under it. Export the result with
 	// Tracer.WriteChromeTrace.
 	Tracer *obs.Tracer
+	// Trace is the campaign's correlation identity (campaign ID, tenant)
+	// for distributed execution: a coordinator stamps it — plus the job
+	// ID and a Record flag derived from Tracer — onto every remote job so
+	// worker log lines and returned spans attribute to the right tenant
+	// campaign. Local collection ignores it; the zero value is anonymous.
+	Trace obs.TraceContext
 }
 
 func (o *CollectOptions) fill(pl *platform.Platform) error {

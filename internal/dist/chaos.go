@@ -174,7 +174,13 @@ func (c *Chaos) duplicate(req *http.Request) (*http.Response, error) {
 	return c.transport().RoundTrip(replay)
 }
 
-// corrupt flips one byte of the response body.
+// corrupt flips one byte in the middle half of the response body — the
+// region the measurement payload occupies in a gob RunResult. A flip
+// drawn over the whole body could land on a byte no integrity check
+// covers (the SimSeconds float, or a gob descriptor name whose mangling
+// just makes the decoder skip a field), and an undetectable corruption
+// exercises nothing; the middle half keeps the fault inside the digested
+// payload whatever optional fields pad the frame.
 func (c *Chaos) corrupt(req *http.Request) (*http.Response, error) {
 	resp, err := c.transport().RoundTrip(req)
 	if err != nil {
@@ -190,6 +196,9 @@ func (c *Chaos) corrupt(req *http.Request) (*http.Response, error) {
 		c.mu.Lock()
 		i := c.rng.Intn(len(payload))
 		c.mu.Unlock()
+		if len(payload) >= 4 {
+			i = len(payload)/4 + i%(len(payload)/2)
+		}
 		payload[i] ^= 0xff
 	}
 	resp.Body = io.NopCloser(bytes.NewReader(payload))

@@ -257,6 +257,15 @@ func (c *Coordinator) DegradedCampaigns() int {
 	return c.degraded
 }
 
+// LiveWorkers probes every configured worker right now and reports how
+// many answered with a compatible hello. Probe outcomes update the
+// cached WorkerStats, so a readiness endpoint calling this keeps the
+// fleet snapshot fresh as a side effect. The probe respects ctx as well
+// as the configured ProbeTimeout.
+func (c *Coordinator) LiveWorkers(ctx context.Context) int {
+	return len(c.probe(ctx))
+}
+
 // Leases snapshots the in-flight lease table (tests and debugging).
 func (c *Coordinator) Leases() map[LeaseKey]Lease {
 	c.mu.Lock()
@@ -448,14 +457,24 @@ func (c *Coordinator) Collect(ctx context.Context, pl *platform.Platform, opt co
 // unique among in-flight campaigns.
 func (c *Coordinator) CollectNamed(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 	start := time.Now()
+	root := opt.Tracer.Start("collect",
+		obs.String("platform", pl.Name()), obs.String("campaign", name),
+		obs.Bool("distributed", true))
+	defer root.End()
+	planSpan := root.Child("plan")
 	jobs, err := core.PlanCampaign(pl, &opt)
+	planSpan.Annotate(obs.Int("jobs", len(jobs)))
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	planTime := time.Since(start)
 
 	spec, ok := SpecFor(pl)
+	probeSpan := root.Child("probe", obs.Int("workers", len(c.cfg.Workers)))
 	conns := c.probe(ctx)
+	probeSpan.Annotate(obs.Int("alive", len(conns)))
+	probeSpan.End()
 	if !ok || len(conns) == 0 {
 		reason := "no workers available"
 		if !ok {
@@ -466,6 +485,12 @@ func (c *Coordinator) CollectNamed(ctx context.Context, name string, pl *platfor
 		c.mu.Lock()
 		c.degraded++
 		c.mu.Unlock()
+		// End the distributed root before delegating: the local collector
+		// starts its own fully-detailed "collect" root, and this span
+		// should cover only the planning and probing that preceded the
+		// degradation decision.
+		root.Annotate(obs.Bool("degraded", true), obs.String("reason", reason))
+		root.End()
 		return core.CollectContext(ctx, pl, opt)
 	}
 
@@ -475,6 +500,7 @@ func (c *Coordinator) CollectNamed(ctx context.Context, name string, pl *platfor
 		ctx:      ctx,
 		pl:       pl,
 		opt:      &opt,
+		span:     root,
 		jobs:     jobs,
 		ids:      make([]string, len(jobs)),
 		spec:     spec,
@@ -516,6 +542,7 @@ type campaign struct {
 	ctx   context.Context
 	pl    *platform.Platform
 	opt   *core.CollectOptions
+	span  *obs.Span // campaign root; nil-safe like the whole span API
 	jobs  []core.PlannedJob
 	ids   []string
 	spec  PlatformSpec
@@ -555,6 +582,7 @@ func (cp *campaign) run(start time.Time, planTime time.Duration) (*core.RunSet, 
 	cp.remaining.Store(int64(len(cp.jobs)))
 
 	// Cache pass: hits complete immediately, misses queue for dispatch.
+	cacheSpan := cp.span.Child("cache-pass")
 	for i := range cp.jobs {
 		if cp.opt.Cache != nil {
 			t0 := time.Now()
@@ -577,16 +605,18 @@ func (cp *campaign) run(start time.Time, planTime time.Duration) (*core.RunSet, 
 		}
 		cp.pending <- i
 	}
+	cacheSpan.Annotate(obs.Int64("hits", cp.hits.Load()))
+	cacheSpan.End()
 	cp.setQueueGauge()
 
 	var wg sync.WaitGroup
 	for _, w := range cp.conns {
 		for s := 0; s < w.capacity; s++ {
 			wg.Add(1)
-			go func(w *workerConn) {
+			go func(w *workerConn, slot int) {
 				defer wg.Done()
-				cp.workerLoop(w)
-			}(w)
+				cp.workerLoop(w, slot)
+			}(w, s)
 		}
 	}
 	wg.Add(1)
@@ -659,13 +689,15 @@ func (cp *campaign) finish() {
 	}
 }
 
-// record stores a measurement exactly once. The duplicate guard makes
-// completion idempotent: a chaos-duplicated response, or a worker
-// answering after its lease expired and the job was reassigned, is
-// counted and discarded instead of double-finishing the campaign. Both
-// executions of a deterministic job carry identical bits, so dropping
-// either copy preserves the equivalence contract.
-func (cp *campaign) record(i int, m platform.Measurement, simTime time.Duration, mode string) {
+// record stores a measurement exactly once, reporting whether this call
+// was the one that stored it. The duplicate guard makes completion
+// idempotent: a chaos-duplicated response, or a worker answering after
+// its lease expired and the job was reassigned, is counted and discarded
+// instead of double-finishing the campaign. Both executions of a
+// deterministic job carry identical bits, so dropping either copy
+// preserves the equivalence contract — and callers drop the duplicate's
+// trace spans on the same signal, so a job never renders twice.
+func (cp *campaign) record(i int, m platform.Measurement, simTime time.Duration, mode string) bool {
 	key := cp.jobs[i].Key
 	cp.mu.Lock()
 	if _, dup := cp.runs[key]; dup {
@@ -674,7 +706,7 @@ func (cp *campaign) record(i int, m platform.Measurement, simTime time.Duration,
 		if cp.c.mDuplicates != nil {
 			cp.c.mDuplicates.Inc()
 		}
-		return
+		return false
 	}
 	cp.runs[key] = m
 	cp.mu.Unlock()
@@ -698,6 +730,7 @@ func (cp *campaign) record(i int, m platform.Measurement, simTime time.Duration,
 		obsv.RunDone(key, m, simTime)
 	}
 	cp.finish()
+	return true
 }
 
 // fail records a terminal run failure and stops the campaign, mirroring
@@ -739,7 +772,13 @@ func (cp *campaign) aliveWorkers() int {
 }
 
 // workerLoop pulls pending jobs and dispatches them to one worker slot.
-func (cp *campaign) workerLoop(w *workerConn) {
+// When tracing, the slot owns a root span for the campaign's duration:
+// per-dispatch children render on its lane, and the worker's own spans
+// (imported under the worker's pid) nest inside the dispatch window.
+func (cp *campaign) workerLoop(w *workerConn, slot int) {
+	ws := cp.opt.Tracer.Start("slot",
+		obs.String("worker", w.base), obs.Int("slot", slot))
+	defer ws.End()
 	for {
 		if cp.stop.Load() || !w.alive.Load() {
 			return
@@ -767,10 +806,13 @@ func (cp *campaign) workerLoop(w *workerConn) {
 			// more in-flight requests than it advertised. The slot is
 			// taken only while a job is in hand (never while idling on the
 			// queue), so an idle campaign cannot starve a busy one.
+			waitSpan := ws.Child("slot-wait")
 			if !w.slots.acquire(cp.stopCh, cp.ctx.Done()) {
+				waitSpan.End()
 				return // campaign is failing or cancelled; i becomes a skipped job
 			}
-			cp.dispatch(w, i)
+			waitSpan.End()
+			cp.dispatch(w, i, ws)
 			w.slots.release()
 		}
 	}
@@ -791,10 +833,18 @@ func (cp *campaign) reroute(i int) {
 // success records, a terminal (simulation) failure stops the campaign, and
 // a transport/server failure reschedules with exponential backoff and
 // jitter — to any live worker, or locally once attempts are exhausted.
-func (cp *campaign) dispatch(w *workerConn, i int) {
+// ws is the slot's trace span (nil when untraced); the dispatch child it
+// opens is the local-side window the worker's returned spans are clamped
+// into, so a stitched trace nests worker activity inside the dispatch
+// that provably contained it.
+func (cp *campaign) dispatch(w *workerConn, i int, ws *obs.Span) {
 	cp.runStartOnce(i)
+	var dspan *obs.Span
+	if ws != nil {
+		dspan = ws.Child("dispatch", obs.String("job", cp.jobs[i].Key.String()))
+	}
 	cp.c.leaseAcquire(cp.id, cp.ids[i], w.base)
-	m, simSec, err := cp.runRemote(w, i)
+	m, simSec, batch, err := cp.runRemote(w, i)
 	cp.c.leaseRelease(cp.id, cp.ids[i])
 
 	if err == nil {
@@ -803,16 +853,29 @@ func (cp *campaign) dispatch(w *workerConn, i int) {
 		cp.c.mu.Lock()
 		st.Jobs++
 		cp.c.mu.Unlock()
-		cp.record(i, m, time.Duration(simSec*float64(time.Second)), "remote")
+		fresh := cp.record(i, m, time.Duration(simSec*float64(time.Second)), "remote")
+		dspan.Annotate(obs.Bool("recorded", fresh))
+		dspan.End()
+		// Import the worker's spans only for the response that actually
+		// recorded: a duplicate completion (chaos, or a worker answering
+		// after its lease expired) must not render the job twice.
+		if fresh && batch != nil {
+			cp.opt.Tracer.ImportProcess("worker "+w.base,
+				batch.spans, batch.offset, batch.lo, batch.hi)
+		}
 		return
 	}
 
 	if isTerminal(err) {
+		dspan.Annotate(obs.String("error", "terminal"))
+		dspan.End()
 		cp.fail(i, err)
 		return
 	}
 
 	// Retryable failure: charge the worker and the job, then reschedule.
+	dspan.Annotate(obs.String("error", "retry"))
+	dspan.End()
 	cp.noteWorkerFailure(w, err)
 	if cp.c.mRetries != nil {
 		cp.c.mRetries.Inc()
@@ -897,6 +960,8 @@ func (cp *campaign) drainToLocal() {
 // attempts are exhausted (or that lost every worker) simulate here on a
 // reused SimContext, exactly as a local campaign would.
 func (cp *campaign) localLoop() {
+	ls := cp.opt.Tracer.Start("local-lane")
+	defer ls.End()
 	var sim *platform.SimContext // built on first use
 	for {
 		if cp.stop.Load() {
@@ -918,8 +983,16 @@ func (cp *campaign) localLoop() {
 				sim = platform.NewSimContext(cp.pl)
 			}
 			j := cp.jobs[i]
+			// Attribute strings are built only when tracing (ls non-nil):
+			// the key format allocates, and untraced campaigns must stay
+			// allocation-free on this path.
+			var sp *obs.Span
+			if ls != nil {
+				sp = ls.Child("simulate", obs.String("key", j.Key.String()))
+			}
 			t0 := time.Now()
 			m, err := sim.Run(j.Profile, j.Key.Cluster, j.Key.FreqMHz)
+			sp.End()
 			if err != nil {
 				cp.fail(i, err)
 				return
@@ -963,10 +1036,30 @@ func isTerminal(err error) bool {
 	return errors.As(err, &sf)
 }
 
+// workerSpanBatch is one job's worth of worker-side spans plus what the
+// coordinator needs to place them on its own timeline: the estimated
+// worker-minus-coordinator clock offset and the local dispatch window
+// [lo, hi] that provably contains the worker's activity.
+type workerSpanBatch struct {
+	spans  []obs.SpanRecord
+	offset time.Duration
+	lo, hi time.Time
+}
+
 // runRemote performs one HTTP attempt of job i against w under the lease
 // timeout, verifying protocol version, job identity and payload digest
-// before trusting the measurement.
-func (cp *campaign) runRemote(w *workerConn, i int) (platform.Measurement, float64, error) {
+// before trusting the measurement. When the job was traced and the worker
+// returned spans, the non-nil batch carries them with a clock-offset
+// estimate derived from the exchange's four timestamps (the coordinator's
+// send/receive bracket the worker's receive/done, NTP-style):
+//
+//	offset = ((W0 - t0) + (W1 - t1)) / 2
+//
+// The symmetric-delay assumption can be off by half the round trip, so
+// the importer additionally clamps every span into [t0, t1] — worker
+// spans can therefore never escape the dispatch span that contains them,
+// whatever the skew (including negative offsets).
+func (cp *campaign) runRemote(w *workerConn, i int) (platform.Measurement, float64, *workerSpanBatch, error) {
 	j := cp.jobs[i]
 	job := Job{
 		Proto:      ProtoVersion,
@@ -977,25 +1070,35 @@ func (cp *campaign) runRemote(w *workerConn, i int) (platform.Measurement, float
 		Cluster:    j.Key.Cluster,
 		FreqMHz:    j.Key.FreqMHz,
 	}
+	if tc := cp.opt.Trace; tc.Correlated() || cp.opt.Tracer.Enabled() {
+		if tc.Campaign == "" {
+			tc.Campaign = cp.id
+		}
+		tc.Job = cp.ids[i]
+		tc.Parent = "dispatch"
+		tc.Record = cp.opt.Tracer.Enabled()
+		job.Trace = tc
+	}
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(job); err != nil {
-		return platform.Measurement{}, 0, cp.httpErr("encode", err)
+		return platform.Measurement{}, 0, nil, cp.httpErr("encode", err)
 	}
 	ctx, cancel := context.WithTimeout(cp.ctx, cp.c.cfg.RunTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+PathRun, bytes.NewReader(body.Bytes()))
 	if err != nil {
-		return platform.Measurement{}, 0, cp.httpErr("encode", err)
+		return platform.Measurement{}, 0, nil, cp.httpErr("encode", err)
 	}
 	req.Header.Set("Content-Type", contentType)
 
+	sendT := time.Now()
 	resp, err := cp.c.client.Do(req)
 	if err != nil {
 		kind := "conn"
 		if ctx.Err() == context.DeadlineExceeded {
 			kind = "lease-expired"
 		}
-		return platform.Measurement{}, 0, cp.httpErr(kind, err)
+		return platform.Measurement{}, 0, nil, cp.httpErr(kind, err)
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -1007,30 +1110,38 @@ func (cp *campaign) runRemote(w *workerConn, i int) (platform.Measurement, float
 		// fall through to decoding
 	case http.StatusUnprocessableEntity:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return platform.Measurement{}, 0, &simFailedError{msg: strings.TrimSpace(string(msg))}
+		return platform.Measurement{}, 0, nil, &simFailedError{msg: strings.TrimSpace(string(msg))}
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return platform.Measurement{}, 0, cp.httpErr("status",
+		return platform.Measurement{}, 0, nil, cp.httpErr("status",
 			fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg))))
 	}
 
 	var res RunResult
 	if err := gob.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return platform.Measurement{}, 0, cp.httpErr("decode", err)
+		return platform.Measurement{}, 0, nil, cp.httpErr("decode", err)
 	}
+	recvT := time.Now()
 	if res.Proto != ProtoVersion {
-		return platform.Measurement{}, 0, cp.httpErr("proto",
+		return platform.Measurement{}, 0, nil, cp.httpErr("proto",
 			fmt.Errorf("result protocol %d, want %d", res.Proto, ProtoVersion))
 	}
 	if res.ID != job.ID {
-		return platform.Measurement{}, 0, cp.httpErr("misroute",
+		return platform.Measurement{}, 0, nil, cp.httpErr("misroute",
 			fmt.Errorf("result for %s, want %s", res.ID, job.ID))
 	}
 	m, err := res.Measurement()
 	if err != nil {
-		return platform.Measurement{}, 0, cp.httpErr("digest", err)
+		return platform.Measurement{}, 0, nil, cp.httpErr("digest", err)
 	}
-	return m, res.SimSeconds, nil
+	var batch *workerSpanBatch
+	if len(res.Spans) > 0 && res.RecvUnixNano != 0 && res.DoneUnixNano != 0 {
+		w0 := time.Unix(0, res.RecvUnixNano)
+		w1 := time.Unix(0, res.DoneUnixNano)
+		offset := (w0.Sub(sendT) + w1.Sub(recvT)) / 2
+		batch = &workerSpanBatch{spans: res.Spans, offset: offset, lo: sendT, hi: recvT}
+	}
+	return m, res.SimSeconds, batch, nil
 }
 
 func (cp *campaign) httpErr(kind string, err error) error {

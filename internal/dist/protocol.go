@@ -20,6 +20,7 @@ import (
 
 	"gemstone/internal/gem5"
 	"gemstone/internal/hw"
+	"gemstone/internal/obs"
 	"gemstone/internal/platform"
 	"gemstone/internal/workload"
 )
@@ -28,6 +29,14 @@ import (
 // embed it in every message and reject a peer speaking another version —
 // a version-skewed worker must never contribute measurements, or the
 // bit-for-bit equivalence contract silently breaks.
+//
+// Additive, behaviour-optional fields do NOT bump the version: gob
+// decoders skip stream fields the receiver's struct lacks and zero
+// receiver fields the stream lacks, in both directions. The tracing
+// fields (Job.Trace, RunResult.Spans/RecvUnixNano/DoneUnixNano) rely on
+// exactly that — an old worker simply returns no spans and the
+// coordinator's trace shows its dispatch window without worker detail,
+// while an old coordinator ignores spans a new worker would have sent.
 const ProtoVersion = 1
 
 // Wire endpoints (all relative to the worker's base URL).
@@ -133,6 +142,11 @@ type Job struct {
 	Profile workload.Profile
 	Cluster string
 	FreqMHz int
+	// Trace carries the job's correlation identity (campaign, tenant,
+	// job, dispatch parent) and whether the worker should record and
+	// return spans. Optional: the zero value is an anonymous, untraced
+	// job, which is also what a pre-tracing coordinator sends.
+	Trace obs.TraceContext
 }
 
 // RunResult is the worker's reply to one Job.
@@ -152,6 +166,17 @@ type RunResult struct {
 	// SimSeconds is the worker-side wall time of the simulation, reported
 	// so the coordinator's CollectStats aggregate stays meaningful.
 	SimSeconds float64
+	// Spans are the worker-side spans of this job (request receipt to
+	// response encoding), timed on the worker's clock. Empty unless the
+	// job asked for recording (Job.Trace.Record) — and always empty from
+	// a pre-tracing worker, which this protocol version tolerates.
+	Spans []obs.SpanRecord
+	// RecvUnixNano and DoneUnixNano bracket the worker's handling on its
+	// own clock: request decoded, response about to be written. Together
+	// with the coordinator's send/receive times they yield an NTP-style
+	// clock-offset estimate used to place Spans on the campaign timeline.
+	RecvUnixNano int64
+	DoneUnixNano int64
 }
 
 // encodeMeasurement frames a measurement as a digested payload.

@@ -45,6 +45,18 @@ type Worker struct {
 	busy     *obs.Gauge
 	simTime  *obs.Histogram
 	capacity int
+
+	// clock overrides time.Now for the clock-skew tests; nil means the
+	// real clock.
+	clock func() time.Time
+}
+
+// now reads the worker's clock.
+func (w *Worker) now() time.Time {
+	if w.clock != nil {
+		return w.clock()
+	}
+	return time.Now()
 }
 
 // NewWorker builds a worker.
@@ -104,6 +116,7 @@ func (w *Worker) handleHello(rw http.ResponseWriter, _ *http.Request) {
 //	      fails the campaign instead of retrying
 //	200 — a gob RunResult
 func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
+	recv := w.now()
 	if req.Method != http.MethodPost {
 		http.Error(rw, "dist: POST required", http.StatusMethodNotAllowed)
 		return
@@ -131,14 +144,31 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	// Span recording costs nothing unless the job asks for it: untraced
+	// jobs take the exact pre-tracing path plus one branch per phase.
+	traced := job.Trace.Recording()
+	var spans []obs.SpanRecord
+	mark := func(name string, start time.Time, attrs ...obs.Attr) {
+		if traced {
+			spans = append(spans, obs.NewSpanRecord(name, start, w.now(), attrs...))
+		}
+	}
+	mark("receive", recv, obs.Int64("bytes", req.ContentLength))
+
+	queueT := w.now()
 	w.sem <- struct{}{}
+	mark("queue", queueT)
 	if w.busy != nil {
 		w.busy.Add(1)
 	}
-	sc := w.simContext(pl)
-	start := time.Now()
+	ctxT := w.now()
+	sc, reused := w.simContext(pl)
+	mark("simctx", ctxT, obs.Bool("reused", reused))
+	start := w.now()
 	m, err := sc.Run(job.Profile, job.Cluster, job.FreqMHz)
-	elapsed := time.Since(start)
+	elapsed := w.now().Sub(start)
+	mark("simulate", start, obs.String("workload", job.Profile.Name),
+		obs.String("cluster", job.Cluster), obs.Int("freq_mhz", job.FreqMHz))
 	w.releaseSimContext(pl, sc)
 	if w.busy != nil {
 		w.busy.Add(-1)
@@ -150,16 +180,19 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 			w.runsErr.Inc("error")
 		}
 		if w.cfg.Log != nil {
-			w.cfg.Log.Error("job failed", "id", job.ID, "key", job.Profile.Name, "err", err)
+			w.cfg.Log.Error("job failed", "id", job.ID, "key", job.Profile.Name,
+				"campaign", job.Trace.Campaign, "tenant", job.Trace.Tenant, "err", err)
 		}
 		http.Error(rw, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
+	encT := w.now()
 	payload, digest, err := encodeMeasurement(m)
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	mark("encode", encT, obs.Int("bytes", len(payload)))
 	w.runs.Add(1)
 	if w.runsOK != nil {
 		w.runsOK.Inc("ok")
@@ -170,16 +203,29 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	if w.cfg.Log != nil {
 		w.cfg.Log.Debug("job done", "id", job.ID,
 			"workload", job.Profile.Name, "cluster", job.Cluster, "freq_mhz", job.FreqMHz,
+			"campaign", job.Trace.Campaign, "tenant", job.Trace.Tenant,
 			"sim", elapsed.Round(time.Millisecond).String())
 	}
-	rw.Header().Set("Content-Type", contentType)
-	_ = gob.NewEncoder(rw).Encode(RunResult{
+	res := RunResult{
 		Proto:      ProtoVersion,
 		ID:         job.ID,
 		Payload:    payload,
 		Digest:     digest,
 		SimSeconds: elapsed.Seconds(),
-	})
+	}
+	if traced {
+		done := w.now()
+		// The root span brackets everything the worker did for the job;
+		// its endpoints double as the clock-sync timestamps.
+		root := obs.NewSpanRecord("job", recv, done,
+			obs.String("job", job.ID), obs.String("campaign", job.Trace.Campaign),
+			obs.String("tenant", job.Trace.Tenant), obs.String("parent", job.Trace.Parent))
+		res.Spans = append([]obs.SpanRecord{root}, spans...)
+		res.RecvUnixNano = recv.UnixNano()
+		res.DoneUnixNano = done.UnixNano()
+	}
+	rw.Header().Set("Content-Type", contentType)
+	_ = gob.NewEncoder(rw).Encode(res)
 }
 
 // platform resolves (and memoises) the spec's platform.
@@ -200,16 +246,18 @@ func (w *Worker) platform(spec PlatformSpec) (*platform.Platform, error) {
 // simContext pops an idle reusable context for pl, or builds one. The
 // pool is keyed by platform fingerprint and bounded by MaxParallel via
 // the semaphore, so at most MaxParallel contexts exist per platform.
-func (w *Worker) simContext(pl *platform.Platform) *platform.SimContext {
+// reused reports whether the context came from the pool (a trace
+// annotation: a cold build costs hundreds of kilobytes and milliseconds).
+func (w *Worker) simContext(pl *platform.Platform) (sc *platform.SimContext, reused bool) {
 	fp := pl.Config().Fingerprint()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if free := w.idle[fp]; len(free) > 0 {
 		sc := free[len(free)-1]
 		w.idle[fp] = free[:len(free)-1]
-		return sc
+		return sc, true
 	}
-	return platform.NewSimContext(pl)
+	return platform.NewSimContext(pl), false
 }
 
 func (w *Worker) releaseSimContext(pl *platform.Platform, sc *platform.SimContext) {

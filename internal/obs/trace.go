@@ -56,6 +56,10 @@ type Event struct {
 	// Lane is the virtual thread the span renders on (Chrome "tid"):
 	// root spans claim a free lane, children inherit their parent's.
 	Lane int
+	// Proc is the process lane group the span renders in (Chrome "pid"):
+	// 0 is the local process; spans merged from remote processes via
+	// ImportProcess carry the id assigned to their process name.
+	Proc int
 	// Start is the span start, relative to the tracer epoch.
 	Start time.Duration
 	// Dur is the span duration.
@@ -75,6 +79,15 @@ type Tracer struct {
 	events []Event
 	free   []int // released lanes, reused lowest-first
 	lanes  int   // high-water lane count
+	procs  map[string]*traceProc
+}
+
+// traceProc is one remote process merged into the trace: its Chrome pid
+// and the per-lane high-water marks the lane allocator packs imported
+// batches against.
+type traceProc struct {
+	id      int
+	laneEnd []time.Duration // per lane: end of the latest batch placed on it
 }
 
 // NewTracer returns an enabled tracer whose epoch is now.
@@ -200,21 +213,39 @@ type chromeTrace struct {
 
 // WriteChromeTrace renders every recorded span as Chrome trace-event
 // JSON. The output is a single JSON object loadable by chrome://tracing
-// and ui.perfetto.dev.
+// and ui.perfetto.dev. Spans merged from remote processes (ImportProcess)
+// render under their own pid with a process_name metadata record, so a
+// stitched fleet trace shows one timeline with per-worker lanes.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		return fmt.Errorf("obs: WriteChromeTrace on a disabled (nil) tracer")
 	}
 	events := t.Events()
 	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
+	if names := t.procNames(); len(names) > 0 {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Cat: "__metadata", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "coordinator"},
+		})
+		for _, pid := range sortedPids(names) {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Cat: "__metadata", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": names[pid]},
+			})
+		}
+	}
 	for _, ev := range events {
+		pid := ev.Proc
+		if pid == 0 {
+			pid = 1
+		}
 		ce := chromeEvent{
 			Name: ev.Name,
 			Cat:  "gemstone",
 			Ph:   "X",
 			Ts:   float64(ev.Start) / float64(time.Microsecond),
 			Dur:  float64(ev.Dur) / float64(time.Microsecond),
-			Pid:  1,
+			Pid:  pid,
 			Tid:  ev.Lane + 1, // tid 0 renders oddly in some viewers
 		}
 		if len(ev.Attrs) > 0 {

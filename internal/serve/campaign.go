@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gemstone/internal/core"
+	"gemstone/internal/obs"
 	"gemstone/internal/platform"
 )
 
@@ -60,6 +61,12 @@ type Campaign struct {
 	Spec *CampaignSpec
 	// Created is the submission time.
 	Created time.Time
+	// tracer records the campaign's fleet-wide trace when the server has
+	// tracing enabled; nil otherwise. It is set once before the campaign
+	// goroutine starts and never mutated, so handlers read it without
+	// holding mu. Its Chrome export is served by /v1/campaigns/{id}/trace
+	// once the campaign is terminal.
+	tracer *obs.Tracer
 
 	mu     sync.Mutex
 	state  State
@@ -174,24 +181,57 @@ func (c *Campaign) Err() error {
 // observer callbacks. Counters are per-collect (the campaign runs two:
 // hardware then model); emit routes through the server so event metrics
 // stay accurate.
+//
+// It also times the campaign's SLO phases. A campaign's wall time is
+// partitioned into queued / leased / simulating / collating; the
+// observer measures the middle two as, per collect half:
+//
+//	leased     — collect start until the first run activity (the lag
+//	             before any worker or local lane picks up work)
+//	simulating — first run activity until the half's CollectDone
+//
+// summed across halves. queued and collating are measured by
+// runCampaign, which sees the campaign's creation and terminal times.
 type campaignObserver struct {
 	emit func(Event)
+	// onDone, when non-nil, receives each half's CollectStats (the
+	// server folds them into its statusz cache accumulators).
+	onDone func(core.CollectStats)
 
 	mu       sync.Mutex
 	platform string
 	done     int
+
+	collectStart time.Time     // current half's CollectStart time
+	activityAt   time.Time     // first run activity of the current half
+	leaseWait    time.Duration // Σ first activity − collect start
+	simWall      time.Duration // Σ collect done − first activity
+	lastDone     time.Time     // most recent CollectDone
 }
 
 // CollectStart implements core.CollectObserver.
 func (o *campaignObserver) CollectStart(platformName string, jobs int) {
 	o.mu.Lock()
 	o.platform, o.done = platformName, 0
+	o.collectStart, o.activityAt = time.Now(), time.Time{}
 	o.mu.Unlock()
 	o.emit(Event{Type: "collect-start", Platform: platformName, Jobs: jobs})
 }
 
+// markActivityLocked records the half's first sign of run progress.
+func (o *campaignObserver) markActivityLocked() {
+	if o.activityAt.IsZero() {
+		o.activityAt = time.Now()
+		o.leaseWait += o.activityAt.Sub(o.collectStart)
+	}
+}
+
 // RunStart implements core.CollectObserver.
-func (o *campaignObserver) RunStart(core.RunKey) {}
+func (o *campaignObserver) RunStart(core.RunKey) {
+	o.mu.Lock()
+	o.markActivityLocked()
+	o.mu.Unlock()
+}
 
 // CacheHit implements core.CollectObserver.
 func (o *campaignObserver) CacheHit(core.RunKey) { o.runDone() }
@@ -203,6 +243,7 @@ func (o *campaignObserver) RunDone(core.RunKey, platform.Measurement, time.Durat
 
 func (o *campaignObserver) runDone() {
 	o.mu.Lock()
+	o.markActivityLocked()
 	o.done++
 	e := Event{Type: "run-done", Platform: o.platform, Done: o.done}
 	o.mu.Unlock()
@@ -215,10 +256,29 @@ func (o *campaignObserver) RunError(core.RunKey, error) {}
 
 // CollectDone implements core.CollectObserver.
 func (o *campaignObserver) CollectDone(s core.CollectStats) {
+	o.mu.Lock()
+	now := time.Now()
+	// A fully-cached half may finish without a single RunStart callback
+	// reaching us before CollectDone; count the whole half as simulating.
+	o.markActivityLocked()
+	o.simWall += now.Sub(o.activityAt)
+	o.lastDone = now
+	o.mu.Unlock()
+	if o.onDone != nil {
+		o.onDone(s)
+	}
 	o.emit(Event{
 		Type:      "collect-done",
 		Platform:  s.Platform,
 		Done:      s.Simulated + s.CacheHits,
 		CacheHits: s.CacheHits,
 	})
+}
+
+// phases reports the accumulated leased and simulating time and the
+// last CollectDone instant (zero if no half completed).
+func (o *campaignObserver) phases() (leased, simulating time.Duration, lastDone time.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.leaseWait, o.simWall, o.lastDone
 }

@@ -49,6 +49,12 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer, when non-nil, records one span per campaign.
 	Tracer *obs.Tracer
+	// TraceCampaigns, when true, gives every campaign its own fleet-wide
+	// tracer: the coordinator stitches worker-side spans into it and
+	// GET /v1/campaigns/{id}/trace serves the merged Chrome timeline once
+	// the campaign is terminal. Traces live exactly as long as their
+	// campaign (the retention cap evicts both together).
+	TraceCampaigns bool
 	// Log, when non-nil, receives service logging.
 	Log *slog.Logger
 	// MaxCampaigns bounds fleet-wide in-flight campaigns; 0 means 4,
@@ -108,12 +114,19 @@ type Server struct {
 	active    int
 	perTenant map[string]int
 
+	started time.Time   // server start, for /v1/statusz uptime
+	slo     *sloTracker // rolling per-tenant phase latencies
+
+	cacheJobs atomic.Int64 // jobs observed across completed collects
+	cacheHits atomic.Int64 // cache hits across completed collects
+
 	mCampaigns *obs.Counter   // gemstone_serve_campaigns_total{tenant,outcome}
-	mActive    *obs.Gauge     // gemstone_serve_campaigns_active
-	mRejected  *obs.Counter   // gemstone_serve_rejected_total{reason}
-	mEvents    *obs.Counter   // gemstone_serve_events_total{type}
+	mActive    *obs.Gauge     // gemstone_serve_campaigns_active{tenant}
+	mRejected  *obs.Counter   // gemstone_serve_rejected_total{tenant,reason}
+	mEvents    *obs.Counter   // gemstone_serve_events_total{tenant,type}
 	mEvicted   *obs.Counter   // gemstone_serve_evicted_total
-	mSeconds   *obs.Histogram // gemstone_serve_campaign_seconds{outcome}
+	mSeconds   *obs.Histogram // gemstone_serve_campaign_seconds{tenant,outcome}
+	mSLO       *obs.Histogram // gemstone_serve_slo_phase_seconds{tenant,phase}
 }
 
 // campaignDurationBounds buckets campaign wall time from warm-cache
@@ -140,20 +153,25 @@ func New(cfg Config) *Server {
 		cancel:    cancel,
 		campaigns: make(map[string]*Campaign),
 		perTenant: make(map[string]int),
+		started:   time.Now(),
+		slo:       newSLOTracker(),
 	}
 	if reg := cfg.Registry; reg != nil {
 		s.mCampaigns = reg.Counter("gemstone_serve_campaigns_total",
 			"Campaigns accepted, by tenant and final outcome.", "tenant", "outcome")
 		s.mActive = reg.Gauge("gemstone_serve_campaigns_active",
-			"Campaigns currently pending or running.")
+			"Campaigns currently pending or running, by tenant.", "tenant")
 		s.mRejected = reg.Counter("gemstone_serve_rejected_total",
-			"Campaign submissions rejected by admission control, by reason.", "reason")
+			"Campaign submissions rejected by admission control, by tenant and reason.", "tenant", "reason")
 		s.mEvents = reg.Counter("gemstone_serve_events_total",
-			"Campaign stream events emitted, by event type.", "type")
+			"Campaign stream events emitted, by tenant and event type.", "tenant", "type")
 		s.mEvicted = reg.Counter("gemstone_serve_evicted_total",
 			"Terminal campaigns evicted by the retention cap.")
 		s.mSeconds = reg.Histogram("gemstone_serve_campaign_seconds",
-			"Campaign wall time in seconds, by outcome.", campaignDurationBounds, "outcome")
+			"Campaign wall time in seconds, by tenant and outcome.", campaignDurationBounds, "tenant", "outcome")
+		s.mSLO = reg.Histogram("gemstone_serve_slo_phase_seconds",
+			"Campaign time spent per SLO phase (queued, leased, simulating, collating), by tenant.",
+			campaignDurationBounds, "tenant", "phase")
 	}
 	s.mux = s.routes()
 	return s
@@ -191,13 +209,25 @@ func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
 func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 // routes assembles the Go 1.22 method/wildcard mux, wrapping each route
-// in the registry's HTTP instrumentation when one is configured.
+// in the registry's HTTP instrumentation and the request log when either
+// is configured. The log correlator runs after the mux has matched, so
+// path values are populated and every request line carries its tenant
+// and (where the route has one) campaign ID alongside the request ID the
+// middleware assigns.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
+	correlate := func(r *http.Request) []any {
+		attrs := []any{"tenant", tenantLabel(r)}
+		if id := r.PathValue("id"); id != "" {
+			attrs = append(attrs, "campaign", id)
+		}
+		return attrs
+	}
 	handle := func(method, route string, h http.HandlerFunc) {
 		var wrapped http.Handler = h
-		if s.cfg.Registry != nil {
-			wrapped = obs.InstrumentHandler(s.cfg.Registry, "gemstone_serve", route, wrapped)
+		if s.cfg.Registry != nil || s.cfg.Log != nil {
+			wrapped = obs.InstrumentHandlerLog(s.cfg.Registry, "gemstone_serve", route,
+				wrapped, s.cfg.Log, correlate)
 		}
 		mux.Handle(method+" "+route, wrapped)
 	}
@@ -210,6 +240,9 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET", "/v1/campaigns/{id}/clusters", s.handleClusters)
 	handle("GET", "/v1/campaigns/{id}/power", s.handlePower)
 	handle("GET", "/v1/campaigns/{id}/archive/{set}", s.handleArchive)
+	handle("GET", "/v1/campaigns/{id}/trace", s.handleTrace)
+	handle("GET", "/v1/statusz", s.handleStatusz)
+	handle("GET", "/readyz", s.handleReady)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -218,6 +251,22 @@ func (s *Server) routes() *http.ServeMux {
 		mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	}
 	return mux
+}
+
+// tenantLabel is the tenant for logging and metric labels: the header
+// when it is well-formed, DefaultTenant when absent, "invalid" when
+// malformed — so an abusive header can never mint unbounded label
+// values.
+func tenantLabel(r *http.Request) string {
+	t := r.Header.Get(TenantHeader)
+	switch {
+	case t == "":
+		return DefaultTenant
+	case tenantRE.MatchString(t):
+		return t
+	default:
+		return "invalid"
+	}
 }
 
 // apiError is the uniform error body.
@@ -306,6 +355,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	id := fmt.Sprintf("c-%06d", s.seq.Add(1))
 	c := newCampaign(id, tenant, spec)
+	if s.cfg.TraceCampaigns {
+		c.tracer = obs.NewTracer()
+	}
 
 	s.mu.Lock()
 	switch {
@@ -315,13 +367,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case s.cfg.MaxCampaigns > 0 && s.active >= s.cfg.MaxCampaigns:
 		s.mu.Unlock()
-		s.rejected("capacity")
+		s.rejected(tenant, "capacity")
 		writeError(w, http.StatusTooManyRequests, "capacity",
 			"%d campaigns in flight (limit %d)", s.cfg.MaxCampaigns, s.cfg.MaxCampaigns)
 		return
 	case s.cfg.TenantQuota > 0 && s.perTenant[tenant] >= s.cfg.TenantQuota:
 		s.mu.Unlock()
-		s.rejected("tenant-quota")
+		s.rejected(tenant, "tenant-quota")
 		writeError(w, http.StatusTooManyRequests, "tenant-quota",
 			"tenant %q has %d campaigns in flight (quota %d)", tenant, s.cfg.TenantQuota, s.cfg.TenantQuota)
 		return
@@ -336,7 +388,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	s.mu.Unlock()
 	if s.mActive != nil {
-		s.mActive.Add(1)
+		s.mActive.Add(1, tenant)
 	}
 
 	s.emit(c, Event{Type: "submitted"})
@@ -348,9 +400,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, campaignStatus(c))
 }
 
-func (s *Server) rejected(reason string) {
+func (s *Server) rejected(tenant, reason string) {
 	if s.mRejected != nil {
-		s.mRejected.Inc(reason)
+		s.mRejected.Inc(tenant, reason)
 	}
 }
 
@@ -620,12 +672,12 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 // with the state transition, and the caller counts them via countEvent.
 func (s *Server) emit(c *Campaign, e Event) {
 	c.append(e)
-	s.countEvent(e.Type)
+	s.countEvent(c.Tenant, e.Type)
 }
 
-func (s *Server) countEvent(typ string) {
+func (s *Server) countEvent(tenant, typ string) {
 	if s.mEvents != nil {
-		s.mEvents.Inc(typ)
+		s.mEvents.Inc(tenant, typ)
 	}
 }
 
@@ -657,9 +709,31 @@ func (s *Server) runCampaign(c *Campaign) {
 			obs.String("campaign", c.ID), obs.String("tenant", c.Tenant))
 		defer span.End()
 	}
+	// The fleet-wide campaign trace: root brackets the whole campaign;
+	// the coordinator's collect spans and every worker's imported spans
+	// nest under it. Nil c.tracer (tracing disabled) makes every span
+	// call a no-op.
+	root := c.tracer.Start("campaign",
+		obs.String("campaign", c.ID), obs.String("tenant", c.Tenant))
 
+	observer := &campaignObserver{
+		emit:   func(e Event) { s.emit(c, e) },
+		onDone: s.noteCollect,
+	}
 	outcome := "done"
 	defer func() {
+		// SLO phase accounting: queued + leased + simulating + collating
+		// partition the campaign's lifetime. queued is admission to
+		// goroutine start; collating is last collect completion to the
+		// terminal transition (validation, ledger I/O, bookkeeping); the
+		// observer measured the middle two.
+		leased, simulating, lastDone := observer.phases()
+		queued := start.Sub(c.Created)
+		var collating time.Duration
+		if !lastDone.IsZero() {
+			collating = time.Since(lastDone)
+		}
+		s.noteSLO(c.Tenant, queued, leased, simulating, collating)
 		s.settle(c, outcome, time.Since(start))
 	}()
 
@@ -671,7 +745,6 @@ func (s *Server) runCampaign(c *Campaign) {
 		cache = core.NewNamespaceCache(c.Tenant, cache)
 	}
 	recorder := ledger.NewCampaignRecorder()
-	observer := &campaignObserver{emit: func(e Event) { s.emit(c, e) }}
 	collect := s.collector()
 
 	runHalf := func(name string, pl *platform.Platform) (*core.RunSet, error) {
@@ -679,6 +752,8 @@ func (s *Server) runCampaign(c *Campaign) {
 		opt.Cache = cache
 		opt.Workers = s.cfg.Workers
 		opt.Observer = core.MultiObserver(recorder, observer)
+		opt.Tracer = c.tracer
+		opt.Trace = obs.TraceContext{Campaign: c.ID, Tenant: c.Tenant}
 		return collect(s.ctx, c.ID+"/"+name, pl, opt)
 	}
 
@@ -690,27 +765,61 @@ func (s *Server) runCampaign(c *Campaign) {
 		var simSet *core.RunSet
 		simSet, err = runHalf("sim", simPl)
 		if err == nil {
+			collate := root.Child("collate")
 			var vs *core.ValidationSummary
 			vs, err = core.Validate(hwSet, simSet, c.Spec.Cluster)
 			if err == nil {
 				s.emit(c, Event{Type: "validated", MAPE: vs.MAPE})
 				s.appendLedger(c, hwPl, simPl, recorder, vs)
+				collate.End()
+				// End the trace before the terminal transition commits:
+				// /trace serves only terminal campaigns, so every span a
+				// client can observe is complete.
+				root.End()
 				// The results, the terminal frame and the StateDone
 				// transition commit atomically (after the ledger I/O), so
 				// no event stream can observe a terminal campaign whose
 				// "done" frame is not yet appended.
 				c.complete(hwSet, simSet, vs, Event{Type: "done", MAPE: vs.MAPE})
-				s.countEvent("done")
+				s.countEvent(c.Tenant, "done")
 				s.log().Info("campaign done", "campaign", c.ID, "tenant", c.Tenant,
 					"mape", vs.MAPE, "wall", time.Since(start))
 				return
 			}
+			collate.End()
 		}
 	}
 	outcome = "failed"
+	root.Annotate(obs.Bool("failed", true))
+	root.End()
 	c.failWith(err, Event{Type: "error", Error: err.Error()})
-	s.countEvent("error")
+	s.countEvent(c.Tenant, "error")
 	s.log().Warn("campaign failed", "campaign", c.ID, "tenant", c.Tenant, "err", err)
+}
+
+// noteCollect folds one completed collect half into the server-wide
+// cache accumulators surfaced by /v1/statusz.
+func (s *Server) noteCollect(st core.CollectStats) {
+	s.cacheJobs.Add(int64(st.Simulated + st.CacheHits))
+	s.cacheHits.Add(int64(st.CacheHits))
+}
+
+// noteSLO records one campaign's phase split into the histogram and the
+// rolling statusz window.
+func (s *Server) noteSLO(tenant string, queued, leased, simulating, collating time.Duration) {
+	phases := [...]struct {
+		name string
+		d    time.Duration
+	}{
+		{"queued", queued}, {"leased", leased},
+		{"simulating", simulating}, {"collating", collating},
+	}
+	for _, p := range phases {
+		if s.mSLO != nil {
+			s.mSLO.Observe(p.d.Seconds(), tenant, p.name)
+		}
+		s.slo.observe(p.name, p.d)
+	}
 }
 
 // settle releases the campaign's admission slot, applies the retention
@@ -732,13 +841,13 @@ func (s *Server) settle(c *Campaign, outcome string, wall time.Duration) {
 			"evicted", evicted, "cap", s.cfg.MaxRetained)
 	}
 	if s.mActive != nil {
-		s.mActive.Add(-1)
+		s.mActive.Add(-1, c.Tenant)
 	}
 	if s.mCampaigns != nil {
 		s.mCampaigns.Inc(c.Tenant, outcome)
 	}
 	if s.mSeconds != nil {
-		s.mSeconds.Observe(wall.Seconds(), outcome)
+		s.mSeconds.Observe(wall.Seconds(), c.Tenant, outcome)
 	}
 }
 

@@ -7,8 +7,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -199,10 +201,12 @@ func TestServiceEndToEnd(t *testing.T) {
 	})
 	ledgerPath := filepath.Join(t.TempDir(), "ledger.jsonl")
 	svc := New(Config{
-		Coordinator: coord,
-		Cache:       core.NewMemoryCache(0),
-		Ledger:      ledger.Open(ledgerPath),
-		Registry:    reg,
+		Coordinator:    coord,
+		Cache:          core.NewMemoryCache(0),
+		Ledger:         ledger.Open(ledgerPath),
+		Registry:       reg,
+		TraceCampaigns: true,
+		Log:            slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	defer svc.Close()
 	api := httptest.NewServer(svc.Handler())
@@ -348,13 +352,214 @@ func TestServiceEndToEnd(t *testing.T) {
 				t.Errorf("%s = %v, want 1", key, snap[key])
 			}
 		}
-		if snap["gemstone_serve_campaigns_active"] != 0 {
-			t.Errorf("active gauge = %v after completion", snap["gemstone_serve_campaigns_active"])
+		for _, tn := range tenants {
+			key := fmt.Sprintf(`gemstone_serve_campaigns_active{tenant=%q}`, tn)
+			if snap[key] != 0 {
+				t.Errorf("%s = %v after completion", key, snap[key])
+			}
 		}
 		if snap[`gemstone_serve_requests_total{route="/v1/campaigns",method="POST",code="202"}`] < 2 {
 			t.Error("HTTP instrumentation missing POST /v1/campaigns samples")
 		}
 	})
+
+	t.Run("trace", func(t *testing.T) {
+		// The terminal campaign serves its merged fleet-wide Chrome trace.
+		resp := doReq(t, http.MethodGet, api.URL+"/v1/campaigns/"+ids[0]+"/trace", tenants[0], nil)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trace status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("trace content type %q", ct)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// CI uploads the merged trace as a build artifact when the
+		// directory is provided.
+		if dir := os.Getenv("GEMSTONE_TRACE_ARTIFACT_DIR"); dir != "" {
+			if err := os.WriteFile(filepath.Join(dir, "serve-e2e-"+tenants[0]+".json"), raw, 0o644); err != nil {
+				t.Errorf("artifact write: %v", err)
+			}
+		}
+
+		var doc struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				Ts   float64        `json:"ts"`
+				Dur  float64        `json:"dur"`
+				Pid  int            `json:"pid"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("trace is not valid JSON: %v", err)
+		}
+		var rootTs, rootEnd float64
+		workerPids := map[int]bool{}
+		for _, ev := range doc.TraceEvents {
+			switch {
+			case ev.Ph == "M" && ev.Name == "process_name":
+				if name, _ := ev.Args["name"].(string); strings.HasPrefix(name, "worker ") {
+					workerPids[ev.Pid] = true
+				}
+			case ev.Ph == "X" && ev.Name == "campaign" && ev.Pid == 1:
+				rootTs, rootEnd = ev.Ts, ev.Ts+ev.Dur
+				if got, _ := ev.Args["campaign"].(string); got != ids[0] {
+					t.Errorf("campaign span labelled %q, want %s", got, ids[0])
+				}
+				if got, _ := ev.Args["tenant"].(string); got != tenants[0] {
+					t.Errorf("campaign span tenant %q, want %s", got, tenants[0])
+				}
+			}
+		}
+		if rootEnd == 0 {
+			t.Fatal("no campaign root span on pid 1")
+		}
+		if len(workerPids) == 0 {
+			t.Fatal("no worker process in the merged trace")
+		}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" && workerPids[ev.Pid] {
+				if ev.Ts < rootTs-0.01 || ev.Ts+ev.Dur > rootEnd+0.01 {
+					t.Errorf("worker span %q [%.1f,%.1f] escapes campaign span [%.1f,%.1f]",
+						ev.Name, ev.Ts, ev.Ts+ev.Dur, rootTs, rootEnd)
+				}
+			}
+		}
+
+		// Cross-tenant trace reads 404 like every other sub-resource.
+		if status, _ := fetch(t, api.URL, "bob", "/v1/campaigns/"+ids[0]+"/trace"); status != http.StatusNotFound {
+			t.Errorf("cross-tenant trace status %d, want 404", status)
+		}
+	})
+
+	t.Run("statusz", func(t *testing.T) {
+		status, body := fetch(t, api.URL, "", "/v1/statusz")
+		if status != http.StatusOK {
+			t.Fatalf("statusz status %d", status)
+		}
+		var sz statuszBody
+		if err := json.Unmarshal(body, &sz); err != nil {
+			t.Fatalf("statusz is not valid JSON: %v", err)
+		}
+		// The healthy worker is still alive, so the fleet is not degraded.
+		if sz.Status != "ok" {
+			t.Errorf("statusz status %q, want ok", sz.Status)
+		}
+		if sz.Campaigns.Active != 0 {
+			t.Errorf("active campaigns %d after completion", sz.Campaigns.Active)
+		}
+		if sz.Campaigns.Retained != 2 {
+			t.Errorf("retained campaigns %d, want 2", sz.Campaigns.Retained)
+		}
+		if len(sz.Workers) != 2 {
+			t.Errorf("statusz reports %d workers, want 2", len(sz.Workers))
+		}
+		if sz.Cache.Jobs <= 0 {
+			t.Errorf("cache jobs %d, want > 0", sz.Cache.Jobs)
+		}
+		for _, phase := range []string{"queued", "leased", "simulating", "collating"} {
+			if sz.SLO[phase].Count < 2 {
+				t.Errorf("SLO phase %q observed %d times, want >= 2", phase, sz.SLO[phase].Count)
+			}
+		}
+	})
+
+	t.Run("request IDs", func(t *testing.T) {
+		resp1 := doReq(t, http.MethodGet, api.URL+"/v1/campaigns", tenants[0], nil)
+		resp1.Body.Close()
+		resp2 := doReq(t, http.MethodGet, api.URL+"/v1/campaigns", tenants[0], nil)
+		resp2.Body.Close()
+		id1, id2 := resp1.Header.Get(obs.RequestIDHeader), resp2.Header.Get(obs.RequestIDHeader)
+		if id1 == "" || id2 == "" {
+			t.Fatalf("missing request ID headers: %q, %q", id1, id2)
+		}
+		if id1 == id2 {
+			t.Errorf("request IDs not unique: %s", id1)
+		}
+	})
+}
+
+// TestTraceEndpointStates pins the non-200 trace responses: 409 while
+// the campaign is still running, 404 when the server was started
+// without campaign tracing.
+func TestTraceEndpointStates(t *testing.T) {
+	release := make(chan struct{})
+	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, fmt.Errorf("stub: campaign aborted")
+	}
+
+	traced := New(Config{Collector: stub, TraceCampaigns: true})
+	defer traced.Close()
+	tracedAPI := httptest.NewServer(traced.Handler())
+	defer tracedAPI.Close()
+
+	id := submit(t, tracedAPI.URL, "alice", testSpec(1))
+	if status, body := fetch(t, tracedAPI.URL, "alice", "/v1/campaigns/"+id+"/trace"); status != http.StatusConflict {
+		t.Fatalf("running campaign trace status %d: %s, want 409", status, body)
+	}
+	close(release)
+
+	untraced := New(Config{Collector: stub})
+	defer untraced.Close()
+	untracedAPI := httptest.NewServer(untraced.Handler())
+	defer untracedAPI.Close()
+
+	id2 := submit(t, untracedAPI.URL, "alice", testSpec(1))
+	if status, body := fetch(t, untracedAPI.URL, "alice", "/v1/campaigns/"+id2+"/trace"); status != http.StatusNotFound {
+		t.Fatalf("untraced campaign trace status %d: %s, want 404", status, body)
+	}
+}
+
+// TestReadyz pins the readiness contract: always 200, with the body
+// distinguishing full capacity from degraded (local-fallback) mode.
+func TestReadyz(t *testing.T) {
+	local := New(Config{})
+	defer local.Close()
+	localAPI := httptest.NewServer(local.Handler())
+	defer localAPI.Close()
+	status, body := fetch(t, localAPI.URL, "", "/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("local readyz status %d", status)
+	}
+	var rb map[string]any
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if rb["status"] != "ok" || rb["mode"] != "local" {
+		t.Fatalf("local readyz body %s", body)
+	}
+
+	// A coordinator whose only worker is unreachable: degraded, not
+	// failing — campaigns still run via local fallback.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	coord := dist.NewCoordinator(dist.CoordinatorConfig{Workers: []string{dead.URL}})
+	degraded := New(Config{Coordinator: coord})
+	defer degraded.Close()
+	degradedAPI := httptest.NewServer(degraded.Handler())
+	defer degradedAPI.Close()
+	status, body = fetch(t, degradedAPI.URL, "", "/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("degraded readyz status %d (readiness must degrade, not fail)", status)
+	}
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if rb["status"] != "degraded" || rb["mode"] != "distributed" {
+		t.Fatalf("degraded readyz body %s", body)
+	}
+	if live, ok := rb["workers_live"].(float64); !ok || live != 0 {
+		t.Fatalf("degraded readyz workers_live %v, want 0", rb["workers_live"])
+	}
 }
 
 // TestAdmissionControl pins the 429 surface: fleet capacity and
@@ -419,11 +624,11 @@ func TestAdmissionControl(t *testing.T) {
 	r4.Body.Close()
 
 	snap := reg.Snapshot()
-	if snap[`gemstone_serve_rejected_total{reason="tenant-quota"}`] != 1 ||
-		snap[`gemstone_serve_rejected_total{reason="capacity"}`] != 1 {
+	if snap[`gemstone_serve_rejected_total{tenant="alice",reason="tenant-quota"}`] != 1 ||
+		snap[`gemstone_serve_rejected_total{tenant="carol",reason="capacity"}`] != 1 {
 		t.Errorf("rejection metrics wrong: %v %v",
-			snap[`gemstone_serve_rejected_total{reason="tenant-quota"}`],
-			snap[`gemstone_serve_rejected_total{reason="capacity"}`])
+			snap[`gemstone_serve_rejected_total{tenant="alice",reason="tenant-quota"}`],
+			snap[`gemstone_serve_rejected_total{tenant="carol",reason="capacity"}`])
 	}
 
 	// Releasing the stub frees the slots: carol is admitted once the

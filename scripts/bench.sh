@@ -26,6 +26,9 @@ trap 'rm -f "$tmp"' EXIT INT TERM
 # The cold campaign simulates the full validation suite per iteration
 # (~seconds each); 2 timed iterations keeps the suite bounded.
 go test -run '^$' -bench 'BenchmarkCollect_' -benchtime 2x -benchmem . | tee "$tmp"
+# Distributed traced-vs-untraced pair (the tracing-overhead bar on the
+# wire path; the committed baseline for it is BENCH_trace.json).
+go test -run '^$' -bench 'BenchmarkRemoteCampaign' -benchtime 20x -benchmem ./internal/dist | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkSpan' -benchmem ./internal/obs | tee -a "$tmp"
 go test -run '^$' -bench '.' -benchmem ./internal/stats | tee -a "$tmp"
 

@@ -41,6 +41,12 @@ go test -race -timeout 45m ./...
 go test -count=1 -run '^Fuzz' \
 	./internal/core ./internal/workload ./internal/serve
 
+# Trace-overhead smoke (mirrors `make trace-smoke`): traced vs untraced
+# two-worker campaigns, best-of-5, asserting the <=2% tracing bar. Run
+# without -race on purpose — it is a wall-clock measurement.
+GEMSTONE_TRACE_SMOKE=1 go test -short -count=1 \
+	-run TestTraceOverheadSmoke ./internal/dist/
+
 # staticcheck is advisory: run it when installed, but only fail the
 # gate when CHECK_STRICT=1 (CI images without the tool still pass).
 if command -v staticcheck >/dev/null 2>&1; then
