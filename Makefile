@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check quick build vet test serve-test trace-smoke bench bench-compare fuzz clean watch experiments baseline
+.PHONY: check quick build vet test serve-test trace-smoke bench bench-compare loadtest loadtest-soak fuzz clean watch experiments baseline
 
 check: build vet test trace-smoke
 
@@ -52,9 +52,25 @@ bench:
 	sh scripts/bench.sh
 
 # Re-run the benchmarks and diff them against the committed pre-hot-loop
-# baseline; deltas beyond +-10% are highlighted.
+# baseline; deltas beyond +-10% are highlighted. The serve-level SLO
+# metrics (gemload latency percentiles and throughput per op class) are
+# re-measured and diffed against the committed BENCH_serve.json the
+# same way.
 bench-compare:
 	sh scripts/bench.sh -c BENCH_obs.json
+	sh scripts/bench.sh -serve -c BENCH_serve.json BENCH_serve_new.json
+
+# gemload smoke: a short closed-loop mixed load (cold/warm/events/
+# analysis) against an in-process two-worker fleet; fails unless every
+# client/server SLO reconciliation check passes.
+loadtest:
+	sh scripts/loadtest.sh
+
+# gemload chaos soak: three workers with one killed every 2s plus wire
+# chaos for 20s of sustained load — the SLO contract must hold through
+# rolling worker death (nightly CI uploads the report).
+loadtest-soak:
+	sh scripts/loadtest.sh -soak -out gemload-soak.json
 
 # Result-drift watchdog: re-run the v1 validation campaign with the
 # invariant validators on, append it to a scratch ledger, and compare

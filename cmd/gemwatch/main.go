@@ -23,6 +23,19 @@
 //	-pe-floor pp     min |ΔPE| to flag a workload outlier (default 5)
 //	-mad-k    k      robust z-score outlier threshold     (default 3.5)
 //
+// Beyond model accuracy, gemwatch also watches service-level SLOs:
+// -bench-serve compares a gemload bench export (latency percentiles
+// and throughput per op class) against the committed BENCH_serve.json
+// baseline, direction-aware — latency up or throughput down beyond
+// -tol-serve-pct is drift, improvements never are. The rows join the
+// headline table. When only the serve comparison is wanted (no result
+// ledger on disk, e.g. in a load-test CI job), gemwatch degrades to a
+// serve-only report instead of failing:
+//
+//	-bench-serve file       current gemload bench export
+//	-bench-serve-base file  committed baseline (default BENCH_serve.json)
+//	-tol-serve-pct pct      allowed SLO regression percent (default 25)
+//
 // Exit status: 0 when the latest entry is within tolerance, 1 on drift,
 // 2 on usage or I/O errors (missing ledgers, no valid entries).
 package main
@@ -53,21 +66,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tolR2 := fs.Float64("tol-r2", 0, "allowed power-model R² degradation (0 = default 0.01)")
 	peFloor := fs.Float64("pe-floor", 0, "minimum |ΔPE| in pp to flag a workload outlier (0 = default 5)")
 	madK := fs.Float64("mad-k", 0, "robust z-score threshold for workload outliers (0 = default 3.5)")
+	benchServe := fs.String("bench-serve", "", "current serve bench export (gemload -bench-out) to compare")
+	benchServeBase := fs.String("bench-serve-base", "BENCH_serve.json", "committed serve bench baseline")
+	tolServePct := fs.Float64("tol-serve-pct", 0, "allowed serve SLO regression percent (0 = default 25)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	var serveRows []ledger.HeadlineDrift
+	var serveNotes []string
+	if *benchServe != "" {
+		baseBench, err := ledger.LoadBenchMetrics(*benchServeBase)
+		if err != nil {
+			fmt.Fprintln(stderr, "gemwatch:", err)
+			return 2
+		}
+		curBench, err := ledger.LoadBenchMetrics(*benchServe)
+		if err != nil {
+			fmt.Fprintln(stderr, "gemwatch:", err)
+			return 2
+		}
+		serveRows, serveNotes = ledger.CompareServeBench(baseBench, curBench, *tolServePct)
+	}
+
+	// serveOnly renders a report carrying just the serve SLO rows — the
+	// load-test CI job has no result ledger, and the serve comparison
+	// must not demand one.
+	serveOnly := func(why string) int {
+		fmt.Fprintf(stderr, "gemwatch: %s; serve SLO comparison only\n", why)
+		r := &ledger.DriftReport{
+			BasePlatform:  *benchServeBase,
+			CurPlatform:   *benchServe,
+			Headlines:     serveRows,
+			ManifestNotes: serveNotes,
+		}
+		for _, h := range serveRows {
+			r.Drift = r.Drift || h.Breach
+		}
+		fmt.Fprint(stdout, report.Drift(r))
+		if r.Drift {
+			return 1
+		}
+		return 0
+	}
+
 	base, ok, err := gemstone.OpenLedger(*basePath).Baseline()
 	if err != nil {
+		if *benchServe != "" {
+			return serveOnly(fmt.Sprintf("no baseline ledger (%v)", err))
+		}
 		fmt.Fprintln(stderr, "gemwatch:", err)
 		return 2
 	}
 	if !ok {
+		if *benchServe != "" {
+			return serveOnly(fmt.Sprintf("no valid baseline entries in %s", *basePath))
+		}
 		fmt.Fprintf(stderr, "gemwatch: no valid baseline entries in %s\n", *basePath)
 		return 2
 	}
 	scan, err := gemstone.OpenLedger(*ledgerPath).Scan()
 	if err != nil {
+		if *benchServe != "" {
+			return serveOnly(fmt.Sprintf("no results ledger (%v)", err))
+		}
 		fmt.Fprintln(stderr, "gemwatch:", err)
 		return 2
 	}
@@ -75,6 +137,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gemwatch: skipped %d corrupt or incompatible ledger lines\n", scan.Skipped)
 	}
 	if len(scan.Entries) == 0 {
+		if *benchServe != "" {
+			return serveOnly(fmt.Sprintf("no valid entries in %s", *ledgerPath))
+		}
 		fmt.Fprintf(stderr, "gemwatch: no valid entries in %s (run gemstone -ledger %s first)\n",
 			*ledgerPath, *ledgerPath)
 		return 2
@@ -88,6 +153,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PEFloorPP:       *peFloor,
 		OutlierZ:        *madK,
 	})
+	// The serve SLO rows join the headline table and the verdict.
+	r.Headlines = append(r.Headlines, serveRows...)
+	r.ManifestNotes = append(r.ManifestNotes, serveNotes...)
+	for _, h := range serveRows {
+		r.Drift = r.Drift || h.Breach
+	}
 	fmt.Fprint(stdout, report.Drift(r))
 
 	if *htmlPath != "" {

@@ -222,25 +222,47 @@ func (c *Chaos) delay(req *http.Request) (*http.Response, error) {
 // already executing — aborts with a connection reset, which is what a
 // coordinator observes when a worker process dies mid-job. Run requests
 // only are counted, so probes can't trip the switch.
+//
+// A KillSwitch can also be driven externally: Kill drops the worker
+// immediately (every request — probes included — aborts, exactly like
+// a dead process) and Revive brings it back, modelling a supervisor
+// restarting the crashed worker at the same address. A chaos soak
+// cycles Kill/Revive on a schedule while load runs; the coordinator's
+// per-campaign probe picks revived workers back up.
 type KillSwitch struct {
 	// Handler is the wrapped worker surface.
 	Handler http.Handler
 	// After is how many run requests succeed before the worker dies.
 	After int64
 
-	seen atomic.Int64
+	seen   atomic.Int64
+	downed atomic.Bool // externally killed via Kill
 }
 
-// Dead reports whether the switch has tripped.
-func (k *KillSwitch) Dead() bool { return k.seen.Load() > k.After }
+// Dead reports whether the switch has tripped (by request count or by
+// an explicit Kill).
+func (k *KillSwitch) Dead() bool { return k.downed.Load() || k.seen.Load() > k.After }
+
+// Kill drops the worker now: every subsequent request, including
+// health probes and requests already executing, aborts with a
+// connection reset.
+func (k *KillSwitch) Kill() { k.downed.Store(true) }
+
+// Revive undoes Kill (the supervisor restarted the process). The
+// request-count trigger is unaffected: a switch that tripped via After
+// stays dead.
+func (k *KillSwitch) Revive() { k.downed.Store(false) }
 
 // ServeHTTP implements http.Handler.
 func (k *KillSwitch) ServeHTTP(rw http.ResponseWriter, req *http.Request) {
+	if k.downed.Load() {
+		// http.ErrAbortHandler makes the server drop the connection
+		// without a response: the client sees io.ErrUnexpectedEOF or a
+		// reset, exactly like a crashed process.
+		panic(http.ErrAbortHandler)
+	}
 	if strings.HasSuffix(req.URL.Path, PathRun) {
 		if k.seen.Add(1) > k.After {
-			// http.ErrAbortHandler makes the server drop the connection
-			// without a response: the client sees io.ErrUnexpectedEOF or a
-			// reset, exactly like a crashed process.
 			panic(http.ErrAbortHandler)
 		}
 	}

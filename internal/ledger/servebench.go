@@ -1,0 +1,131 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// BenchMetric is one scalar from a committed benchmark baseline file
+// (BENCH_serve.json and friends): a name, a value and the unit that
+// tells the drift check which direction is a regression. Two shapes
+// are accepted so the serve-level files and the older go-bench derived
+// ones load through one reader:
+//
+//	{"name": "serve/cold/p99_ms", "value": 120.5, "unit": "ms"}
+//	{"name": "BenchmarkHotLoop", "ns_per_op": 1234}
+type BenchMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// UnmarshalJSON accepts both metric shapes.
+func (m *BenchMetric) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Name    string   `json:"name"`
+		Value   *float64 `json:"value"`
+		Unit    string   `json:"unit"`
+		NsPerOp *float64 `json:"ns_per_op"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	m.Name = raw.Name
+	m.Unit = raw.Unit
+	switch {
+	case raw.Value != nil:
+		m.Value = *raw.Value
+	case raw.NsPerOp != nil:
+		m.Value = *raw.NsPerOp
+		if m.Unit == "" {
+			m.Unit = "ns/op"
+		}
+	default:
+		return fmt.Errorf("bench metric %q: no value or ns_per_op", raw.Name)
+	}
+	return nil
+}
+
+// LoadBenchMetrics reads a bench baseline file (a JSON array of
+// metrics).
+func LoadBenchMetrics(path string) ([]BenchMetric, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchMetric
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no metrics", path)
+	}
+	return out, nil
+}
+
+// regressionDirection reports which way a metric regresses: +1 when
+// bigger is worse (latencies, ns/op, allocations), −1 when smaller is
+// worse (throughput). Unknown units regress in both directions — any
+// movement beyond tolerance is flagged.
+func regressionDirection(unit string) int {
+	switch {
+	case unit == "rps" || strings.HasSuffix(unit, "/s"):
+		return -1
+	case unit == "ms" || unit == "ns/op" || unit == "s" || unit == "allocs/op" || unit == "B/op":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareServeBench compares a current serve bench export against the
+// committed baseline, one direction-aware HeadlineDrift row per
+// metric. tolPct is the allowed regression in percent of the baseline
+// value. Metrics present on only one side become notes, not breaches —
+// a new op in the mix must not fail the watchdog.
+func CompareServeBench(base, cur []BenchMetric, tolPct float64) (rows []HeadlineDrift, notes []string) {
+	if tolPct <= 0 {
+		tolPct = 25
+	}
+	curByName := map[string]BenchMetric{}
+	for _, m := range cur {
+		curByName[m.Name] = m
+	}
+	seen := map[string]bool{}
+	for _, b := range base {
+		seen[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("serve bench: %s missing from current run", b.Name))
+			continue
+		}
+		tol := math.Abs(b.Value) * tolPct / 100
+		delta := c.Value - b.Value
+		var breach bool
+		switch regressionDirection(b.Unit) {
+		case 1:
+			breach = delta > tol
+		case -1:
+			breach = -delta > tol
+		default:
+			breach = math.Abs(delta) > tol
+		}
+		rows = append(rows, HeadlineDrift{
+			Name:      b.Name,
+			Base:      b.Value,
+			Cur:       c.Value,
+			Delta:     delta,
+			Tolerance: tol,
+			Breach:    breach,
+		})
+	}
+	for _, c := range cur {
+		if !seen[c.Name] {
+			notes = append(notes, fmt.Sprintf("serve bench: %s new in current run", c.Name))
+		}
+	}
+	return rows, notes
+}

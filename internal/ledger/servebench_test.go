@@ -1,0 +1,104 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBenchMetricsShapes(t *testing.T) {
+	// The serve shape and the go-bench shape load through one reader.
+	path := writeBench(t, "b.json", `[
+		{"name": "serve/cold/p99_ms", "value": 120.5, "unit": "ms"},
+		{"name": "BenchmarkHotLoop", "ns_per_op": 1234}
+	]`)
+	ms, err := LoadBenchMetrics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("loaded %d metrics, want 2", len(ms))
+	}
+	if ms[0].Value != 120.5 || ms[0].Unit != "ms" {
+		t.Fatalf("serve shape: %+v", ms[0])
+	}
+	if ms[1].Value != 1234 || ms[1].Unit != "ns/op" {
+		t.Fatalf("go-bench shape: %+v", ms[1])
+	}
+
+	if _, err := LoadBenchMetrics(writeBench(t, "e.json", `[]`)); err == nil {
+		t.Fatal("empty file must error")
+	}
+	if _, err := LoadBenchMetrics(writeBench(t, "v.json", `[{"name":"x"}]`)); err == nil {
+		t.Fatal("valueless metric must error")
+	}
+	if _, err := LoadBenchMetrics(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestCompareServeBenchDirections(t *testing.T) {
+	base := []BenchMetric{
+		{Name: "serve/cold/p99_ms", Value: 100, Unit: "ms"},
+		{Name: "serve/cold/rps", Value: 50, Unit: "rps"},
+		{Name: "serve/warm/p50_ms", Value: 10, Unit: "ms"},
+		{Name: "serve/gone/rps", Value: 5, Unit: "rps"},
+	}
+	cur := []BenchMetric{
+		// Latency up 50% — breach at 25% tolerance.
+		{Name: "serve/cold/p99_ms", Value: 150, Unit: "ms"},
+		// Throughput up is an improvement, never a breach.
+		{Name: "serve/cold/rps", Value: 100, Unit: "rps"},
+		// Latency down is an improvement.
+		{Name: "serve/warm/p50_ms", Value: 2, Unit: "ms"},
+		// New metric: a note, not a row.
+		{Name: "serve/new/p50_ms", Value: 1, Unit: "ms"},
+	}
+	rows, notes := CompareServeBench(base, cur, 25)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3: %+v", len(rows), rows)
+	}
+	byName := map[string]HeadlineDrift{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if !byName["serve/cold/p99_ms"].Breach {
+		t.Error("latency regression not flagged")
+	}
+	if byName["serve/cold/rps"].Breach {
+		t.Error("throughput improvement flagged as breach")
+	}
+	if byName["serve/warm/p50_ms"].Breach {
+		t.Error("latency improvement flagged as breach")
+	}
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want missing+new", notes)
+	}
+
+	// Throughput collapse breaches.
+	rows, _ = CompareServeBench(
+		[]BenchMetric{{Name: "r", Value: 100, Unit: "rps"}},
+		[]BenchMetric{{Name: "r", Value: 10, Unit: "rps"}}, 25)
+	if !rows[0].Breach {
+		t.Error("throughput collapse not flagged")
+	}
+
+	// Within tolerance passes in both directions.
+	rows, _ = CompareServeBench(
+		[]BenchMetric{{Name: "l", Value: 100, Unit: "ms"}, {Name: "r", Value: 100, Unit: "rps"}},
+		[]BenchMetric{{Name: "l", Value: 110, Unit: "ms"}, {Name: "r", Value: 90, Unit: "rps"}}, 25)
+	for _, r := range rows {
+		if r.Breach {
+			t.Errorf("%s within tolerance flagged: %+v", r.Name, r)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package load is gemload's engine: a ReqBench-style open/closed-loop
+// load driver that replays realistic request mixes — cold campaigns,
+// warm-cache hits, SSE progress subscribers and analysis-only queries —
+// against a running `gemstone serve` fleet, measures every request
+// end-to-end into mergeable HDR latency shards, and reconciles the
+// client-observed SLOs against the server's own gemstone_serve_*
+// metrics and /v1/statusz snapshot.
+//
+// Everything is deterministically seeded: the arrival process, the
+// tenant and spec selection and the operation mix all derive from one
+// seed, so a load shape reproduces across runs (modulo the service's
+// actual timing, which is the thing being measured).
+package load
+
+import (
+	"math"
+	"time"
+
+	"gemstone/internal/xrand"
+)
+
+// Poisson generates open-loop inter-arrival gaps with exponentially
+// distributed spacing — a Poisson arrival process at RateHz requests
+// per second. ReqBench's open-loop trials do the same: arrivals are
+// scheduled by the process, not by request completion, so a slow
+// server cannot slow the offered load (no coordinated omission).
+type Poisson struct {
+	rng  *xrand.RNG
+	mean float64 // mean gap in seconds
+}
+
+// NewPoisson returns a Poisson arrival process at rateHz arrivals per
+// second, drawing from rng. rateHz must be positive.
+func NewPoisson(rng *xrand.RNG, rateHz float64) *Poisson {
+	if rateHz <= 0 {
+		panic("load: NewPoisson with non-positive rate")
+	}
+	return &Poisson{rng: rng, mean: 1 / rateHz}
+}
+
+// Next returns the gap until the next arrival.
+func (p *Poisson) Next() time.Duration {
+	return time.Duration(p.rng.Exp(p.mean) * float64(time.Second))
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s — the rank-frequency law behind skewed tenant and key
+// popularity (ReqBench's `skew` knob). s = 0 degenerates to uniform;
+// larger s concentrates mass on the low ranks. Sampling is inverse
+// transform over a precomputed CDF (O(log n) per draw), so the sampler
+// is deterministic given its RNG.
+type Zipf struct {
+	rng *xrand.RNG
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s >= 0.
+func NewZipf(rng *xrand.RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("load: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		s = 0
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cdf[r] = total
+	}
+	for r := range cdf {
+		cdf[r] /= total
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the sampler's rank count.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,169 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gemstone/internal/core"
+	"gemstone/internal/dist"
+	"gemstone/internal/obs"
+	"gemstone/internal/serve"
+)
+
+// FleetConfig shapes an in-process fleet: N gemstoned workers behind
+// one gemstone serve instance on a loopback listener. gemload -fleet
+// and the driver's own tests use it so a load run never needs external
+// processes.
+type FleetConfig struct {
+	// Workers is the gemstoned worker count; 0 means 2.
+	Workers int
+	// MaxCampaigns / TenantQuota pass through to serve admission
+	// control (0 keeps the serve defaults, negative means unlimited).
+	MaxCampaigns int
+	TenantQuota  int
+	// KillEvery, when positive, cycles worker death: every KillEvery
+	// one worker drops (all its connections reset, like a crashed
+	// process) and the previously killed one revives — the chaos-soak
+	// schedule "a worker dies every N seconds".
+	KillEvery time.Duration
+	// Chaos, when non-nil, is installed as the coordinator's transport
+	// so run exchanges see drops, duplicates, corruption and delays.
+	Chaos *dist.Chaos
+	// Log, when non-nil, receives serve and coordinator logging.
+	Log *slog.Logger
+}
+
+// Fleet is a running in-process service: URL is the serve endpoint,
+// Registry the serve metrics registry the driver reconciles against.
+type Fleet struct {
+	URL      string
+	Registry *obs.Registry
+
+	svc     *serve.Server
+	servers []*http.Server
+	kills   []*dist.KillSwitch
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	killed  atomic.Int64
+}
+
+// Kills reports how many kill cycles the chaos schedule has fired.
+func (f *Fleet) Kills() int64 { return f.killed.Load() }
+
+// serveOn starts an HTTP server for h on a fresh loopback port.
+func serveOn(h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), nil
+}
+
+// StartFleet boots the workers and the service. Close releases
+// everything.
+func StartFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	f := &Fleet{
+		Registry: obs.NewRegistry(),
+		stop:     make(chan struct{}),
+	}
+	var workerURLs []string
+	for i := 0; i < cfg.Workers; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{MaxParallel: 2})
+		// After is effectively infinite: only the explicit Kill/Revive
+		// schedule downs a worker.
+		ks := &dist.KillSwitch{Handler: w.Handler(), After: 1 << 62}
+		srv, url, err := serveOn(ks)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("load: start worker %d: %w", i, err)
+		}
+		f.kills = append(f.kills, ks)
+		f.servers = append(f.servers, srv)
+		workerURLs = append(workerURLs, url)
+	}
+
+	coordCfg := dist.CoordinatorConfig{
+		Workers:  workerURLs,
+		Registry: f.Registry,
+		Log:      cfg.Log,
+	}
+	if cfg.Chaos != nil {
+		coordCfg.Client = &http.Client{Transport: cfg.Chaos}
+	}
+	coord := dist.NewCoordinator(coordCfg)
+
+	f.svc = serve.New(serve.Config{
+		Coordinator:  coord,
+		Cache:        core.NewMemoryCache(0),
+		Registry:     f.Registry,
+		Log:          cfg.Log,
+		MaxCampaigns: cfg.MaxCampaigns,
+		TenantQuota:  cfg.TenantQuota,
+	})
+	srv, url, err := serveOn(f.svc.Handler())
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("load: start service: %w", err)
+	}
+	f.servers = append(f.servers, srv)
+	f.URL = url
+
+	if cfg.KillEvery > 0 && len(f.kills) > 0 {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			t := time.NewTicker(cfg.KillEvery)
+			defer t.Stop()
+			i := 0
+			n := len(f.kills)
+			for {
+				select {
+				case <-f.stop:
+					for _, k := range f.kills {
+						k.Revive()
+					}
+					return
+				case <-t.C:
+					// Revive the previous victim, drop the next: exactly
+					// one worker is down at a time, rotating through the
+					// fleet.
+					if i > 0 {
+						f.kills[(i-1)%n].Revive()
+					}
+					f.kills[i%n].Kill()
+					f.killed.Add(1)
+					i++
+				}
+			}
+		}()
+	}
+	return f, nil
+}
+
+// Close revives every worker, stops the chaos schedule and shuts the
+// servers down.
+func (f *Fleet) Close() {
+	if f.stop != nil {
+		close(f.stop)
+	}
+	f.wg.Wait()
+	if f.svc != nil {
+		f.svc.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, srv := range f.servers {
+		srv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,233 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Client-side parsing of the server's Prometheus text exposition, for
+// the reconciliation report: gemload scrapes /metrics before and after
+// a run and diffs the gemstone_serve_* families, so client-observed
+// latencies and counts can be checked against what the server itself
+// recorded.
+
+// Sample is one parsed exposition line: a metric name, its label set
+// and the sample value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is a parsed scrape.
+type Metrics struct {
+	Samples []Sample
+}
+
+// ParseMetrics parses a Prometheus text-format exposition (version
+// 0.0.4, the format obs.Registry writes). Comment and blank lines are
+// skipped; malformed sample lines are an error — the scrape comes from
+// our own server, so leniency would only hide bugs.
+func ParseMetrics(r io.Reader) (*Metrics, error) {
+	var m Metrics
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		m.Samples = append(m.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.Name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("load: malformed sample %q", line)
+		}
+		if err := parseLabels(line[i+1:j], s.Labels); err != nil {
+			return s, fmt.Errorf("load: %v in %q", err, line)
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("load: malformed sample %q", line)
+		}
+		s.Name = fields[0]
+		rest = fields[1]
+	}
+	v, err := parseValue(strings.Fields(rest)[0])
+	if err != nil {
+		return s, fmt.Errorf("load: bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(f string) (float64, error) {
+	switch f {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(f, 64)
+}
+
+// parseLabels parses `a="x",b="y"` into out, unescaping values.
+func parseLabels(s string, out map[string]string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return fmt.Errorf("malformed labels %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		// Scan the quoted value honouring backslash escapes.
+		var b strings.Builder
+		i := eq + 2
+		for {
+			if i >= len(s) {
+				return fmt.Errorf("unterminated label value %q", s)
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		out[name] = b.String()
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// matches reports whether the sample's labels are a superset of match.
+func (s Sample) matches(name string, match map[string]string) bool {
+	if s.Name != name {
+		return false
+	}
+	for k, v := range match {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum adds every sample of name whose labels include match. Missing
+// families sum to zero, which is exactly what a diff against an
+// earlier scrape (before the family existed) needs.
+func (m *Metrics) Sum(name string, match map[string]string) float64 {
+	var total float64
+	for _, s := range m.Samples {
+		if s.matches(name, match) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// SumDelta is cur.Sum − base.Sum: the family's growth over a run. base
+// may be nil (treated as zero).
+func SumDelta(base, cur *Metrics, name string, match map[string]string) float64 {
+	d := cur.Sum(name, match)
+	if base != nil {
+		d -= base.Sum(name, match)
+	}
+	return d
+}
+
+// histBucket is one cumulative bucket of a diffed histogram.
+type histBucket struct {
+	le    float64
+	count float64
+}
+
+// HistogramQuantileDelta computes the [lo, hi] value bounds of the
+// q-th quantile of the *delta* between two scrapes of a Prometheus
+// histogram family (summed over every series matching match — e.g.
+// all tenants). Because the exposition only carries bucket counts, the
+// quantile is known only to bucket resolution: the true quantile lies
+// in [lo, hi] where hi is the upper bound of the bucket holding the
+// quantile rank and lo the bound below it. ok is false when the delta
+// holds no observations.
+func HistogramQuantileDelta(base, cur *Metrics, name string, match map[string]string, q float64) (lo, hi float64, ok bool) {
+	// Collect per-le cumulative deltas.
+	byLE := map[float64]float64{}
+	for _, s := range cur.Samples {
+		if s.matches(name+"_bucket", match) {
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				continue
+			}
+			byLE[le] += s.Value
+		}
+	}
+	if base != nil {
+		for _, s := range base.Samples {
+			if s.matches(name+"_bucket", match) {
+				le, err := parseValue(s.Labels["le"])
+				if err != nil {
+					continue
+				}
+				byLE[le] -= s.Value
+			}
+		}
+	}
+	buckets := make([]histBucket, 0, len(byLE))
+	for le, c := range byLE {
+		buckets = append(buckets, histBucket{le: le, count: c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if len(buckets) == 0 {
+		return 0, 0, false
+	}
+	total := buckets[len(buckets)-1].count // the +Inf bucket
+	if total <= 0 {
+		return 0, 0, false
+	}
+	rank := q * total
+	prev := 0.0
+	for _, b := range buckets {
+		if b.count >= rank && b.count > 0 {
+			return prev, b.le, true
+		}
+		prev = b.le
+	}
+	last := buckets[len(buckets)-1]
+	return prev, last.le, true
+}

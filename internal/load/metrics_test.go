@@ -1,0 +1,124 @@
+package load
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gemstone/internal/obs"
+)
+
+func TestParseMetricsRoundTrip(t *testing.T) {
+	// Build a registry the way the server does, render it, parse it
+	// back, and check the numbers survive — the parser and the
+	// exposition writer must agree or reconciliation is fiction.
+	reg := obs.NewRegistry()
+	c := reg.Counter("gemload_test_total", "help text", "tenant", "outcome")
+	c.Add(3, "alice", "done")
+	c.Add(2, "bob", "done")
+	c.Add(1, "bob", "failed")
+	g := reg.Gauge("gemload_test_depth", "", "tenant")
+	g.Set(4, "alice")
+	h := reg.Histogram("gemload_test_seconds", "lat", []float64{0.1, 1, 10}, "tenant")
+	h.Observe(0.05, "alice")
+	h.Observe(0.5, "alice")
+	h.Observe(5, "alice")
+	h.Observe(50, "alice")
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.Sum("gemload_test_total", map[string]string{"outcome": "done"}); got != 5 {
+		t.Fatalf("done sum = %v, want 5", got)
+	}
+	if got := m.Sum("gemload_test_total", nil); got != 6 {
+		t.Fatalf("total sum = %v, want 6", got)
+	}
+	if got := m.Sum("gemload_test_depth", map[string]string{"tenant": "alice"}); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+	if got := m.Sum("gemload_test_seconds_count", nil); got != 4 {
+		t.Fatalf("hist count = %v, want 4", got)
+	}
+
+	// Histogram quantiles to bucket resolution: the median of
+	// {0.05, 0.5, 5, 50} is rank 2 → the (0.1, 1] bucket.
+	lo, hi, ok := HistogramQuantileDelta(nil, m, "gemload_test_seconds", nil, 0.5)
+	if !ok || lo != 0.1 || hi != 1 {
+		t.Fatalf("median bucket = [%v,%v] ok=%v, want [0.1,1]", lo, hi, ok)
+	}
+	// p99 lands in the +Inf bucket: hi is +Inf, lo the last finite bound.
+	lo, hi, ok = HistogramQuantileDelta(nil, m, "gemload_test_seconds", nil, 0.99)
+	if !ok || lo != 10 || !math.IsInf(hi, 1) {
+		t.Fatalf("p99 bucket = [%v,%v] ok=%v, want [10,+Inf]", lo, hi, ok)
+	}
+}
+
+func TestHistogramQuantileDeltaSubtractsBaseline(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("d_seconds", "", []float64{1, 10}, "tenant")
+	h.Observe(0.5, "a") // pre-run observation
+	var pre bytes.Buffer
+	if err := reg.WritePrometheus(&pre); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseMetrics(&pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(5, "a")
+	h.Observe(5, "b")
+	var post bytes.Buffer
+	if err := reg.WritePrometheus(&post); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ParseMetrics(&post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delta is two observations of 5s (the 0.5s one is baseline):
+	// every quantile lives in the (1, 10] bucket.
+	for _, q := range []float64{0.25, 0.5, 0.99} {
+		lo, hi, ok := HistogramQuantileDelta(base, cur, "d_seconds", nil, q)
+		if !ok || lo != 1 || hi != 10 {
+			t.Fatalf("q%v = [%v,%v] ok=%v, want [1,10]", q, lo, hi, ok)
+		}
+	}
+	if d := SumDelta(base, cur, "d_seconds_count", nil); d != 2 {
+		t.Fatalf("count delta = %v, want 2", d)
+	}
+	// Empty delta: base == cur.
+	if _, _, ok := HistogramQuantileDelta(cur, cur, "d_seconds", nil, 0.5); ok {
+		t.Fatal("zero-delta histogram must report !ok")
+	}
+}
+
+func TestParseMetricsEscapesAndErrors(t *testing.T) {
+	m, err := ParseMetrics(strings.NewReader(
+		"# HELP x h\n# TYPE x counter\n" +
+			"x{v=\"a\\\\b\\\"c\\nd\"} 7\n" +
+			"plain 1.5\n" +
+			"inf_g +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Samples[0].Labels["v"] != "a\\b\"c\nd" {
+		t.Fatalf("unescaped label = %q", m.Samples[0].Labels["v"])
+	}
+	if m.Samples[1].Name != "plain" || m.Samples[1].Value != 1.5 {
+		t.Fatalf("plain sample = %+v", m.Samples[1])
+	}
+	if !math.IsInf(m.Samples[2].Value, 1) {
+		t.Fatalf("inf sample = %v", m.Samples[2].Value)
+	}
+	if _, err := ParseMetrics(strings.NewReader("garbage\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math/bits"
+	"time"
+)
+
+// HDR is a high-dynamic-range latency histogram in the spirit of Gil
+// Tene's HdrHistogram: values are bucketed log-linearly, so every
+// recorded value lands in a bucket whose width is a bounded fraction of
+// its magnitude. Quantiles are therefore exact up to the bucket
+// resolution — at most hdrRelError relative error — across the full
+// int64 range, with no per-record allocation and O(1) record cost.
+//
+// The intended use is per-worker shards: each load-generator worker
+// records into its own HDR (no locking on the hot path) and the shards
+// are folded together with Merge when the run ends. An HDR is NOT safe
+// for concurrent use; Merge the shards instead of sharing one.
+//
+// Values are int64 "units" — the load driver records nanoseconds via
+// RecordDuration — and negative values clamp to zero.
+type HDR struct {
+	counts []uint64
+	n      uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Bucket geometry: values below hdrSub are exact (one bucket per
+// value); above, each doubling of magnitude gets hdrSub/2 linear
+// sub-buckets, so bucket width / bucket lower bound <= 2/hdrSub.
+const (
+	hdrSubBits = 6
+	hdrSub     = 1 << hdrSubBits // 64 exact low buckets, 32 per octave after
+	hdrLevels  = 64 - hdrSubBits // enough octaves to cover int64
+	hdrSlots   = hdrSub + hdrLevels*hdrSub/2
+)
+
+// HDRRelError is the worst-case relative quantile error introduced by
+// bucketing: bucket width over bucket lower bound, 2/hdrSub.
+const HDRRelError = 2.0 / hdrSub
+
+// NewHDR returns an empty histogram.
+func NewHDR() *HDR {
+	return &HDR{counts: make([]uint64, hdrSlots), min: 0, max: 0}
+}
+
+// hdrIndex maps a non-negative value to its bucket.
+func hdrIndex(v int64) int {
+	u := uint64(v)
+	if u < hdrSub {
+		return int(u)
+	}
+	// Shift so the value fits in [hdrSub/2, hdrSub); each level k >= 1
+	// contributes hdrSub/2 buckets of width 2^k.
+	k := bits.Len64(u) - hdrSubBits
+	return hdrSub + (k-1)*hdrSub/2 + int(u>>uint(k)) - hdrSub/2
+}
+
+// hdrBounds returns the inclusive value range [lo, hi] of bucket i.
+func hdrBounds(i int) (lo, hi int64) {
+	if i < hdrSub {
+		return int64(i), int64(i)
+	}
+	k := (i-hdrSub)/(hdrSub/2) + 1
+	sub := int64((i-hdrSub)%(hdrSub/2) + hdrSub/2)
+	lo = sub << uint(k)
+	return lo, lo + (1 << uint(k)) - 1
+}
+
+// Record adds one value. Negative values clamp to zero.
+func (h *HDR) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[hdrIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// RecordDuration records d in nanoseconds.
+func (h *HDR) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Merge folds o into h. o is unchanged; a nil or empty o is a no-op.
+func (h *HDR) Merge(o *HDR) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded values.
+func (h *HDR) Count() uint64 { return h.n }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *HDR) Min() int64 { return h.min }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *HDR) Max() int64 { return h.max }
+
+// Sum returns the sum of recorded values.
+func (h *HDR) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean (0 when empty). Unlike quantiles it
+// is exact: the sum is accumulated outside the buckets.
+func (h *HDR) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the q-th quantile (q in [0, 1]) as the midpoint of
+// the bucket holding the q-th ordered value, clamped into [Min, Max] so
+// bucketing can never report a quantile outside the observed range.
+// Empty histograms return 0.
+func (h *HDR) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// rank is the 1-based position of the quantile value.
+	rank := uint64(q*float64(h.n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			lo, hi := hdrBounds(i)
+			mid := lo + (hi-lo)/2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// QuantileDuration returns Quantile(q) as a time.Duration (the load
+// driver records nanoseconds).
+func (h *HDR) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"gemstone/internal/xrand"
+)
+
+func TestHDRExactBelowSub(t *testing.T) {
+	h := NewHDR()
+	for v := int64(0); v < hdrSub; v++ {
+		h.Record(v)
+	}
+	if got := h.Count(); got != hdrSub {
+		t.Fatalf("count = %d, want %d", got, hdrSub)
+	}
+	// Values below hdrSub are bucketed exactly: the median of 0..63 is
+	// recoverable without bucket error.
+	if got := h.Quantile(0.5); got != 31 && got != 32 {
+		t.Fatalf("median of 0..63 = %d, want 31 or 32", got)
+	}
+	if h.Min() != 0 || h.Max() != hdrSub-1 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHDRIndexBoundsRoundTrip(t *testing.T) {
+	// Every probe value must land in a bucket whose bounds contain it.
+	probes := []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range probes {
+		i := hdrIndex(v)
+		if i < 0 || i >= hdrSlots {
+			t.Fatalf("index(%d) = %d out of range [0,%d)", v, i, hdrSlots)
+		}
+		lo, hi := hdrBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d bucketed into [%d,%d]", v, lo, hi)
+		}
+		// Bucket resolution: width bounded by HDRRelError of the value.
+		if lo >= hdrSub && float64(hi-lo) > HDRRelError*float64(lo) {
+			t.Fatalf("bucket [%d,%d] wider than %.3f relative", lo, hi, HDRRelError)
+		}
+	}
+}
+
+func TestHDRQuantileAccuracy(t *testing.T) {
+	// Against an exact sorted reference over a heavy-tailed sample.
+	rng := xrand.New(7)
+	h := NewHDR()
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform-ish spread across 6 orders of magnitude.
+		v := int64(math.Exp(rng.Float64()*13.8)) + int64(rng.Intn(1000))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q)
+		rel := math.Abs(float64(got-exact)) / float64(exact)
+		// Bucket midpoint error plus rank-rounding slack.
+		if rel > HDRRelError+0.01 {
+			t.Errorf("q%.3f: got %d, exact %d (rel err %.4f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHDRMergeEquivalence(t *testing.T) {
+	rng := xrand.New(11)
+	whole, a, b := NewHDR(), NewHDR(), NewHDR()
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Uint64() >> 34) // up to ~2^30
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	m := NewHDR()
+	m.Merge(a)
+	m.Merge(b)
+	m.Merge(nil)      // no-op
+	m.Merge(NewHDR()) // empty no-op
+	if m.Count() != whole.Count() || m.Sum() != whole.Sum() ||
+		m.Min() != whole.Min() || m.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: count %d/%d sum %d/%d min %d/%d max %d/%d",
+			m.Count(), whole.Count(), m.Sum(), whole.Sum(), m.Min(), whole.Min(), m.Max(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if m.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%.2f: merged %d != whole %d", q, m.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHDREmptyAndEdge(t *testing.T) {
+	h := NewHDR()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+	h2 := NewHDR()
+	h2.RecordDuration(250 * time.Millisecond)
+	if got := h2.QuantileDuration(0.5); got < 240*time.Millisecond || got > 260*time.Millisecond {
+		t.Fatalf("single duration quantile = %v", got)
+	}
+	if h2.Quantile(0) != h2.Min() || h2.Quantile(1) != h2.Max() {
+		t.Fatal("q=0/1 must be min/max")
+	}
+}

@@ -122,6 +122,7 @@ type Server struct {
 
 	mCampaigns *obs.Counter   // gemstone_serve_campaigns_total{tenant,outcome}
 	mActive    *obs.Gauge     // gemstone_serve_campaigns_active{tenant}
+	mQueue     *obs.Gauge     // gemstone_serve_queue_depth{tenant}
 	mRejected  *obs.Counter   // gemstone_serve_rejected_total{tenant,reason}
 	mEvents    *obs.Counter   // gemstone_serve_events_total{tenant,type}
 	mEvicted   *obs.Counter   // gemstone_serve_evicted_total
@@ -161,6 +162,10 @@ func New(cfg Config) *Server {
 			"Campaigns accepted, by tenant and final outcome.", "tenant", "outcome")
 		s.mActive = reg.Gauge("gemstone_serve_campaigns_active",
 			"Campaigns currently pending or running, by tenant.", "tenant")
+		s.mQueue = reg.Gauge("gemstone_serve_queue_depth",
+			"Admitted campaigns not yet terminal, by tenant: the work the service still owes. "+
+				"A load generator reconciling its latencies against the service uses this to "+
+				"attribute tail latency to queueing rather than simulation.", "tenant")
 		s.mRejected = reg.Counter("gemstone_serve_rejected_total",
 			"Campaign submissions rejected by admission control, by tenant and reason.", "tenant", "reason")
 		s.mEvents = reg.Counter("gemstone_serve_events_total",
@@ -389,6 +394,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if s.mActive != nil {
 		s.mActive.Add(1, tenant)
+	}
+	if s.mQueue != nil {
+		s.mQueue.Add(1, tenant)
 	}
 
 	s.emit(c, Event{Type: "submitted"})
@@ -781,6 +789,7 @@ func (s *Server) runCampaign(c *Campaign) {
 				// no event stream can observe a terminal campaign whose
 				// "done" frame is not yet appended.
 				c.complete(hwSet, simSet, vs, Event{Type: "done", MAPE: vs.MAPE})
+				s.noteTerminal(c.Tenant)
 				s.countEvent(c.Tenant, "done")
 				s.log().Info("campaign done", "campaign", c.ID, "tenant", c.Tenant,
 					"mape", vs.MAPE, "wall", time.Since(start))
@@ -793,8 +802,19 @@ func (s *Server) runCampaign(c *Campaign) {
 	root.Annotate(obs.Bool("failed", true))
 	root.End()
 	c.failWith(err, Event{Type: "error", Error: err.Error()})
+	s.noteTerminal(c.Tenant)
 	s.countEvent(c.Tenant, "error")
 	s.log().Warn("campaign failed", "campaign", c.ID, "tenant", c.Tenant, "err", err)
+}
+
+// noteTerminal decrements the tenant's queue-depth gauge the moment a
+// campaign's terminal transition commits — not at settle, so the gauge
+// tracks "work the service still owes a client", the quantity a load
+// generator reconciles its own completion count against.
+func (s *Server) noteTerminal(tenant string) {
+	if s.mQueue != nil {
+		s.mQueue.Add(-1, tenant)
+	}
 }
 
 // noteCollect folds one completed collect half into the server-wide

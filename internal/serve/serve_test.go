@@ -1011,3 +1011,92 @@ func TestDeleteCampaign(t *testing.T) {
 		t.Fatalf("second delete: %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestQueueDepthGauge pins gemstone_serve_queue_depth: admitted
+// campaigns raise their tenant's gauge, terminal transitions (here the
+// failure path — the stub errors on release) drain it back to zero,
+// and /v1/statusz mirrors the same per-tenant depths while campaigns
+// are in flight.
+func TestQueueDepthGauge(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan string, 16)
+	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		started <- name
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("stub: campaign aborted")
+	}
+	reg := obs.NewRegistry()
+	svc := New(Config{Collector: stub, Registry: reg, MaxCampaigns: -1, TenantQuota: -1})
+	defer svc.Close()
+	api := httptest.NewServer(svc.Handler())
+	defer api.Close()
+
+	for _, tn := range []string{"alice", "alice", "bob"} {
+		id := submit(t, api.URL, tn, testSpec(1))
+		if id == "" {
+			t.Fatal("empty id")
+		}
+		<-started
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[`gemstone_serve_queue_depth{tenant="alice"}`]; got != 2 {
+		t.Errorf("alice queue depth = %v, want 2", got)
+	}
+	if got := snap[`gemstone_serve_queue_depth{tenant="bob"}`]; got != 1 {
+		t.Errorf("bob queue depth = %v, want 1", got)
+	}
+
+	// /v1/statusz surfaces the same depths.
+	code, body := fetch(t, api.URL, "alice", "/v1/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: %d", code)
+	}
+	var sz struct {
+		Campaigns struct {
+			QueueDepth map[string]int `json:"queue_depth"`
+		} `json:"campaigns"`
+	}
+	if err := json.Unmarshal(body, &sz); err != nil {
+		t.Fatal(err)
+	}
+	if sz.Campaigns.QueueDepth["alice"] != 2 || sz.Campaigns.QueueDepth["bob"] != 1 {
+		t.Errorf("statusz queue_depth = %v, want alice:2 bob:1", sz.Campaigns.QueueDepth)
+	}
+
+	// Terminal transitions — failures included — drain the gauge.
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap = reg.Snapshot()
+		if snap[`gemstone_serve_queue_depth{tenant="alice"}`] == 0 &&
+			snap[`gemstone_serve_queue_depth{tenant="bob"}`] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never drained: alice=%v bob=%v",
+				snap[`gemstone_serve_queue_depth{tenant="alice"}`],
+				snap[`gemstone_serve_queue_depth{tenant="bob"}`])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap[`gemstone_serve_campaigns_total{tenant="alice",outcome="failed"}`] != 2 {
+		t.Errorf("alice failed count = %v, want 2",
+			snap[`gemstone_serve_campaigns_total{tenant="alice",outcome="failed"}`])
+	}
+	code, body = fetch(t, api.URL, "alice", "/v1/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: %d", code)
+	}
+	sz.Campaigns.QueueDepth = nil
+	if err := json.Unmarshal(body, &sz); err != nil {
+		t.Fatal(err)
+	}
+	if len(sz.Campaigns.QueueDepth) != 0 {
+		t.Errorf("statusz queue_depth after drain = %v, want empty", sz.Campaigns.QueueDepth)
+	}
+}

@@ -136,6 +136,11 @@ type statuszBody struct {
 		Retained    int            `json:"retained_terminal"`
 		MaxRetained int            `json:"max_retained"`
 		PerTenant   map[string]int `json:"per_tenant,omitempty"`
+		// QueueDepth counts admitted-but-not-terminal campaigns per
+		// tenant (the gemstone_serve_queue_depth gauge): the work the
+		// service still owes. A reconciliation report attributes client
+		// latency to queueing vs. simulation with it.
+		QueueDepth map[string]int `json:"queue_depth,omitempty"`
 	} `json:"campaigns"`
 	Workers []dist.WorkerStats `json:"workers,omitempty"`
 	Cache   struct {
@@ -159,12 +164,22 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	body.Campaigns.Active = s.active
 	retained := 0
+	queue := map[string]int{}
 	for _, id := range s.order {
-		if c := s.campaigns[id]; c != nil && c.State().Terminal() {
+		c := s.campaigns[id]
+		if c == nil {
+			continue
+		}
+		if c.State().Terminal() {
 			retained++
+		} else {
+			queue[c.Tenant]++
 		}
 	}
 	body.Campaigns.Retained = retained
+	if len(queue) > 0 {
+		body.Campaigns.QueueDepth = queue
+	}
 	body.Campaigns.MaxRetained = s.cfg.MaxRetained
 	if len(s.perTenant) > 0 {
 		body.Campaigns.PerTenant = make(map[string]int, len(s.perTenant))

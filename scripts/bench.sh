@@ -11,49 +11,34 @@
 #       run, write out.json, then print a per-benchmark comparison against
 #       the committed baseline; time or allocation deltas beyond +-10% are
 #       highlighted.
+#   scripts/bench.sh -serve [-c baseline.json] [out.json]
+#       run the gemload service-level benchmark (scripts/loadtest.sh) and
+#       write/compare serve SLO metrics (latency percentiles, req/s)
+#       instead of the go-bench suite. The committed baseline is
+#       BENCH_serve.json.
+#
+# The comparison understands both metric shapes: go-bench rows keyed on
+# ns_per_op/allocs_per_op, and serve rows keyed on a generic value+unit
+# (where ms and rps deltas highlight exactly like ns/op ones).
 set -eu
 cd "$(dirname "$0")/.."
 
+serve=0
+if [ "${1:-}" = "-serve" ]; then
+	serve=1
+	shift
+fi
 baseline=""
 if [ "${1:-}" = "-c" ]; then
 	baseline="$2"
 	shift 2
 fi
-out="${1:-BENCH_hotloop.json}"
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT INT TERM
 
-# The cold campaign simulates the full validation suite per iteration
-# (~seconds each); 2 timed iterations keeps the suite bounded.
-go test -run '^$' -bench 'BenchmarkCollect_' -benchtime 2x -benchmem . | tee "$tmp"
-# Distributed traced-vs-untraced pair (the tracing-overhead bar on the
-# wire path; the committed baseline for it is BENCH_trace.json).
-go test -run '^$' -bench 'BenchmarkRemoteCampaign' -benchtime 20x -benchmem ./internal/dist | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkSpan' -benchmem ./internal/obs | tee -a "$tmp"
-go test -run '^$' -bench '.' -benchmem ./internal/stats | tee -a "$tmp"
-
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-	if (n++) printf ",\n"
-	printf "  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", $1, $2, $3
-	for (i = 4; i < NF; i++) {
-		if ($(i+1) == "B/op")      printf ",\"bytes_per_op\":%s", $i
-		if ($(i+1) == "allocs/op") printf ",\"allocs_per_op\":%s", $i
-	}
-	printf "}"
-}
-END { if (n) printf "\n"; print "]" }
-' "$tmp" >"$out"
-echo "wrote $out"
-
-if [ -n "$baseline" ]; then
-	if [ ! -f "$baseline" ]; then
-		echo "baseline $baseline not found" >&2
-		exit 1
-	fi
-	echo
-	echo "comparison vs $baseline (deltas beyond +-10% marked <<<):"
+# compare BASELINE CURRENT: per-metric delta table. The value is
+# ns_per_op when present (go-bench shape) and the generic "value" field
+# otherwise (serve shape); allocations compare only when both sides
+# carry them.
+compare() {
 	awk -v FS='[":,{}]+' '
 	function field(line, key,   i, n, parts) {
 		n = split(line, parts, FS)
@@ -62,15 +47,18 @@ if [ -n "$baseline" ]; then
 	}
 	{
 		name = field($0, "name"); if (name == "") next
-		ns = field($0, "ns_per_op"); al = field($0, "allocs_per_op")
+		ns = field($0, "ns_per_op")
+		if (ns == "") ns = field($0, "value")
+		al = field($0, "allocs_per_op")
+		un = field($0, "unit"); if (un == "") un = "ns/op"
 		if (pass == 1) { base_ns[name] = ns; base_al[name] = al }
 		else {
-			new_ns[name] = ns; new_al[name] = al
+			new_ns[name] = ns; new_al[name] = al; unit[name] = un
 			if (!(name in seen)) { order[++cnt] = name; seen[name] = 1 }
 		}
 	}
 	END {
-		printf "%-44s %14s %14s %9s %9s\n", "benchmark", "base ns/op", "new ns/op", "time", "allocs"
+		printf "%-44s %14s %14s %9s %9s\n", "benchmark", "base", "new", "delta", "allocs"
 		for (i = 1; i <= cnt; i++) {
 			name = order[i]
 			if (!(name in base_ns)) { printf "%-44s %14s %14s %9s\n", name, "-", new_ns[name], "new"; continue }
@@ -83,8 +71,52 @@ if [ -n "$baseline" ]; then
 				if (dav > 10 || dav < -10) mark = " <<<"
 			}
 			if (dt > 10 || dt < -10) mark = " <<<"
-			printf "%-44s %14s %14s %8.1f%% %9s%s\n", name, base_ns[name], new_ns[name], dt, da, mark
+			printf "%-44s %14s %14s %8.1f%% %9s%s (%s)\n", name, base_ns[name], new_ns[name], dt, da, mark, unit[name]
 		}
 	}
-	' pass=1 "$baseline" pass=2 "$out"
+	' pass=1 "$1" pass=2 "$2"
+}
+
+if [ "$serve" = 1 ]; then
+	out="${1:-BENCH_serve.json}"
+	sh scripts/loadtest.sh -bench "$out"
+	echo "wrote $out"
+else
+	out="${1:-BENCH_hotloop.json}"
+	tmp="$(mktemp)"
+	trap 'rm -f "$tmp"' EXIT INT TERM
+
+	# The cold campaign simulates the full validation suite per iteration
+	# (~seconds each); 2 timed iterations keeps the suite bounded.
+	go test -run '^$' -bench 'BenchmarkCollect_' -benchtime 2x -benchmem . | tee "$tmp"
+	# Distributed traced-vs-untraced pair (the tracing-overhead bar on the
+	# wire path; the committed baseline for it is BENCH_trace.json).
+	go test -run '^$' -bench 'BenchmarkRemoteCampaign' -benchtime 20x -benchmem ./internal/dist | tee -a "$tmp"
+	go test -run '^$' -bench 'BenchmarkSpan' -benchmem ./internal/obs | tee -a "$tmp"
+	go test -run '^$' -bench '.' -benchmem ./internal/stats | tee -a "$tmp"
+
+	awk '
+	BEGIN { print "[" }
+	/^Benchmark/ {
+		if (n++) printf ",\n"
+		printf "  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", $1, $2, $3
+		for (i = 4; i < NF; i++) {
+			if ($(i+1) == "B/op")      printf ",\"bytes_per_op\":%s", $i
+			if ($(i+1) == "allocs/op") printf ",\"allocs_per_op\":%s", $i
+		}
+		printf "}"
+	}
+	END { if (n) printf "\n"; print "]" }
+	' "$tmp" >"$out"
+	echo "wrote $out"
+fi
+
+if [ -n "$baseline" ]; then
+	if [ ! -f "$baseline" ]; then
+		echo "baseline $baseline not found" >&2
+		exit 1
+	fi
+	echo
+	echo "comparison vs $baseline (deltas beyond +-10% marked <<<):"
+	compare "$baseline" "$out"
 fi
