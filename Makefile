@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: check quick build vet test serve-test trace-smoke bench bench-compare loadtest loadtest-soak fuzz clean watch experiments baseline
+.PHONY: check quick build vet test serve-test trace-smoke screen-smoke bench bench-compare loadtest loadtest-soak fuzz clean watch experiments baseline
 
-check: build vet test trace-smoke
+check: build vet test trace-smoke screen-smoke
 
 # Fast development loop: -short skips the full-campaign analysis fixture
 # and the worker-count determinism sweep, and trims the golden
@@ -45,6 +45,14 @@ serve-test:
 trace-smoke:
 	GEMSTONE_TRACE_SMOKE=1 $(GO) test -short -count=1 -run TestTraceOverheadSmoke ./internal/dist/
 
+# Fidelity-tier smoke: the atomic tier's documented error bound (short
+# workload sweep), the screen-then-resimulate split at the core layer
+# (flagged points re-simulated detailed, the rest keep their atomic
+# predictions, per-run provenance recording the split), and a screened
+# campaign end to end through gemstone serve.
+screen-smoke:
+	$(GO) test -short -count=1 -run 'TestAtomicErrorBound|TestScreenMixedFidelity|TestScreenModeCampaign' ./internal/platform/ ./internal/core/ ./internal/serve/
+
 # Campaign, observability and stats benchmarks; writes machine-readable
 # results to BENCH_hotloop.json (see scripts/bench.sh). BENCH_obs.json is
 # the committed pre-hot-loop baseline.
@@ -56,9 +64,14 @@ bench:
 # metrics (gemload latency percentiles and throughput per op class) are
 # re-measured and diffed against the committed BENCH_serve.json the
 # same way.
+# The atomic-tier pair is re-measured and diffed against
+# BENCH_atomic.json, whose detailed/atomic ratio gemwatch -bench-atomic
+# additionally holds above the speedup floor.
 bench-compare:
 	sh scripts/bench.sh -c BENCH_obs.json
 	sh scripts/bench.sh -serve -c BENCH_serve.json BENCH_serve_new.json
+	sh scripts/bench.sh -atomic -c BENCH_atomic.json BENCH_atomic_new.json
+	$(GO) run ./cmd/gemwatch -bench-atomic BENCH_atomic_new.json -bench-atomic-base BENCH_atomic.json
 
 # gemload smoke: a short closed-loop mixed load (cold/warm/events/
 # analysis) against an in-process two-worker fleet; fails unless every

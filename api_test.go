@@ -2,6 +2,7 @@ package gemstone_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"gemstone"
@@ -27,11 +28,11 @@ func smallCampaign(t testing.TB) (*gemstone.RunSet, *gemstone.RunSet) {
 			Freqs:     map[string][]int{gemstone.ClusterA15: {1000}},
 		}
 	}
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	hwRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), opt())
 	if err != nil {
 		t.Fatal(err)
 	}
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt())
+	simRuns, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V1), opt())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package gemstone_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -38,16 +39,16 @@ func benchData(b *testing.B) *benchDataT {
 	b.Helper()
 	benchOnce.Do(func() {
 		valOpt := func() gemstone.CollectOptions { return gemstone.CollectOptions{} }
-		if bench.hwVal, benchErr = gemstone.Collect(gemstone.HardwarePlatform(), valOpt()); benchErr != nil {
+		if bench.hwVal, benchErr = gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), valOpt()); benchErr != nil {
 			return
 		}
-		if bench.v1, benchErr = gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), valOpt()); benchErr != nil {
+		if bench.v1, benchErr = gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V1), valOpt()); benchErr != nil {
 			return
 		}
-		if bench.v2, benchErr = gemstone.Collect(gemstone.Gem5Platform(gemstone.V2), valOpt()); benchErr != nil {
+		if bench.v2, benchErr = gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V2), valOpt()); benchErr != nil {
 			return
 		}
-		if bench.hwPower, benchErr = gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+		if bench.hwPower, benchErr = gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), gemstone.CollectOptions{
 			Workloads: gemstone.Workloads(),
 		}); benchErr != nil {
 			return
@@ -429,7 +430,27 @@ func campaignOpt(cache gemstone.RunCache) gemstone.CollectOptions {
 func BenchmarkCollect_ColdCache(b *testing.B) {
 	pl := gemstone.HardwarePlatform()
 	for i := 0; i < b.N; i++ {
-		rs, err := gemstone.Collect(pl, campaignOpt(gemstone.NewMemoryRunCache(0)))
+		rs, err := gemstone.Collect(context.Background(), pl, campaignOpt(gemstone.NewMemoryRunCache(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Runs) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkCollect_ColdCacheAtomic is BenchmarkCollect_ColdCache at the
+// atomic fidelity tier: the identical campaign grid predicted from
+// short anchor runs instead of full detailed simulation. The acceptance
+// bar (BENCH_atomic.json) is a >= 10x per-op win over the detailed cold
+// run — the fast path that makes screen-then-resimulate campaigns pay.
+func BenchmarkCollect_ColdCacheAtomic(b *testing.B) {
+	pl := gemstone.HardwarePlatform()
+	for i := 0; i < b.N; i++ {
+		opt := campaignOpt(gemstone.NewMemoryRunCache(0))
+		opt.Fidelity = gemstone.FidelityAtomic
+		rs, err := gemstone.Collect(context.Background(), pl, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -449,7 +470,7 @@ func BenchmarkCollect_ColdCacheTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := campaignOpt(gemstone.NewMemoryRunCache(0))
 		opt.Tracer = gemstone.NewTracer()
-		rs, err := gemstone.Collect(pl, opt)
+		rs, err := gemstone.Collect(context.Background(), pl, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -466,7 +487,7 @@ func BenchmarkCollect_ColdCacheTraced(b *testing.B) {
 func BenchmarkCollect_WarmCache(b *testing.B) {
 	pl := gemstone.HardwarePlatform()
 	cache := gemstone.NewMemoryRunCache(0)
-	if _, err := gemstone.Collect(pl, campaignOpt(cache)); err != nil {
+	if _, err := gemstone.Collect(context.Background(), pl, campaignOpt(cache)); err != nil {
 		b.Fatal(err)
 	}
 	metrics := gemstone.NewCollectMetrics()
@@ -474,7 +495,7 @@ func BenchmarkCollect_WarmCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opt := campaignOpt(cache)
 		opt.Observer = metrics
-		rs, err := gemstone.Collect(pl, opt)
+		rs, err := gemstone.Collect(context.Background(), pl, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -497,12 +518,12 @@ func BenchmarkCollect_WarmDiskCache(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := gemstone.Collect(pl, campaignOpt(disk)); err != nil {
+	if _, err := gemstone.Collect(context.Background(), pl, campaignOpt(disk)); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rs, err := gemstone.Collect(pl, campaignOpt(disk))
+		rs, err := gemstone.Collect(context.Background(), pl, campaignOpt(disk))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,7 +43,7 @@ func main() {
 	}
 
 	log.Println("power characterisation (65 workloads)...")
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+	hwRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), gemstone.CollectOptions{
 		Workloads: gemstone.Workloads(), Clusters: []string{*cluster}})
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +56,7 @@ func main() {
 		model.String(), model.Quality.MAPE, model.Quality.AdjR2)
 
 	log.Printf("running gem5 %v at %d MHz...", ver, *freq)
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(ver), gemstone.CollectOptions{
+	simRuns, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(ver), gemstone.CollectOptions{
 		Clusters: []string{*cluster}, Freqs: map[string][]int{*cluster: {*freq}}})
 	if err != nil {
 		log.Fatal(err)

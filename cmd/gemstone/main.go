@@ -201,11 +201,22 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/pprof and /healthz on this host:port")
 	logFormat := flag.String("log-format", obs.LogText, "log output format (text|json)")
 	workers := flag.String("workers", "", "comma-separated gemstoned worker addresses for distributed campaigns")
+	fidelityFlag := flag.String("fidelity", "detailed", "simulation tier (detailed|atomic)")
+	screen := flag.Bool("screen", false, "screen-then-resimulate: sweep the grid at the atomic tier, re-simulate the flagged points detailed")
 	flag.Parse()
 
 	lg, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gemstone:", err)
+		os.Exit(2)
+	}
+	fid, err := gemstone.ParseFidelity(*fidelityFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gemstone:", err)
+		os.Exit(2)
+	}
+	if *screen && fid != gemstone.FidelityDetailed {
+		fmt.Fprintln(os.Stderr, "gemstone: -fidelity cannot be combined with -screen (the screen sets the tier per phase)")
 		os.Exit(2)
 	}
 	logger = lg
@@ -298,7 +309,7 @@ func main() {
 		if coord != nil {
 			rs, err = coord.Collect(ctx, pl, opt)
 		} else {
-			rs, err = gemstone.CollectContext(ctx, pl, opt)
+			rs, err = gemstone.Collect(ctx, pl, opt)
 		}
 		if err == nil && validator != nil {
 			// Sweep the completed set instead of observing RunDone: cache
@@ -331,18 +342,37 @@ func main() {
 		return gemstone.CollectOptions{
 			Workloads: profiles,
 			Clusters:  []string{*cluster},
+			Fidelity:  fid,
 		}
 	}
 
-	logger.Info("collecting hardware characterisation", "workloads", len(profiles), "cluster", *cluster)
-	hwRuns, err := collect(gemstone.HardwarePlatform(), opt())
-	if err != nil {
-		fatal(err)
-	}
-	logger.Info("running gem5 simulations", "version", fmt.Sprint(ver))
-	simRuns, err := collect(gemstone.Gem5Platform(ver), opt())
-	if err != nil {
-		fatal(err)
+	var hwRuns, simRuns *gemstone.RunSet
+	var flagged []gemstone.RunKey
+	if *screen {
+		logger.Info("screening campaign", "workloads", len(profiles), "cluster", *cluster)
+		res, serr := gemstone.Screen(ctx, gemstone.HardwarePlatform(), gemstone.Gem5Platform(ver),
+			gemstone.ScreenOptions{
+				Options: opt(),
+				Collect: func(_ context.Context, pl *gemstone.Platform, o gemstone.CollectOptions) (*gemstone.RunSet, error) {
+					return collect(pl, o)
+				},
+			})
+		if serr != nil {
+			fatal(serr)
+		}
+		hwRuns, simRuns, flagged = res.HW, res.Sim, res.Flagged
+		logger.Info("screen complete", "points", len(res.ScreenedPE), "flagged", len(res.Flagged))
+	} else {
+		logger.Info("collecting hardware characterisation", "workloads", len(profiles), "cluster", *cluster)
+		hwRuns, err = collect(gemstone.HardwarePlatform(), opt())
+		if err != nil {
+			fatal(err)
+		}
+		logger.Info("running gem5 simulations", "version", fmt.Sprint(ver))
+		simRuns, err = collect(gemstone.Gem5Platform(ver), opt())
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *statsDir != "" {
 		if err := dumpStatsFiles(*statsDir, simRuns); err != nil {
@@ -564,6 +594,9 @@ func main() {
 			version:    *version,
 			cluster:    *cluster,
 			freqMHz:    *freq,
+			fidelity:   fid,
+			screened:   *screen,
+			flagged:    flagged,
 			profiles:   profiles,
 			recorder:   recorder,
 			tracer:     tracer,
@@ -608,6 +641,9 @@ type ledgerInputs struct {
 	version    int
 	cluster    string
 	freqMHz    int
+	fidelity   gemstone.Fidelity
+	screened   bool
+	flagged    []gemstone.RunKey
 	profiles   []gemstone.WorkloadProfile
 	recorder   *gemstone.CampaignRecorder
 	tracer     *gemstone.Tracer
@@ -646,6 +682,16 @@ func buildLedgerEntry(in ledgerInputs) gemstone.LedgerEntry {
 		Seed:             seed,
 		DVFSGrid:         grid,
 		Campaigns:        in.recorder.Campaigns(),
+	}
+	if in.fidelity != gemstone.FidelityDetailed {
+		man.Fidelity = in.fidelity.String()
+	}
+	if in.screened {
+		man.Mode = "screen"
+		for _, k := range in.flagged {
+			man.ScreenFlagged = append(man.ScreenFlagged,
+				fmt.Sprintf("%s/%s/%d", k.Workload, k.Cluster, k.FreqMHz))
+		}
 	}
 	if in.tracer != nil {
 		man.PhaseSeconds = ledger.PhaseSeconds(in.tracer.Events())

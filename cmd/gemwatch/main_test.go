@@ -233,3 +233,52 @@ func TestRunServeBenchWithoutLedger(t *testing.T) {
 		t.Fatalf("missing bench baseline: exit = %d, want 2", code)
 	}
 }
+
+// TestRunAtomicBench pins the atomic-tier watchdog: the committed
+// baseline pair is compared like any bench export, plus an absolute
+// speedup floor on the current detailed/atomic ratio — and like the
+// serve comparison it degrades to a bench-only report with no ledger.
+func TestRunAtomicBench(t *testing.T) {
+	dir := t.TempDir()
+	baseBench := serveBenchFile(t, dir, "base.json",
+		`[{"name":"BenchmarkCollect_ColdCache-8","ns_per_op":2850000000},
+		  {"name":"BenchmarkCollect_ColdCacheAtomic-8","ns_per_op":256000000}]`)
+	// Healthy: ~11x, comfortably above the floor and within drift bands.
+	okBench := serveBenchFile(t, dir, "ok.json",
+		`[{"name":"BenchmarkCollect_ColdCache-8","ns_per_op":2900000000},
+		  {"name":"BenchmarkCollect_ColdCacheAtomic-8","ns_per_op":260000000}]`)
+	missing := []string{
+		"-ledger", filepath.Join(dir, "missing.jsonl"),
+		"-baseline", filepath.Join(dir, "missing-base.jsonl"),
+	}
+	var out, errb bytes.Buffer
+	code := run(append(missing, "-bench-atomic", okBench, "-bench-atomic-base", baseBench), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "atomic_speedup_x") {
+		t.Fatalf("speedup row missing:\n%s", out.String())
+	}
+
+	// The atomic tier slowed to 2x: within generic drift tolerance of
+	// nothing in particular, but under the speedup floor — drift.
+	slowBench := serveBenchFile(t, dir, "slow.json",
+		`[{"name":"BenchmarkCollect_ColdCache-8","ns_per_op":2850000000},
+		  {"name":"BenchmarkCollect_ColdCacheAtomic-8","ns_per_op":1425000000}]`)
+	out.Reset()
+	errb.Reset()
+	code = run(append(missing, "-bench-atomic", slowBench, "-bench-atomic-base", baseBench, "-tol-serve-pct", "10000"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("sub-floor speedup: exit = %d, want 1\nstdout: %s", code, out.String())
+	}
+
+	// An export without the pair is a usage error.
+	halfBench := serveBenchFile(t, dir, "half.json",
+		`[{"name":"BenchmarkCollect_ColdCache-8","ns_per_op":2850000000}]`)
+	out.Reset()
+	errb.Reset()
+	code = run(append(missing, "-bench-atomic", halfBench, "-bench-atomic-base", baseBench), &out, &errb)
+	if code != 2 {
+		t.Fatalf("half export: exit = %d, want 2", code)
+	}
+}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -65,11 +66,11 @@ func main() {
 
 	logger.Info("validating gem5 against the hardware reference",
 		"version", fmt.Sprint(ver), "cluster", *cluster)
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	hwRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), opt())
 	if err != nil {
 		fatal(err)
 	}
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(ver), opt())
+	simRuns, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(ver), opt())
 	if err != nil {
 		fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,7 +43,7 @@ func main() {
 	// stressors) at every DVFS point, with power sensing.
 	log.Printf("characterising %s power across %d workloads x %d DVFS points...",
 		*cluster, len(gemstone.Workloads()), len(gemstone.ExperimentFrequencies(*cluster)))
-	runs, err := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+	runs, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), gemstone.CollectOptions{
 		Workloads: gemstone.Workloads(),
 		Clusters:  []string{*cluster},
 	})

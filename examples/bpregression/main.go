@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,17 +31,17 @@ func main() {
 	}
 
 	log.Println("characterising hardware (45 workloads)...")
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	hwRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), opt())
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Println("running gem5 v1 (BP bug) ...")
-	v1Runs, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt())
+	v1Runs, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V1), opt())
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Println("running gem5 v2 (BP fixed) ...")
-	v2Runs, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V2), opt())
+	v2Runs, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V2), opt())
 	if err != nil {
 		log.Fatal(err)
 	}

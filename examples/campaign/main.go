@@ -52,7 +52,7 @@ func main() {
 	o := opt()
 	o.Observer = cold
 	start := time.Now()
-	coldRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), o)
+	coldRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), o)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func main() {
 	o = opt()
 	o.Observer = warm
 	start = time.Now()
-	warmRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), o)
+	warmRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), o)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // a SIGINT handler would do this in a real tool
-	_, err = gemstone.CollectContext(ctx, gemstone.Gem5Platform(gemstone.V1), opt())
+	_, err = gemstone.Collect(ctx, gemstone.Gem5Platform(gemstone.V1), opt())
 	var ce *gemstone.CollectError
 	if !errors.As(err, &ce) {
 		log.Fatalf("expected a CollectError, got %v", err)
@@ -101,7 +101,7 @@ func main() {
 	resumed := gemstone.NewCollectMetrics()
 	o = opt()
 	o.Observer = resumed
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), o)
+	simRuns, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V1), o)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func main() {
 	o = opt()
 	o.Tracer = tracer
 	o.Observer = gemstone.NewRegistryCollectObserver(reg)
-	if _, err := gemstone.Collect(gemstone.HardwarePlatform(), o); err != nil {
+	if _, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), o); err != nil {
 		log.Fatal(err)
 	}
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,12 +35,12 @@ func main() {
 	}
 
 	log.Println("collecting hardware runs (both clusters, all DVFS points)...")
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt())
+	hwRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), opt())
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Println("collecting gem5 v1 runs...")
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt())
+	simRuns, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V1), opt())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 
 	// Experiments 3/4: all 65 workloads, all DVFS points, sensors on.
 	log.Println("power characterisation (65 workloads x 4 DVFS points)...")
-	powerRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+	powerRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), gemstone.CollectOptions{
 		Workloads: gemstone.Workloads(),
 		Clusters:  []string{cluster},
 	})
@@ -48,7 +49,7 @@ func main() {
 		Clusters: []string{cluster},
 		Freqs:    map[string][]int{cluster: {1000}},
 	}
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt)
+	simRuns, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V1), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,11 +37,11 @@ func main() {
 		Freqs:     map[string][]int{gemstone.ClusterA15: {1000}},
 	}
 
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), opt)
+	hwRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	simRuns, err := gemstone.Collect(gemstone.Gem5Platform(gemstone.V1), opt)
+	simRuns, err := gemstone.Collect(context.Background(), gemstone.Gem5Platform(gemstone.V1), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,7 +36,7 @@ func main() {
 	// ---- Phase 1: produce the on-disk artefacts --------------------------
 
 	log.Println("training the power model (65-workload characterisation)...")
-	hwRuns, err := gemstone.Collect(gemstone.HardwarePlatform(), gemstone.CollectOptions{
+	hwRuns, err := gemstone.Collect(context.Background(), gemstone.HardwarePlatform(), gemstone.CollectOptions{
 		Workloads: gemstone.Workloads(), Clusters: []string{cluster}})
 	if err != nil {
 		log.Fatal(err)

@@ -68,7 +68,23 @@ type (
 	ClusterConfig = platform.ClusterConfig
 	// DVFSPoint is one frequency/voltage operating point.
 	DVFSPoint = platform.DVFSPoint
+	// Fidelity selects a simulation tier (detailed or atomic); see
+	// FidelityDetailed and FidelityAtomic.
+	Fidelity = platform.Fidelity
 )
+
+// Simulation tiers. The detailed tier runs the full pipeline timing model
+// and is pinned bit-for-bit by the golden equivalence tests; the atomic
+// tier predicts measurements from truncated anchor runs an order of
+// magnitude faster, within a documented error bound (see README.md,
+// "Fidelity tiers").
+const (
+	FidelityDetailed = platform.FidelityDetailed
+	FidelityAtomic   = platform.FidelityAtomic
+)
+
+// ParseFidelity maps a spelling ("", "detailed", "atomic") to its tier.
+func ParseFidelity(s string) (Fidelity, error) { return platform.ParseFidelity(s) }
 
 // Workload types.
 type (
@@ -92,6 +108,11 @@ type (
 	CollectError = core.CollectError
 	// RunError is one failed run inside a CollectError.
 	RunError = core.RunError
+	// ScreenOptions configures a screen-then-resimulate campaign.
+	ScreenOptions = core.ScreenOptions
+	// ScreenResult is the outcome of a screen-then-resimulate campaign:
+	// mixed-fidelity run sets plus the flagged (re-simulated) points.
+	ScreenResult = core.ScreenResult
 )
 
 // Observability types (see internal/obs for full documentation).
@@ -271,24 +292,47 @@ func WorkloadByName(name string) (WorkloadProfile, error) { return workload.ByNa
 func ExperimentFrequencies(cluster string) []int { return hw.ExperimentFrequencies(cluster) }
 
 // Collect runs an experiment campaign (Experiments 1-4 of the paper,
-// depending on the platform) and returns the collected measurements.
-func Collect(pl *Platform, opt CollectOptions) (*RunSet, error) { return core.Collect(pl, opt) }
-
-// CollectContext is Collect with cancellation: the campaign stops early
-// (without burning CPU on the remaining jobs) when ctx is cancelled or a
-// run fails, returning a *CollectError that preserves the completed
-// partial results. Combined with opt.Cache, a failed campaign is resumed
-// by simply collecting again — finished runs replay as cache hits.
-func CollectContext(ctx context.Context, pl *Platform, opt CollectOptions) (*RunSet, error) {
-	return core.CollectContext(ctx, pl, opt)
+// depending on the platform) at the tier selected by opt.Fidelity and
+// returns the collected measurements.
+//
+// The campaign stops early (without burning CPU on the remaining jobs)
+// when ctx is cancelled or a run fails, returning a *CollectError that
+// preserves the completed partial results. Combined with opt.Cache, a
+// failed campaign is resumed by simply collecting again — finished runs
+// replay as cache hits.
+func Collect(ctx context.Context, pl *Platform, opt CollectOptions) (*RunSet, error) {
+	return core.Collect(ctx, pl, opt)
 }
 
-// CacheKey returns the content-addressed run-cache key of one (platform,
-// workload, cluster, frequency) run: a stable hash of the workload
-// profile, the full cluster configuration fingerprint, the platform
-// identity and the DVFS point.
+// CollectContext is the former name of Collect.
+//
+// Deprecated: call Collect — it has carried the context since the
+// fidelity-tier redesign collapsed the Collect/CollectContext split.
+func CollectContext(ctx context.Context, pl *Platform, opt CollectOptions) (*RunSet, error) {
+	return core.Collect(ctx, pl, opt)
+}
+
+// Screen runs a screen-then-resimulate campaign: the full grid on both
+// platforms at the atomic tier, error screening (top-K |percent error|
+// plus robust outliers), then detailed re-simulation of only the flagged
+// points. The returned run sets are mixed-fidelity; every measurement
+// carries its tier in Measurement.Fidelity.
+func Screen(ctx context.Context, hwPl, simPl *Platform, opt ScreenOptions) (*ScreenResult, error) {
+	return core.Screen(ctx, hwPl, simPl, opt)
+}
+
+// CacheKey returns the content-addressed run-cache key of one
+// detailed-tier (platform, workload, cluster, frequency) run: a stable
+// hash of the workload profile, the full cluster configuration
+// fingerprint, the platform identity and the DVFS point.
 func CacheKey(pl *Platform, prof WorkloadProfile, cluster string, freqMHz int) (string, error) {
 	return core.CacheKey(pl, prof, cluster, freqMHz)
+}
+
+// CacheKeyFidelity is CacheKey with an explicit simulation tier; keys of
+// different tiers never collide.
+func CacheKeyFidelity(pl *Platform, prof WorkloadProfile, cluster string, freqMHz int, fid Fidelity) (string, error) {
+	return core.CacheKeyFidelity(pl, prof, cluster, freqMHz, fid)
 }
 
 // NewMemoryRunCache builds an in-memory LRU run cache (0 entries selects

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gemstone/internal/gem5"
@@ -73,7 +74,7 @@ func AblationStudy(hwRuns *RunSet, profiles []workload.Profile, freqMHz int, mod
 	var rows []AblationRow
 	for _, cfg := range configs {
 		pl := gem5.PlatformWithDefects(cfg.defects)
-		runs, err := Collect(pl, CollectOptions{
+		runs, err := Collect(context.Background(), pl, CollectOptions{
 			Workloads: profiles,
 			Clusters:  []string{hw.ClusterA15},
 			Freqs:     map[string][]int{hw.ClusterA15: {freqMHz}},

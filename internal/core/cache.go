@@ -31,19 +31,32 @@ import (
 // profile JSON (still canonical — encoding/json sorts its one map) is
 // marshalled once per workload and the remaining fields are framed
 // directly, which removes the per-run encoder allocations that dominated
-// the cold-campaign allocation profile.
-const cacheKeyScheme = 2
+// the cold-campaign allocation profile. Scheme 3 added the simulation
+// fidelity to the hashed tuple: an atomic-tier prediction and a detailed
+// measurement of the same run are different artefacts and must never
+// serve each other — not even entries cached before fidelity existed.
+const cacheKeyScheme = 3
 
-// CacheKey returns the content-addressed cache key of one (platform,
-// workload, cluster, frequency) run. The key covers the full cluster
-// configuration fingerprint, so any model change — a gem5 defect fix, a
-// DVFS-table edit, a predictor resize — produces a different key.
+// CacheKey returns the content-addressed cache key of one detailed-tier
+// (platform, workload, cluster, frequency) run. The key covers the full
+// cluster configuration fingerprint, so any model change — a gem5 defect
+// fix, a DVFS-table edit, a predictor resize — produces a different key.
+// For a non-detailed tier use CacheKeyFidelity.
 func CacheKey(pl *platform.Platform, prof workload.Profile, cluster string, freqMHz int) (string, error) {
+	return CacheKeyFidelity(pl, prof, cluster, freqMHz, platform.FidelityDetailed)
+}
+
+// CacheKeyFidelity is CacheKey with an explicit simulation tier. Keys of
+// different tiers never collide: the tier is part of the hashed tuple.
+func CacheKeyFidelity(pl *platform.Platform, prof workload.Profile, cluster string, freqMHz int, fid platform.Fidelity) (string, error) {
 	cc, err := pl.Cluster(cluster)
 	if err != nil {
 		return "", err
 	}
-	return cacheKeyFromParts(pl.Name(), pl.Config().HasSensors, cluster, cc.Fingerprint(), profileKeyJSON(prof), freqMHz), nil
+	if !fid.Valid() {
+		return "", fmt.Errorf("core: cache key for invalid fidelity %d", fid)
+	}
+	return cacheKeyFromParts(pl.Name(), pl.Config().HasSensors, cluster, cc.Fingerprint(), profileKeyJSON(prof), freqMHz, fid), nil
 }
 
 // profileKeyJSON is the canonical byte serialisation of a profile for key
@@ -64,9 +77,9 @@ func profileKeyJSON(prof workload.Profile) []byte {
 // cluster's fingerprint once per campaign and each profile's JSON once per
 // workload instead of once per run. Every variable-length field is length-
 // prefixed, so distinct part tuples can never frame to the same bytes.
-func cacheKeyFromParts(platformName string, hasSensors bool, cluster, clusterHash string, profJSON []byte, freqMHz int) string {
+func cacheKeyFromParts(platformName string, hasSensors bool, cluster, clusterHash string, profJSON []byte, freqMHz int, fid platform.Fidelity) string {
 	buf := make([]byte, 0,
-		8*6+3+len(platformName)+len(cluster)+len(clusterHash)+len(profJSON))
+		8*6+4+len(platformName)+len(cluster)+len(clusterHash)+len(profJSON))
 	buf = binary.LittleEndian.AppendUint64(buf, cacheKeyScheme)
 	buf = appendKeyField(buf, platformName)
 	if hasSensors {
@@ -74,6 +87,7 @@ func cacheKeyFromParts(platformName string, hasSensors bool, cluster, clusterHas
 	} else {
 		buf = append(buf, 0)
 	}
+	buf = append(buf, byte(fid))
 	buf = appendKeyField(buf, cluster)
 	buf = appendKeyField(buf, clusterHash)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(freqMHz)))

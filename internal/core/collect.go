@@ -67,12 +67,22 @@ func (rs *RunSet) Workloads() []string {
 
 // CollectOptions scopes an experiment campaign.
 type CollectOptions struct {
+	// Name labels the campaign for distributed execution and service
+	// ledgers. Local collection ignores it; the distributed coordinator
+	// auto-names anonymous campaigns.
+	Name string
 	// Workloads to run; nil means the validation set.
 	Workloads []workload.Profile
 	// Clusters to run on; nil means both.
 	Clusters []string
 	// Freqs per cluster; nil means the paper's Experiment-1 frequencies.
 	Freqs map[string][]int
+	// Fidelity selects the simulation tier for every run of the campaign.
+	// The zero value is the detailed (bit-for-bit pinned) tier;
+	// FidelityAtomic predicts runs from truncated anchor simulations at a
+	// documented error bound. Atomic and detailed runs are cached and
+	// job-addressed under distinct keys, so tiers never alias.
+	Fidelity platform.Fidelity
 
 	// Workers bounds the campaign's parallelism; 0 means GOMAXPROCS.
 	// Every run is individually deterministic, so the worker count never
@@ -101,6 +111,9 @@ type CollectOptions struct {
 }
 
 func (o *CollectOptions) fill(pl *platform.Platform) error {
+	if !o.Fidelity.Valid() {
+		return fmt.Errorf("core: invalid campaign fidelity %d", o.Fidelity)
+	}
 	if len(o.Workloads) == 0 {
 		o.Workloads = workload.Validation()
 	}
@@ -197,13 +210,13 @@ func (e *CollectError) Unwrap() []error {
 	return errs
 }
 
-// Collect runs the campaign described by opt on pl and returns the run
-// set. It reproduces Experiment 1 (and, on sensored platforms, 3 and 4 —
-// the power data rides along with the PMU samples) or Experiment 2 when
-// pl is a gem5 model. CollectContext is the canonical entrypoint; Collect
-// is exactly CollectContext(context.Background(), pl, opt).
-func Collect(pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
-	return CollectContext(context.Background(), pl, opt)
+// CollectContext is the former name of Collect, kept as a thin shim for
+// the pre-fidelity API surface.
+//
+// Deprecated: call Collect — it has carried the context since the
+// fidelity-tier redesign collapsed the Collect/CollectContext split.
+func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
+	return Collect(ctx, pl, opt)
 }
 
 // PlannedJob is one schedulable unit of a campaign: the workload profile
@@ -256,7 +269,7 @@ func PlanCampaign(pl *platform.Platform, opt *CollectOptions) ([]PlannedJob, err
 			for _, f := range opt.Freqs[cl] {
 				j := PlannedJob{Profile: prof, Key: RunKey{Workload: prof.Name, Cluster: cl, FreqMHz: f}}
 				if opt.Cache != nil {
-					j.CacheKey = cacheKeyFromParts(cfg.Name, cfg.HasSensors, cl, clusterFP[cl], profJSON, f)
+					j.CacheKey = cacheKeyFromParts(cfg.Name, cfg.HasSensors, cl, clusterFP[cl], profJSON, f, opt.Fidelity)
 				}
 				jobs = append(jobs, j)
 			}
@@ -265,7 +278,10 @@ func PlanCampaign(pl *platform.Platform, opt *CollectOptions) ([]PlannedJob, err
 	return jobs, nil
 }
 
-// CollectContext runs the campaign described by opt on pl.
+// Collect runs the campaign described by opt on pl and returns the run
+// set. It reproduces Experiment 1 (and, on sensored platforms, 3 and 4 —
+// the power data rides along with the PMU samples) or Experiment 2 when
+// pl is a gem5 model, at the simulation tier selected by opt.Fidelity.
 //
 // Runs are independent simulations, so the campaign fans out across
 // opt.Workers workers (GOMAXPROCS by default); every run is individually
@@ -278,7 +294,7 @@ func PlanCampaign(pl *platform.Platform, opt *CollectOptions) ([]PlannedJob, err
 // the remaining jobs instead of burning CPU on a doomed campaign. In both
 // cases the returned error is a *CollectError carrying the completed
 // partial results, the failed runs and the skipped jobs.
-func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
+func Collect(ctx context.Context, pl *platform.Platform, opt CollectOptions) (*RunSet, error) {
 	start := time.Now()
 	campaign := opt.Tracer.Start("collect", obs.String("platform", pl.Name()))
 	defer campaign.End()
@@ -376,7 +392,7 @@ func CollectContext(ctx context.Context, pl *platform.Platform, opt CollectOptio
 					sp = ws.Child("simulate", obs.String("key", j.Key.String()))
 				}
 				t0 := time.Now()
-				m, err := sim.RunSpan(j.Profile, j.Key.Cluster, j.Key.FreqMHz, sp)
+				m, err := sim.RunFidelity(j.Profile, j.Key.Cluster, j.Key.FreqMHz, opt.Fidelity, sp)
 				elapsed := time.Since(t0)
 				sp.End()
 				simNS.Add(int64(elapsed))

@@ -41,7 +41,7 @@ func TestCollectDeterministicAcrossWorkerCounts(t *testing.T) {
 	pl := hw.Platform()
 	opt := smallCampaign()
 	opt.Workers = 1
-	sequential, err := Collect(pl, opt)
+	sequential, err := Collect(context.Background(), pl, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestCollectDeterministicAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{0, 2, 7} {
 		opt := smallCampaign()
 		opt.Workers = workers
-		parallel, err := Collect(pl, opt)
+		parallel, err := Collect(context.Background(), pl, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func failingProfile() workload.Profile {
 func TestCollectStopsRemainingJobsAfterFirstError(t *testing.T) {
 	profiles := append([]workload.Profile{failingProfile()}, workload.Validation()...)
 	metrics := NewMetrics()
-	_, err := Collect(hw.Platform(), CollectOptions{
+	_, err := Collect(context.Background(), hw.Platform(), CollectOptions{
 		Workloads: profiles,
 		Clusters:  []string{hw.ClusterA15},
 		Freqs:     map[string][]int{hw.ClusterA15: {1000}},
@@ -141,7 +141,7 @@ func TestCollectContextCancellation(t *testing.T) {
 // uncached campaign byte-for-byte, while skipping every simulation.
 func TestCollectWarmCacheIdenticalToUncached(t *testing.T) {
 	pl := gem5.Platform(gem5.V1)
-	uncached, err := Collect(pl, smallCampaign())
+	uncached, err := Collect(context.Background(), pl, smallCampaign())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestCollectWarmCacheIdenticalToUncached(t *testing.T) {
 	cold.Cache = cache
 	coldMetrics := NewMetrics()
 	cold.Observer = coldMetrics
-	coldRuns, err := Collect(pl, cold)
+	coldRuns, err := Collect(context.Background(), pl, cold)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestCollectWarmCacheIdenticalToUncached(t *testing.T) {
 	warm.Cache = cache
 	warmMetrics := NewMetrics()
 	warm.Observer = warmMetrics
-	warmRuns, err := Collect(pl, warm)
+	warmRuns, err := Collect(context.Background(), pl, warm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestCollectResumeAfterFailure(t *testing.T) {
 	// The failing job goes last so (with one worker) every good run
 	// completes and is archived before the campaign dies.
 	profiles := append(append([]workload.Profile{}, good...), failingProfile())
-	_, err := Collect(pl, CollectOptions{
+	_, err := Collect(context.Background(), pl, CollectOptions{
 		Workloads: profiles,
 		Clusters:  []string{hw.ClusterA15},
 		Freqs:     map[string][]int{hw.ClusterA15: {1000}},
@@ -206,7 +206,7 @@ func TestCollectResumeAfterFailure(t *testing.T) {
 	}
 
 	metrics := NewMetrics()
-	resumed, err := Collect(pl, CollectOptions{
+	resumed, err := Collect(context.Background(), pl, CollectOptions{
 		Workloads: good,
 		Clusters:  []string{hw.ClusterA15},
 		Freqs:     map[string][]int{hw.ClusterA15: {1000}},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -44,13 +45,13 @@ func getFixture(t *testing.T) *fixture {
 				Freqs:     map[string][]int{hw.ClusterA15: {600, 1000}},
 			}
 		}
-		if fix.hwRuns, fixErr = Collect(hw.Platform(), opt()); fixErr != nil {
+		if fix.hwRuns, fixErr = Collect(context.Background(), hw.Platform(), opt()); fixErr != nil {
 			return
 		}
-		if fix.v1Runs, fixErr = Collect(gem5.Platform(gem5.V1), opt()); fixErr != nil {
+		if fix.v1Runs, fixErr = Collect(context.Background(), gem5.Platform(gem5.V1), opt()); fixErr != nil {
 			return
 		}
-		if fix.v2Runs, fixErr = Collect(gem5.Platform(gem5.V2), opt()); fixErr != nil {
+		if fix.v2Runs, fixErr = Collect(context.Background(), gem5.Platform(gem5.V2), opt()); fixErr != nil {
 			return
 		}
 		if fix.model, fixErr = BuildPowerModel(fix.hwRuns, hw.ClusterA15,
@@ -459,7 +460,7 @@ func TestCompareVersionsTable5(t *testing.T) {
 
 func TestCollectErrors(t *testing.T) {
 	pl := hw.Platform()
-	_, err := Collect(pl, CollectOptions{
+	_, err := Collect(context.Background(), pl, CollectOptions{
 		Workloads: workload.Validation()[:1],
 		Clusters:  []string{"nope"},
 	})

@@ -69,7 +69,7 @@ func TestRunErrorUnwrapsThroughCollectError(t *testing.T) {
 	opt := smallCampaign()
 	// An unknown frequency fails inside the simulation path of every job.
 	opt.Freqs = map[string][]int{hw.ClusterA15: {123}}
-	_, err := Collect(hw.Platform(), opt)
+	_, err := Collect(context.Background(), hw.Platform(), opt)
 	if err == nil {
 		t.Fatal("expected a run failure")
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"testing"
 
 	"gemstone/internal/hw"
@@ -16,7 +17,7 @@ func FuzzLoadRunSet(f *testing.F) {
 	// Seed with a genuine archive so mutations explore the deep decode
 	// paths (gzip frame, gob envelope, version switch), not just header
 	// rejection. More seeds live in testdata/fuzz/FuzzLoadRunSet.
-	rs, err := Collect(hw.Platform(), CollectOptions{
+	rs, err := Collect(context.Background(), hw.Platform(), CollectOptions{
 		Workloads: workload.Validation()[:2],
 		Clusters:  []string{hw.ClusterA15},
 		Freqs:     map[string][]int{hw.ClusterA15: {1000}},

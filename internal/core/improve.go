@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"gemstone/internal/gem5"
 	"gemstone/internal/hw"
 	"gemstone/internal/workload"
@@ -30,7 +32,7 @@ func IterateImprovements(hwRuns *RunSet, profiles []workload.Profile, freqMHz in
 		profiles = workload.Validation()
 	}
 	validate := func(d gem5.Defect) (float64, float64, error) {
-		runs, err := Collect(gem5.PlatformWithDefects(d), CollectOptions{
+		runs, err := Collect(context.Background(), gem5.PlatformWithDefects(d), CollectOptions{
 			Workloads: profiles,
 			Clusters:  []string{hw.ClusterA15},
 			Freqs:     map[string][]int{hw.ClusterA15: {freqMHz}},

@@ -25,6 +25,7 @@ type registryObserver struct {
 	cacheMisses *obs.Counter // level: l1i|l1d|l2
 	tlbMisses   *obs.Counter // side: i|d
 	stageTime   *obs.Counter // stage: plan|cache|sim|wall
+	fidelity    *obs.Counter // tier: detailed|atomic
 }
 
 // NewRegistryObserver returns a CollectObserver that exports campaign
@@ -57,6 +58,8 @@ func NewRegistryObserver(reg *obs.Registry) CollectObserver {
 			"First-level TLB refills by side, summed over simulated runs.", "side"),
 		stageTime: reg.Counter("gemstone_campaign_stage_seconds_total",
 			"Cumulative campaign time by stage.", "stage"),
+		fidelity: reg.Counter("gemstone_fidelity_runs_total",
+			"Simulated runs by fidelity tier.", "tier"),
 	}
 }
 
@@ -75,6 +78,7 @@ func (o *registryObserver) CacheHit(RunKey) { o.runs.Inc("cache_hit") }
 func (o *registryObserver) RunDone(_ RunKey, m platform.Measurement, simTime time.Duration) {
 	o.inflight.Add(-1)
 	o.runs.Inc("simulated")
+	o.fidelity.Inc(m.Fidelity.String())
 	o.simSeconds.Observe(simTime.Seconds())
 
 	t := &m.Sample.Tally

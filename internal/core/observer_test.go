@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -152,10 +153,10 @@ func TestRegistryObserver(t *testing.T) {
 		c.Observer = o
 		return c
 	}
-	if _, err := Collect(pl, opt()); err != nil {
+	if _, err := Collect(context.Background(), pl, opt()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Collect(pl, opt()); err != nil {
+	if _, err := Collect(context.Background(), pl, opt()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -201,7 +202,7 @@ func TestCollectTracing(t *testing.T) {
 	opt.Cache = NewMemoryCache(0)
 	opt.Tracer = tr
 	opt.Workers = 2
-	if _, err := Collect(gem5.Platform(gem5.V1), opt); err != nil {
+	if _, err := Collect(context.Background(), gem5.Platform(gem5.V1), opt); err != nil {
 		t.Fatal(err)
 	}
 
@@ -231,7 +232,7 @@ func TestCollectTracing(t *testing.T) {
 	tr2 := obs.NewTracer()
 	opt2 := smallCampaign()
 	opt2.Tracer = tr2
-	if _, err := Collect(hw.Platform(), opt2); err != nil {
+	if _, err := Collect(context.Background(), hw.Platform(), opt2); err != nil {
 		t.Fatal(err)
 	}
 	counts2 := map[string]int{}
@@ -250,7 +251,7 @@ func TestCollectTracing(t *testing.T) {
 // with no tracer must behave identically (no spans, same results).
 func TestCollectUntracedUnchanged(t *testing.T) {
 	opt := smallCampaign()
-	rs, err := Collect(gem5.Platform(gem5.V1), opt)
+	rs, err := Collect(context.Background(), gem5.Platform(gem5.V1), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

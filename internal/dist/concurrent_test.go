@@ -26,11 +26,11 @@ import (
 // must drain to empty.
 func TestConcurrentCampaigns(t *testing.T) {
 	n := campaignSize(t)
-	localHW, err := core.Collect(hw.Platform(), campaignOpts(n))
+	localHW, err := core.Collect(context.Background(), hw.Platform(), campaignOpts(n))
 	if err != nil {
 		t.Fatal(err)
 	}
-	localSim, err := core.Collect(gem5.Platform(gem5.V1), campaignOpts(n))
+	localSim, err := core.Collect(context.Background(), gem5.Platform(gem5.V1), campaignOpts(n))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -436,26 +436,38 @@ func (c *Coordinator) hello(ctx context.Context, base string) (Hello, error) {
 }
 
 // Collect runs a campaign across the configured workers. It is a drop-in
-// replacement for core.CollectContext with the identical result contract:
-// the returned RunSet (and its canonical archive bytes) are bit-for-bit
-// what a local collection produces. When no worker answers the probe — or
-// the platform cannot be named over the wire — it degrades to pure-local
+// replacement for core.Collect with the identical result contract: the
+// returned RunSet (and its canonical archive bytes) are bit-for-bit what
+// a local collection produces. When no worker answers the probe — or the
+// platform cannot be named over the wire — it degrades to pure-local
 // execution with no error.
+//
+// opt.Name names the campaign: the name keys the campaign's leases and
+// appears in coordinator logging, so a service scheduling concurrent
+// campaigns (gemstone serve) can attribute in-flight work to the tenant
+// campaign that owns it. Names must be unique among in-flight campaigns;
+// an empty Name is auto-assigned.
 //
 // Collect may be called concurrently: campaigns share the worker fleet
 // (per-worker capacity is enforced fleet-wide, so overlapping campaigns
-// queue for slots instead of overloading workers) and an auto-assigned
-// campaign name keys each one's leases.
+// queue for slots instead of overloading workers).
 func (c *Coordinator) Collect(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
-	return c.CollectNamed(ctx, fmt.Sprintf("campaign-%d", c.seq.Add(1)), pl, opt)
+	name := opt.Name
+	if name == "" {
+		name = fmt.Sprintf("campaign-%d", c.seq.Add(1))
+	}
+	return c.collectNamed(ctx, name, pl, opt)
 }
 
-// CollectNamed is Collect with a caller-chosen campaign name. The name
-// keys the campaign's leases and appears in coordinator logging, so a
-// service scheduling concurrent campaigns (gemstone serve) can attribute
-// in-flight work to the tenant campaign that owns it. Names must be
-// unique among in-flight campaigns.
+// CollectNamed is Collect with the campaign name as a parameter — the
+// pre-fidelity surface, kept as a thin shim.
+//
+// Deprecated: set CollectOptions.Name and call Collect.
 func (c *Coordinator) CollectNamed(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	return c.collectNamed(ctx, name, pl, opt)
+}
+
+func (c *Coordinator) collectNamed(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 	start := time.Now()
 	root := opt.Tracer.Start("collect",
 		obs.String("platform", pl.Name()), obs.String("campaign", name),
@@ -491,7 +503,7 @@ func (c *Coordinator) CollectNamed(ctx context.Context, name string, pl *platfor
 		// degradation decision.
 		root.Annotate(obs.Bool("degraded", true), obs.String("reason", reason))
 		root.End()
-		return core.CollectContext(ctx, pl, opt)
+		return core.Collect(ctx, pl, opt)
 	}
 
 	cp := &campaign{
@@ -520,7 +532,7 @@ func (c *Coordinator) CollectNamed(ctx context.Context, name string, pl *platfor
 			cp.ids[i] = j.CacheKey
 			continue
 		}
-		id, err := core.CacheKey(pl, j.Profile, j.Key.Cluster, j.Key.FreqMHz)
+		id, err := core.CacheKeyFidelity(pl, j.Profile, j.Key.Cluster, j.Key.FreqMHz, opt.Fidelity)
 		if err != nil {
 			return nil, err
 		}
@@ -991,7 +1003,7 @@ func (cp *campaign) localLoop() {
 				sp = ls.Child("simulate", obs.String("key", j.Key.String()))
 			}
 			t0 := time.Now()
-			m, err := sim.Run(j.Profile, j.Key.Cluster, j.Key.FreqMHz)
+			m, err := sim.RunFidelity(j.Profile, j.Key.Cluster, j.Key.FreqMHz, cp.opt.Fidelity, sp)
 			sp.End()
 			if err != nil {
 				cp.fail(i, err)
@@ -1069,6 +1081,7 @@ func (cp *campaign) runRemote(w *workerConn, i int) (platform.Measurement, float
 		Profile:    j.Profile,
 		Cluster:    j.Key.Cluster,
 		FreqMHz:    j.Key.FreqMHz,
+		Fidelity:   cp.opt.Fidelity,
 	}
 	if tc := cp.opt.Trace; tc.Correlated() || cp.opt.Tracer.Enabled() {
 		if tc.Campaign == "" {

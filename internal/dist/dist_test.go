@@ -93,7 +93,7 @@ func TestSpecForRoundTrip(t *testing.T) {
 // remote.
 func TestRoundTrip(t *testing.T) {
 	n := campaignSize(t)
-	local, err := core.Collect(hw.Platform(), campaignOpts(n))
+	local, err := core.Collect(context.Background(), hw.Platform(), campaignOpts(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestRoundTrip(t *testing.T) {
 // error and identical bytes.
 func TestZeroWorkersDegradesToLocal(t *testing.T) {
 	n := campaignSize(t)
-	local, err := core.Collect(hw.Platform(), campaignOpts(n))
+	local, err := core.Collect(context.Background(), hw.Platform(), campaignOpts(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestGoldenChaosEquivalence(t *testing.T) {
 	// that each worker slot pulls exactly one and the doomed worker
 	// deterministically sees a second request after its allowed run.
 	n := 4
-	local, err := core.Collect(hw.Platform(), campaignOpts(n))
+	local, err := core.Collect(context.Background(), hw.Platform(), campaignOpts(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestGoldenChaosEquivalence(t *testing.T) {
 // payload must be rejected and the job retried to success, never recorded.
 func TestCorruptPayloadRetried(t *testing.T) {
 	n := campaignSize(t)
-	local, err := core.Collect(hw.Platform(), campaignOpts(n))
+	local, err := core.Collect(context.Background(), hw.Platform(), campaignOpts(n))
 	if err != nil {
 		t.Fatal(err)
 	}

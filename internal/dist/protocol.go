@@ -37,7 +37,12 @@ import (
 // exactly that — an old worker simply returns no spans and the
 // coordinator's trace shows its dispatch window without worker detail,
 // while an old coordinator ignores spans a new worker would have sent.
-const ProtoVersion = 1
+//
+// Version 2 added Job.Fidelity, which is behaviour-REQUIRED: a version-1
+// worker would zero the field and silently simulate an atomic job at the
+// detailed tier (wrong cost) — or worse, the reverse — so fidelity rode
+// a version bump, not gob's skip-and-zero tolerance.
+const ProtoVersion = 2
 
 // Wire endpoints (all relative to the worker's base URL).
 const (
@@ -142,6 +147,10 @@ type Job struct {
 	Profile workload.Profile
 	Cluster string
 	FreqMHz int
+	// Fidelity is the simulation tier of the run. It participates in the
+	// job ID (tiers are distinct work units) and the worker dispatches on
+	// it, which is why it is protocol-version-gated.
+	Fidelity platform.Fidelity
 	// Trace carries the job's correlation identity (campaign, tenant,
 	// job, dispatch parent) and whether the worker should record and
 	// return spans. Optional: the zero value is an anonymous, untraced

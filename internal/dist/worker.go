@@ -143,6 +143,14 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 			http.StatusConflict)
 		return
 	}
+	if !job.Fidelity.Valid() {
+		// An invalid tier is a malformed job, not a simulation failure:
+		// 422 marks it terminal so the coordinator does not retry a job
+		// that can never succeed.
+		http.Error(rw, fmt.Sprintf("dist: invalid job fidelity %d", job.Fidelity),
+			http.StatusUnprocessableEntity)
+		return
+	}
 
 	// Span recording costs nothing unless the job asks for it: untraced
 	// jobs take the exact pre-tracing path plus one branch per phase.
@@ -165,10 +173,11 @@ func (w *Worker) handleRun(rw http.ResponseWriter, req *http.Request) {
 	sc, reused := w.simContext(pl)
 	mark("simctx", ctxT, obs.Bool("reused", reused))
 	start := w.now()
-	m, err := sc.Run(job.Profile, job.Cluster, job.FreqMHz)
+	m, err := sc.RunFidelity(job.Profile, job.Cluster, job.FreqMHz, job.Fidelity, nil)
 	elapsed := w.now().Sub(start)
 	mark("simulate", start, obs.String("workload", job.Profile.Name),
-		obs.String("cluster", job.Cluster), obs.Int("freq_mhz", job.FreqMHz))
+		obs.String("cluster", job.Cluster), obs.Int("freq_mhz", job.FreqMHz),
+		obs.String("fidelity", job.Fidelity.String()))
 	w.releaseSimContext(pl, sc)
 	if w.busy != nil {
 		w.busy.Add(-1)

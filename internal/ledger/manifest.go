@@ -62,6 +62,18 @@ type RunManifest struct {
 	Tenant     string `json:"tenant,omitempty"`
 	CampaignID string `json:"campaign_id,omitempty"`
 
+	// Fidelity is the campaign's simulation tier ("atomic"; empty means
+	// detailed) and Mode its execution shape ("screen"; empty means a
+	// plain full-grid campaign). ScreenFlagged lists the operating points
+	// a screen-mode campaign re-simulated at the detailed tier, as
+	// "workload/cluster/freqMHz" in screening order (descending |percent
+	// error|) — per-run tier provenance for mixed-fidelity archives.
+	// All empty for pre-fidelity entries (omitempty keeps them
+	// byte-stable).
+	Fidelity      string   `json:"fidelity,omitempty"`
+	Mode          string   `json:"mode,omitempty"`
+	ScreenFlagged []string `json:"screen_flagged,omitempty"`
+
 	// Cluster and FreqMHz are the analysis operating point.
 	Cluster string `json:"cluster"`
 	FreqMHz int    `json:"freq_mhz"`

@@ -1,6 +1,7 @@
 package mcpat
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -24,7 +25,7 @@ var (
 func a15Observations(t *testing.T) []power.Observation {
 	t.Helper()
 	obsOnce.Do(func() {
-		a15Runs, obsErr = core.Collect(hw.Platform(), core.CollectOptions{
+		a15Runs, obsErr = core.Collect(context.Background(), hw.Platform(), core.CollectOptions{
 			Workloads: workload.All(), Clusters: []string{hw.ClusterA15}})
 		if obsErr != nil {
 			return

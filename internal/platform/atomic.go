@@ -1,0 +1,442 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"gemstone/internal/isa"
+	"gemstone/internal/mem"
+	"gemstone/internal/obs"
+	"gemstone/internal/pipeline"
+	"gemstone/internal/pmu"
+	"gemstone/internal/workload"
+	"gemstone/internal/xrand"
+)
+
+// Atomic-tier prediction. The detailed tier's cost is linear in the
+// instruction budget; the atomic tier instead runs only a short prefix of
+// the workload through the detailed simulator and extrapolates every PMU
+// counter to the full budget. Two effects make the naive "scale the prefix"
+// estimate wrong and drive the design:
+//
+//  1. Warm-up transients. Cache, TLB and predictor cold misses concentrate
+//     in the prefix, so per-instruction event rates fall as the run
+//     progresses — for pointer-chasing workloads the transient spans a
+//     large fraction of the whole run. The anchor pass therefore captures
+//     *three* cumulative checkpoints (at 1/4, 1/2 and all of the anchor
+//     budget) and extrapolates each counter with a geometric-decay tail:
+//     the per-instruction marginal rate of the last observed segment is
+//     carried forward, decaying per budget-doubling by the decay ratio
+//     measured between the two observed segments (clamped — see
+//     atomicDecayFloor). Counters that grow linearly (committed
+//     instructions, op counts) measure a decay of 1 and extrapolate
+//     exactly; warm-up-dominated counters measure a decay below 1 and
+//     shed the transient's weight.
+//
+//  2. Frequency dependence. Across a cluster's DVFS range every counter of
+//     the same workload is near-affine in frequency (cache-hit latencies
+//     are fixed in cycles, DRAM latencies in nanoseconds — the same
+//     observation DVFS trace replay exploits exactly). The anchor pass
+//     runs at the two DVFS extremes — the second pass replaying the
+//     first's memory traces at a fraction of the cost — and any operating
+//     point is predicted by affine interpolation between the two
+//     extrapolated anchors.
+//
+// The residual error (transient shape beyond the observed prefix, integer
+// rounding) is bounded by the fidelity tests rather than pinned
+// bit-for-bit; screen-mode campaigns re-run the points that matter through
+// the detailed tier.
+
+const (
+	// atomicAnchorDiv sets the checkpoint spacing: the first checkpoint is
+	// TotalInsts/atomicAnchorDiv, the anchor budget four times that.
+	atomicAnchorDiv = 32
+	// atomicAnchorFloor is the minimum first-checkpoint budget; below this
+	// the segment rates are too noisy to extrapolate from.
+	atomicAnchorFloor = 4096
+	// atomicDecayFloor clamps the measured per-doubling rate decay. The
+	// observed decay of the prefix overstates how fast event rates keep
+	// falling (the transient's decay itself slows down), so extrapolating
+	// an unclamped decay underestimates long tails.
+	atomicDecayFloor = 0.7
+)
+
+// atomicAnchors caches one workload's extrapolated anchor samples on a
+// cluster: full-budget counter predictions at the DVFS extremes.
+type atomicAnchors struct {
+	prof     workload.Profile // full profile the anchors belong to
+	ok       bool
+	loF, hiF int // anchor frequencies (cluster DVFS extremes)
+	lo, hi   pmu.Sample
+}
+
+// anchorProfile returns the anchor-pass profile (a prefix of prof's
+// instruction stream) and the budget growth factor full/anchor.
+func anchorProfile(p workload.Profile) (workload.Profile, float64) {
+	n := p.TotalInsts / atomicAnchorDiv
+	if n < atomicAnchorFloor {
+		n = atomicAnchorFloor
+	}
+	n *= 4 // three checkpoints at n/4, n/2, n
+	if n >= p.TotalInsts {
+		return p, 1
+	}
+	t := p
+	t.TotalInsts = n
+	return t, float64(p.TotalInsts) / float64(n)
+}
+
+// RunFidelity executes the workload at the requested simulation tier.
+// FidelityDetailed is exactly Run; FidelityAtomic predicts the
+// Measurement from cached anchor runs (see the package comment above) and
+// marks it with Measurement.Fidelity. Atomic runs reuse their per-cluster
+// anchors only on a context from NewSimContext; on the transient context
+// inside Platform.Run every call re-derives them.
+func (sc *SimContext) RunFidelity(prof workload.Profile, cluster string, freqMHz int, fid Fidelity, parent *obs.Span) (Measurement, error) {
+	switch fid {
+	case FidelityDetailed:
+		return sc.RunSpan(prof, cluster, freqMHz, parent)
+	case FidelityAtomic:
+		return sc.runAtomic(prof, cluster, freqMHz, parent)
+	}
+	return Measurement{}, fmt.Errorf("platform: unknown fidelity %d", fid)
+}
+
+// runAtomic predicts one operating point from the workload's anchors.
+func (sc *SimContext) runAtomic(prof workload.Profile, cluster string, freqMHz int, parent *obs.Span) (Measurement, error) {
+	p := sc.p
+	cl, err := p.Cluster(cluster)
+	if err != nil {
+		return Measurement{}, err
+	}
+	volt, err := cl.Voltage(freqMHz)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := prof.Validate(); err != nil {
+		return Measurement{}, err
+	}
+
+	an, err := sc.anchors(cl, prof, parent)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	sp := parent.Child("predict")
+	ghz := float64(freqMHz) / 1000
+	t := 0.0
+	if an.hiF != an.loF {
+		t = float64(freqMHz-an.loF) / float64(an.hiF-an.loF)
+	}
+	sample := interpolateSample(&an.lo, &an.hi, t)
+	sample.FreqGHz = ghz
+
+	m := Measurement{
+		Platform: p.cfg.Name,
+		Cluster:  cluster,
+		Workload: prof.Name,
+		FreqMHz:  freqMHz,
+		VoltageV: volt,
+		Sample:   sample,
+		Seconds:  sample.Seconds(),
+		Fidelity: FidelityAtomic,
+	}
+	if sp != nil {
+		sp.Annotate(obs.Uint64("cycles", sample.Tally.Cycles), obs.Float64("anchor_t", t))
+		sp.End()
+	}
+
+	// The power post-processing is the detailed tier's, fed the predicted
+	// sample: the sensor noise seed depends only on (workload, cluster,
+	// frequency), so the power error is purely the sample error's image.
+	if p.cfg.HasSensors && cl.Power != nil {
+		sp = parent.Child("power")
+		noise := xrand.New(prof.Seed() ^ uint64(freqMHz)<<20 ^ xrand.HashString(cluster))
+		pw, temp, throttled := MeasurePower(cl.Power, cl.Thermal, &sample, volt, ghz, noise)
+		m.PowerWatts = pw
+		m.TemperatureC = temp
+		m.Throttled = throttled
+		m.EnergyJoules = pw * m.Seconds
+		if sp != nil {
+			sp.Annotate(obs.Float64("power_w", pw), obs.Bool("throttled", throttled))
+			sp.End()
+		}
+	}
+	return m, nil
+}
+
+// anchors returns (computing and caching if necessary) the workload's
+// extrapolated anchor samples on cl.
+func (sc *SimContext) anchors(cl ClusterConfig, prof workload.Profile, parent *obs.Span) (*atomicAnchors, error) {
+	var store *atomicAnchors
+	if sc.sims != nil {
+		s := sc.sims[cl.Name]
+		if s == nil {
+			s = sc.sim(cl)
+		}
+		store = &s.anchors
+		if store.ok && store.prof == prof {
+			return store, nil
+		}
+	}
+
+	anchor, growth := anchorProfile(prof)
+	loF := cl.DVFS[0].FreqMHz
+	hiF := cl.DVFS[len(cl.DVFS)-1].FreqMHz
+
+	sp := parent.Child("anchor")
+	// The lo pass records one memory trace per checkpoint chunk; the hi
+	// pass replays them chunk-by-chunk, so its checkpoints restore the
+	// (frequency-invariant) statistics snapshots at a fraction of the
+	// cost. The traces are local: they must not displace the detailed
+	// tier's full-run trace on this context mid-campaign.
+	var traces [3]mem.DVFSTrace
+	lo, err := sc.anchorPass(cl, anchor, loF, &traces, sp)
+	if err != nil {
+		sp.End()
+		return nil, fmt.Errorf("platform: atomic anchor (%s/%s@%d): %w", prof.Name, cl.Name, loF, err)
+	}
+	hi := lo
+	if hiF != loF {
+		hi, err = sc.anchorPass(cl, anchor, hiF, &traces, sp)
+		if err != nil {
+			sp.End()
+			return nil, fmt.Errorf("platform: atomic anchor (%s/%s@%d): %w", prof.Name, cl.Name, hiF, err)
+		}
+	}
+	sp.End()
+
+	an := atomicAnchors{
+		prof: prof, ok: true,
+		loF: loF, hiF: hiF,
+		lo: extrapolateSample(&lo, growth), hi: extrapolateSample(&hi, growth),
+	}
+	if store != nil {
+		*store = an
+		return store, nil
+	}
+	return &an, nil
+}
+
+// anchorCheckpoints holds the cumulative PMU samples of one anchor pass at
+// its three checkpoints (after 1/4, 1/2 and all of the anchor budget).
+type anchorCheckpoints struct {
+	insts [3]float64 // committed instructions at each checkpoint
+	cum   [3]pmu.Sample
+}
+
+// anchorPass runs the anchor profile at freqMHz in one detailed pass split
+// into three chunks, capturing the cumulative counters at each chunk
+// boundary. When all three traces are valid the pass replays them
+// (chunk-by-chunk) instead of simulating the memory system; otherwise it
+// records them.
+func (sc *SimContext) anchorPass(cl ClusterConfig, anchor workload.Profile, freqMHz int, traces *[3]mem.DVFSTrace, parent *obs.Span) (anchorCheckpoints, error) {
+	sp := parent.Child("anchor_pass", obs.Int("freq_mhz", freqMHz))
+	defer sp.End()
+
+	var cp anchorCheckpoints
+	s := sc.sim(cl)
+	hier, pred, core := s.hier, s.pred, s.core
+	ghz := float64(freqMHz) / 1000
+	hier.SetFrequencyGHz(ghz)
+	core.Sync = nil
+	if anchor.IsParallel() {
+		scale := cl.ContentionScale
+		if scale == 0 {
+			scale = 1
+		}
+		core.Sync = pipeline.NewSyncModel(
+			anchor.Seed()^0xC0FFEE,
+			anchor.SnoopProb*scale, anchor.BarrierWaitMean*scale, anchor.StrexFailProb*scale)
+	}
+
+	insts := sc.anchorInsts(anchor)
+	n := len(insts)
+	if n == 0 {
+		return cp, fmt.Errorf("empty anchor stream for %q", anchor.Name)
+	}
+	bounds := [4]int{0, n / 4, n / 2, n}
+	// Replay is all-or-nothing: a plainly simulated chunk needs live cache
+	// contents, which a preceding replayed chunk leaves stale.
+	replayAll := traces[0].Valid() && traces[1].Valid() && traces[2].Valid()
+
+	var sum pipeline.Tally
+	for i := 0; i < 3; i++ {
+		chunk := sc.wrap(isa.NewSliceStream(insts[bounds[i]:bounds[i+1]]))
+		if replayAll {
+			if !hier.BeginTraceReplay(&traces[i]) {
+				return cp, fmt.Errorf("anchor trace %d invalid mid-pass", i)
+			}
+		} else {
+			hier.BeginTraceRecord(&traces[i])
+		}
+		t := core.Run(chunk)
+		if replayAll {
+			hier.EndTraceReplay()
+		} else {
+			hier.EndTraceRecord()
+		}
+		addTally(&sum, &t)
+		cp.insts[i] = float64(bounds[i+1])
+		cp.cum[i] = pmu.Capture(sum, hier, pred, ghz)
+	}
+	return cp, nil
+}
+
+// anchorInsts expands the anchor profile's instruction stream, reusing the
+// context's one-entry stream cache when it has one.
+func (sc *SimContext) anchorInsts(anchor workload.Profile) []isa.Inst {
+	if sc.cacheStreams {
+		sc.stream(anchor) // fills sc.streamBuf through the one-entry cache
+		return sc.streamBuf
+	}
+	var insts []isa.Inst
+	g := workload.NewGenerator(anchor)
+	for {
+		if len(insts)+4096 > cap(insts) {
+			grown := make([]isa.Inst, len(insts), cap(insts)*2+4096)
+			copy(grown, insts)
+			insts = grown
+		}
+		n := g.NextBlock(insts[len(insts):cap(insts)])
+		if n == 0 {
+			break
+		}
+		insts = insts[: len(insts)+n : cap(insts)]
+	}
+	return insts
+}
+
+// addTally accumulates t into sum field by field. Reflective for the same
+// reason as the sample walkers: a counter added to pipeline.Tally must be
+// summed, not silently dropped.
+func addTally(sum, t *pipeline.Tally) {
+	addValue(reflect.ValueOf(sum).Elem(), reflect.ValueOf(t).Elem())
+}
+
+func addValue(sum, t reflect.Value) {
+	switch sum.Kind() {
+	case reflect.Struct:
+		for i := 0; i < sum.NumField(); i++ {
+			addValue(sum.Field(i), t.Field(i))
+		}
+	case reflect.Array:
+		for i := 0; i < sum.Len(); i++ {
+			addValue(sum.Index(i), t.Index(i))
+		}
+	case reflect.Uint64:
+		sum.SetUint(sum.Uint() + t.Uint())
+	default:
+		panic(fmt.Sprintf("platform: pipeline.Tally grew an un-summable field kind %s", sum.Kind()))
+	}
+}
+
+// extrapolateSample projects the checkpointed counters to growth times the
+// anchor budget. Per counter: the marginal per-instruction rate of the
+// last observed segment is carried over the remaining budget, decaying
+// once per budget-doubling by the clamped ratio of the two observed
+// segments' rates (see the package comment).
+func extrapolateSample(cp *anchorCheckpoints, growth float64) pmu.Sample {
+	out := cp.cum[2]
+	if growth <= 1 {
+		return out
+	}
+	n1, n2, n3 := cp.insts[0], cp.insts[1], cp.insts[2]
+	rem := (growth - 1) * n3
+	extrapValue(reflect.ValueOf(&out).Elem(),
+		reflect.ValueOf(&cp.cum[0]).Elem(), reflect.ValueOf(&cp.cum[1]).Elem(), reflect.ValueOf(&cp.cum[2]).Elem(),
+		n2-n1, n3-n2, n3, rem)
+	return out
+}
+
+func extrapValue(out, c1, c2, c3 reflect.Value, len1, len2, seg0, rem float64) {
+	switch out.Kind() {
+	case reflect.Struct:
+		for i := 0; i < out.NumField(); i++ {
+			extrapValue(out.Field(i), c1.Field(i), c2.Field(i), c3.Field(i), len1, len2, seg0, rem)
+		}
+	case reflect.Array:
+		for i := 0; i < out.Len(); i++ {
+			extrapValue(out.Index(i), c1.Index(i), c2.Index(i), c3.Index(i), len1, len2, seg0, rem)
+		}
+	case reflect.Uint64:
+		v1, v2, v3 := float64(c1.Uint()), float64(c2.Uint()), float64(c3.Uint())
+		out.SetUint(extrapCounter(v1, v2, v3, len1, len2, seg0, rem))
+	case reflect.Float64:
+		// FreqGHz: owned by the caller.
+	default:
+		panic(fmt.Sprintf("platform: pmu.Sample grew an un-extrapolatable field kind %s", out.Kind()))
+	}
+}
+
+// extrapCounter extends one cumulative counter past its last checkpoint v3
+// by rem instructions, starting from the last observed segment's rate and
+// decaying it per budget-doubling.
+func extrapCounter(v1, v2, v3, len1, len2, seg0, rem float64) uint64 {
+	s1, s2 := v2-v1, v3-v2
+	if s1 < 0 {
+		s1 = 0
+	}
+	if s2 < 0 {
+		s2 = 0
+	}
+	r1, r2 := s1/len1, s2/len2
+	d := 1.0
+	if r1 > 0 {
+		d = r2 / r1
+	}
+	if d < atomicDecayFloor {
+		d = atomicDecayFloor
+	} else if d > 1 {
+		d = 1
+	}
+	total, segLen, rate := v3, seg0, r2
+	for rem > 0 {
+		rate *= d
+		use := segLen
+		if use > rem {
+			use = rem
+		}
+		total += use * rate
+		rem -= use
+		segLen *= 2
+	}
+	return uint64(math.Round(total))
+}
+
+// interpolateSample affinely interpolates every counter between the two
+// anchor samples: counter(t) = round(lo + t·(hi − lo)). All counters are
+// uint64 (scalars or arrays, possibly nested in sub-structs); FreqGHz is
+// the one float64 field and is set by the caller. The walk is reflective
+// so a new counter added to any PMU sub-struct is interpolated
+// automatically instead of silently dropped.
+func interpolateSample(lo, hi *pmu.Sample, t float64) pmu.Sample {
+	var out pmu.Sample
+	interpValue(reflect.ValueOf(&out).Elem(), reflect.ValueOf(lo).Elem(), reflect.ValueOf(hi).Elem(), t)
+	return out
+}
+
+func interpValue(out, lo, hi reflect.Value, t float64) {
+	switch out.Kind() {
+	case reflect.Struct:
+		for i := 0; i < out.NumField(); i++ {
+			interpValue(out.Field(i), lo.Field(i), hi.Field(i), t)
+		}
+	case reflect.Array:
+		for i := 0; i < out.Len(); i++ {
+			interpValue(out.Index(i), lo.Index(i), hi.Index(i), t)
+		}
+	case reflect.Uint64:
+		l, h := float64(lo.Uint()), float64(hi.Uint())
+		v := l + t*(h-l)
+		if v < 0 {
+			v = 0
+		}
+		out.SetUint(uint64(math.Round(v)))
+	case reflect.Float64:
+		// FreqGHz: owned by the caller.
+	default:
+		panic(fmt.Sprintf("platform: pmu.Sample grew an un-interpolatable field kind %s", out.Kind()))
+	}
+}

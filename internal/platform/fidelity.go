@@ -1,0 +1,51 @@
+package platform
+
+import "fmt"
+
+// Fidelity selects a simulation tier, mirroring gem5's CPU-model ladder
+// (AtomicSimpleCPU → O3CPU): the detailed tier runs the full pipeline
+// timing model and is pinned bit-for-bit by the golden equivalence tests;
+// the atomic tier predicts the same Measurement from two cached detailed
+// anchor runs and carries a validated error bound instead.
+type Fidelity uint8
+
+const (
+	// FidelityDetailed is the full timing simulation — the zero value, so
+	// every existing call site and archived measurement stays detailed.
+	FidelityDetailed Fidelity = iota
+	// FidelityAtomic skips detailed per-run pipeline timing: per
+	// (workload, cluster) it captures two truncated detailed anchor runs
+	// at the DVFS extremes and predicts every other operating point by
+	// interpolating and rescaling the anchors' event counters.
+	FidelityAtomic
+)
+
+// fidelityNames maps tiers to their canonical wire/CLI spellings.
+var fidelityNames = [...]string{
+	FidelityDetailed: "detailed",
+	FidelityAtomic:   "atomic",
+}
+
+// String returns the canonical name ("detailed", "atomic").
+func (f Fidelity) String() string {
+	if !f.Valid() {
+		return fmt.Sprintf("fidelity(%d)", uint8(f))
+	}
+	return fidelityNames[f]
+}
+
+// Valid reports whether f names a known tier.
+func (f Fidelity) Valid() bool { return int(f) < len(fidelityNames) }
+
+// ParseFidelity maps a spelling to its tier. The empty string parses as
+// FidelityDetailed so optional spec/flag fields default to the full
+// simulation.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "", "detailed":
+		return FidelityDetailed, nil
+	case "atomic":
+		return FidelityAtomic, nil
+	}
+	return 0, fmt.Errorf("platform: unknown fidelity %q (want \"detailed\" or \"atomic\")", s)
+}

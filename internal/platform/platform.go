@@ -194,6 +194,10 @@ type Measurement struct {
 	// Throttled reports that the thermal limit was exceeded during the
 	// measurement (the paper hit this at 2 GHz on the Cortex-A15).
 	Throttled bool
+	// Fidelity is the simulation tier that produced the measurement. The
+	// zero value is FidelityDetailed, so archives of detailed runs are
+	// unchanged and mixed-tier archives carry per-run provenance.
+	Fidelity Fidelity
 }
 
 // Run executes the workload on the named cluster at freqMHz.

@@ -30,6 +30,12 @@ type clusterSim struct {
 	trace     mem.DVFSTrace
 	traceProf workload.Profile
 	traceOK   bool
+
+	// Atomic-tier anchor cache (see atomic.go): the truncated detailed
+	// samples at the cluster's DVFS extremes for the most recently
+	// predicted workload. Like the DVFS trace it is one-entry because
+	// campaigns are workload-major.
+	anchors atomicAnchors
 }
 
 // SimContext runs workloads on a Platform while reusing all heavyweight

@@ -33,7 +33,7 @@ type Event struct {
 	// Seq is the 1-based position of the event in the campaign stream.
 	Seq int `json:"seq"`
 	// Type names the frame: submitted, started, collect-start, run-done,
-	// collect-done, validated, done, error.
+	// collect-done, screened, validated, done, error.
 	Type string `json:"type"`
 	// Platform scopes collect-start/run-done/collect-done frames.
 	Platform string `json:"platform,omitempty"`
@@ -43,6 +43,9 @@ type Event struct {
 	Done int `json:"done,omitempty"`
 	// CacheHits counts replayed runs on collect-done frames.
 	CacheHits int `json:"cache_hits,omitempty"`
+	// Flagged counts the points a screen-mode campaign selected for
+	// detailed re-simulation, on screened frames.
+	Flagged int `json:"flagged,omitempty"`
 	// MAPE carries the headline error on validated/done frames.
 	MAPE float64 `json:"mape,omitempty"`
 	// Error carries the failure message on error frames.

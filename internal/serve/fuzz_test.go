@@ -30,7 +30,7 @@ func fuzzServerURL() string {
 			// that hits a 429 would look like a decode outcome.
 			MaxCampaigns: -1,
 			TenantQuota:  -1,
-			Collector: func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+			Collector: func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 				return &core.RunSet{Platform: pl.Name(), Runs: map[core.RunKey]platform.Measurement{}}, nil
 			},
 		})
@@ -61,6 +61,13 @@ func FuzzCampaignSpec(f *testing.F) {
 	f.Add([]byte(`{} {}`))
 	f.Add([]byte(`{"workloads":[` + strings.Repeat(`"mi-qsort",`, 100) + `"mi-qsort"]}`))
 	f.Add(bytes.Repeat([]byte(`[`), 1024))
+	f.Add([]byte(`{"fidelity":"atomic"}`))
+	f.Add([]byte(`{"fidelity":"detailed","mode":"full"}`))
+	f.Add([]byte(`{"mode":"screen","max_workloads":2}`))
+	f.Add([]byte(`{"fidelity":"turbo"}`))
+	f.Add([]byte(`{"mode":"sideways"}`))
+	f.Add([]byte(`{"mode":"screen","fidelity":"atomic"}`))
+	f.Add([]byte(`{"fidelity":7}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := ParseCampaignSpec(bytes.NewReader(data))

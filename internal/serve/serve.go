@@ -23,11 +23,11 @@ import (
 	"gemstone/internal/power"
 )
 
-// CollectFunc executes one platform half of a campaign. The name
+// CollectFunc executes one platform half of a campaign. opt.Name
 // attributes the work ("<campaign-id>/hw", "<campaign-id>/sim") so a
-// distributed coordinator can key its lease table per campaign. Tests
-// install a stub here.
-type CollectFunc func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error)
+// distributed coordinator can key its lease table per campaign, and
+// opt.Fidelity carries the simulation tier. Tests install a stub here.
+type CollectFunc func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error)
 
 // Config assembles a campaign service.
 type Config struct {
@@ -696,13 +696,9 @@ func (s *Server) collector() CollectFunc {
 		return s.cfg.Collector
 	}
 	if coord := s.cfg.Coordinator; coord != nil {
-		return func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
-			return coord.CollectNamed(ctx, name, pl, opt)
-		}
+		return coord.Collect
 	}
-	return func(ctx context.Context, _ string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
-		return core.CollectContext(ctx, pl, opt)
-	}
+	return core.Collect
 }
 
 // runCampaign executes one campaign: hardware reference, then the gem5
@@ -755,48 +751,67 @@ func (s *Server) runCampaign(c *Campaign) {
 	recorder := ledger.NewCampaignRecorder()
 	collect := s.collector()
 
-	runHalf := func(name string, pl *platform.Platform) (*core.RunSet, error) {
+	baseOpt := func(name string) core.CollectOptions {
 		opt := c.Spec.Options()
+		opt.Name = c.ID + "/" + name
 		opt.Cache = cache
 		opt.Workers = s.cfg.Workers
 		opt.Observer = core.MultiObserver(recorder, observer)
 		opt.Tracer = c.tracer
 		opt.Trace = obs.TraceContext{Campaign: c.ID, Tenant: c.Tenant}
-		return collect(s.ctx, c.ID+"/"+name, pl, opt)
+		return opt
 	}
 
 	hwPl := hw.Platform()
 	simPl := gem5.Platform(gem5.Version(c.Spec.Gem5Version))
 
-	hwSet, err := runHalf("hw", hwPl)
-	if err == nil {
-		var simSet *core.RunSet
-		simSet, err = runHalf("sim", simPl)
+	var hwSet, simSet *core.RunSet
+	var flagged []core.RunKey
+	var err error
+	if c.Spec.Screening() {
+		// Screen mode: core.Screen drives both platforms itself (two
+		// atomic sweeps, then detailed re-simulation of the flagged
+		// points), all through the same collector, so distributed and
+		// cached execution work unchanged.
+		var res *core.ScreenResult
+		res, err = core.Screen(s.ctx, hwPl, simPl, core.ScreenOptions{
+			Options: baseOpt("screen"),
+			Collect: collect,
+		})
 		if err == nil {
-			collate := root.Child("collate")
-			var vs *core.ValidationSummary
-			vs, err = core.Validate(hwSet, simSet, c.Spec.Cluster)
-			if err == nil {
-				s.emit(c, Event{Type: "validated", MAPE: vs.MAPE})
-				s.appendLedger(c, hwPl, simPl, recorder, vs)
-				collate.End()
-				// End the trace before the terminal transition commits:
-				// /trace serves only terminal campaigns, so every span a
-				// client can observe is complete.
-				root.End()
-				// The results, the terminal frame and the StateDone
-				// transition commit atomically (after the ledger I/O), so
-				// no event stream can observe a terminal campaign whose
-				// "done" frame is not yet appended.
-				c.complete(hwSet, simSet, vs, Event{Type: "done", MAPE: vs.MAPE})
-				s.noteTerminal(c.Tenant)
-				s.countEvent(c.Tenant, "done")
-				s.log().Info("campaign done", "campaign", c.ID, "tenant", c.Tenant,
-					"mape", vs.MAPE, "wall", time.Since(start))
-				return
-			}
-			collate.End()
+			hwSet, simSet, flagged = res.HW, res.Sim, res.Flagged
+			s.emit(c, Event{Type: "screened", Flagged: len(flagged)})
 		}
+	} else {
+		hwSet, err = collect(s.ctx, hwPl, baseOpt("hw"))
+		if err == nil {
+			simSet, err = collect(s.ctx, simPl, baseOpt("sim"))
+		}
+	}
+	if err == nil {
+		collate := root.Child("collate")
+		var vs *core.ValidationSummary
+		vs, err = core.Validate(hwSet, simSet, c.Spec.Cluster)
+		if err == nil {
+			s.emit(c, Event{Type: "validated", MAPE: vs.MAPE})
+			s.appendLedger(c, hwPl, simPl, recorder, vs, flagged)
+			collate.End()
+			// End the trace before the terminal transition commits:
+			// /trace serves only terminal campaigns, so every span a
+			// client can observe is complete.
+			root.End()
+			// The results, the terminal frame and the StateDone
+			// transition commit atomically (after the ledger I/O), so
+			// no event stream can observe a terminal campaign whose
+			// "done" frame is not yet appended.
+			c.complete(hwSet, simSet, vs, Event{Type: "done", MAPE: vs.MAPE})
+			s.noteTerminal(c.Tenant)
+			s.countEvent(c.Tenant, "done")
+			s.log().Info("campaign done", "campaign", c.ID, "tenant", c.Tenant,
+				"mape", vs.MAPE, "wall", time.Since(start))
+			return
+		}
+		collate.End()
 	}
 	outcome = "failed"
 	root.Annotate(obs.Bool("failed", true))
@@ -910,11 +925,19 @@ func (s *Server) evictLocked() []string {
 // transition (the "done" frame means the ledger write has already been
 // attempted), and its failures are logged, never fatal.
 func (s *Server) appendLedger(c *Campaign, hwPl, simPl *platform.Platform,
-	recorder *ledger.CampaignRecorder, vs *core.ValidationSummary) {
+	recorder *ledger.CampaignRecorder, vs *core.ValidationSummary, flagged []core.RunKey) {
 	if s.cfg.Ledger == nil {
 		return
 	}
 	names, hash, seed := ledger.WorkloadSetDigest(c.Spec.Profiles())
+	var fidelity string
+	if fid := c.Spec.ResolvedFidelity(); fid != platform.FidelityDetailed {
+		fidelity = fid.String()
+	}
+	var screenFlagged []string
+	for _, k := range flagged {
+		screenFlagged = append(screenFlagged, fmt.Sprintf("%s/%s/%d", k.Workload, k.Cluster, k.FreqMHz))
+	}
 	man := ledger.RunManifest{
 		Schema:           ledger.SchemaVersion,
 		CreatedUnix:      time.Now().Unix(),
@@ -926,6 +949,9 @@ func (s *Server) appendLedger(c *Campaign, hwPl, simPl *platform.Platform,
 		Gem5Version:      c.Spec.Gem5Version,
 		Tenant:           c.Tenant,
 		CampaignID:       c.ID,
+		Fidelity:         fidelity,
+		Mode:             c.Spec.Mode,
+		ScreenFlagged:    screenFlagged,
 		Cluster:          c.Spec.Cluster,
 		FreqMHz:          c.Spec.FreqMHz,
 		Workloads:        names,

@@ -81,11 +81,11 @@ func localGolden(t *testing.T, spec *CampaignSpec) (hwSet, simSet *core.RunSet) 
 	if err := spec.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	hwSet, err := core.Collect(hw.Platform(), spec.Options())
+	hwSet, err := core.Collect(context.Background(), hw.Platform(), spec.Options())
 	if err != nil {
 		t.Fatal(err)
 	}
-	simSet, err = core.Collect(gem5.Platform(gem5.V1), spec.Options())
+	simSet, err = core.Collect(context.Background(), gem5.Platform(gem5.V1), spec.Options())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +489,7 @@ func TestServiceEndToEnd(t *testing.T) {
 // without campaign tracing.
 func TestTraceEndpointStates(t *testing.T) {
 	release := make(chan struct{})
-	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	stub := func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
@@ -567,7 +567,8 @@ func TestReadyz(t *testing.T) {
 func TestAdmissionControl(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan string, 16)
-	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	stub := func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		name := opt.Name
 		started <- name
 		select {
 		case <-release:
@@ -654,7 +655,7 @@ func TestAdmissionControl(t *testing.T) {
 // malformed bytes 400, well-formed-but-invalid specs 422 — and that
 // rejected submissions neither start campaigns nor leak goroutines.
 func TestSpecErrors(t *testing.T) {
-	svc := New(Config{Collector: func(context.Context, string, *platform.Platform, core.CollectOptions) (*core.RunSet, error) {
+	svc := New(Config{Collector: func(context.Context, *platform.Platform, core.CollectOptions) (*core.RunSet, error) {
 		t.Error("rejected spec started a campaign")
 		return nil, nil
 	}})
@@ -680,6 +681,10 @@ func TestSpecErrors(t *testing.T) {
 		{"bad freq", `{"freqs_mhz": [123]}`, http.StatusUnprocessableEntity},
 		{"analysis freq not swept", `{"freq_mhz": 1400, "freqs_mhz": [1000]}`, http.StatusUnprocessableEntity},
 		{"negative max", `{"max_workloads": -1}`, http.StatusUnprocessableEntity},
+		{"fidelity wrong type", `{"fidelity": 7}`, http.StatusBadRequest},
+		{"bad fidelity", `{"fidelity": "turbo"}`, http.StatusUnprocessableEntity},
+		{"bad mode", `{"mode": "sideways"}`, http.StatusUnprocessableEntity},
+		{"fidelity in screen mode", `{"mode": "screen", "fidelity": "atomic"}`, http.StatusUnprocessableEntity},
 	}
 	before := runtime.NumGoroutine()
 	for _, tc := range cases {
@@ -781,7 +786,7 @@ func TestChaosSoak(t *testing.T) {
 // campaigns, their streams end with an error frame, and Close returns.
 func TestServerCloseCancelsCampaigns(t *testing.T) {
 	block := make(chan struct{})
-	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	stub := func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 		close(block)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -898,7 +903,7 @@ func waitTerminal(t *testing.T, base, tenant, id string) {
 // footprint is in-flight work plus a fixed archive window — never the
 // lifetime submission count.
 func TestRetentionEviction(t *testing.T) {
-	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	stub := func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 		return nil, fmt.Errorf("stub: fail fast")
 	}
 	reg := obs.NewRegistry()
@@ -965,7 +970,7 @@ func TestRetentionEviction(t *testing.T) {
 // anything.
 func TestDeleteCampaign(t *testing.T) {
 	release := make(chan struct{})
-	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	stub := func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
@@ -1020,7 +1025,8 @@ func TestDeleteCampaign(t *testing.T) {
 func TestQueueDepthGauge(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan string, 16)
-	stub := func(ctx context.Context, name string, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+	stub := func(ctx context.Context, pl *platform.Platform, opt core.CollectOptions) (*core.RunSet, error) {
+		name := opt.Name
 		started <- name
 		select {
 		case <-release:

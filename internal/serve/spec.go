@@ -23,6 +23,7 @@ import (
 	"gemstone/internal/core"
 	"gemstone/internal/gem5"
 	"gemstone/internal/hw"
+	"gemstone/internal/platform"
 	"gemstone/internal/workload"
 )
 
@@ -64,10 +65,30 @@ type CampaignSpec struct {
 	// first n entries — the knob that makes smoke campaigns cheap without
 	// enumerating names. 0 means no truncation.
 	MaxWorkloads int `json:"max_workloads,omitempty"`
+	// Fidelity selects the simulation tier ("detailed" or "atomic");
+	// empty means detailed. Atomic campaigns predict from short anchor
+	// runs — an order of magnitude cheaper, with a documented error
+	// bound — and are cached and job-addressed separately from detailed
+	// runs. Incompatible with screen mode, which sets the tier per phase.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Mode selects the campaign shape: "" or "full" runs the whole grid
+	// at one tier; "screen" sweeps the grid atomically on both platforms,
+	// flags the largest-error points, and re-simulates only those at the
+	// detailed tier (mixed-fidelity results, per-run provenance in the
+	// archives and ledger entry).
+	Mode string `json:"mode,omitempty"`
 
 	// profiles is the resolved workload list, populated by Validate.
 	profiles []workload.Profile
+	// fidelity is the parsed Fidelity, populated by Validate.
+	fidelity platform.Fidelity
 }
+
+// Campaign modes.
+const (
+	ModeFull   = "full"
+	ModeScreen = "screen"
+)
 
 // ParseCampaignSpec decodes and validates one spec from r. Unknown
 // fields, trailing data, oversized bodies and type mismatches are
@@ -96,6 +117,20 @@ func ParseCampaignSpec(r io.Reader) (*CampaignSpec, error) {
 // and the platform DVFS tables, resolving workload names to profiles.
 // All failures wrap ErrInvalid.
 func (s *CampaignSpec) Validate() error {
+	fid, err := platform.ParseFidelity(s.Fidelity)
+	if err != nil {
+		return fmt.Errorf("%w: unknown fidelity %q (want \"detailed\" or \"atomic\")", ErrInvalid, s.Fidelity)
+	}
+	s.fidelity = fid
+	switch s.Mode {
+	case "", ModeFull:
+	case ModeScreen:
+		if s.Fidelity != "" {
+			return fmt.Errorf("%w: fidelity cannot be set in screen mode (the screen sets the tier per phase)", ErrInvalid)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mode %q (want \"full\" or \"screen\")", ErrInvalid, s.Mode)
+	}
 	if s.Gem5Version == 0 {
 		s.Gem5Version = int(gem5.V1)
 	}
@@ -165,6 +200,14 @@ func (s *CampaignSpec) Validate() error {
 // succeeded).
 func (s *CampaignSpec) Profiles() []workload.Profile { return s.profiles }
 
+// ResolvedFidelity returns the parsed simulation tier (Validate must
+// have succeeded).
+func (s *CampaignSpec) ResolvedFidelity() platform.Fidelity { return s.fidelity }
+
+// Screening reports whether the spec requests a screen-then-resimulate
+// campaign.
+func (s *CampaignSpec) Screening() bool { return s.Mode == ModeScreen }
+
 // Options builds the collector options for one platform run of this
 // spec. Each call returns a fresh value so the two campaign halves
 // (hardware reference, model) never share mutable state.
@@ -173,5 +216,6 @@ func (s *CampaignSpec) Options() core.CollectOptions {
 		Workloads: append([]workload.Profile(nil), s.profiles...),
 		Clusters:  []string{s.Cluster},
 		Freqs:     map[string][]int{s.Cluster: append([]int(nil), s.FreqsMHz...)},
+		Fidelity:  s.fidelity,
 	}
 }

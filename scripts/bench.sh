@@ -16,6 +16,11 @@
 #       write/compare serve SLO metrics (latency percentiles, req/s)
 #       instead of the go-bench suite. The committed baseline is
 #       BENCH_serve.json.
+#   scripts/bench.sh -atomic [-c baseline.json] [out.json]
+#       run only the fidelity-tier pair (BenchmarkCollect_ColdCache vs
+#       BenchmarkCollect_ColdCacheAtomic) and write the atomic-tier
+#       baseline. The committed baseline is BENCH_atomic.json; gemwatch
+#       -bench-atomic enforces the detailed/atomic speedup floor on it.
 #
 # The comparison understands both metric shapes: go-bench rows keyed on
 # ns_per_op/allocs_per_op, and serve rows keyed on a generic value+unit
@@ -24,8 +29,12 @@ set -eu
 cd "$(dirname "$0")/.."
 
 serve=0
+atomic=0
 if [ "${1:-}" = "-serve" ]; then
 	serve=1
+	shift
+elif [ "${1:-}" = "-atomic" ]; then
+	atomic=1
 	shift
 fi
 baseline=""
@@ -82,18 +91,29 @@ if [ "$serve" = 1 ]; then
 	sh scripts/loadtest.sh -bench "$out"
 	echo "wrote $out"
 else
-	out="${1:-BENCH_hotloop.json}"
+	if [ "$atomic" = 1 ]; then
+		out="${1:-BENCH_atomic.json}"
+	else
+		out="${1:-BENCH_hotloop.json}"
+	fi
 	tmp="$(mktemp)"
 	trap 'rm -f "$tmp"' EXIT INT TERM
 
-	# The cold campaign simulates the full validation suite per iteration
-	# (~seconds each); 2 timed iterations keeps the suite bounded.
-	go test -run '^$' -bench 'BenchmarkCollect_' -benchtime 2x -benchmem . | tee "$tmp"
-	# Distributed traced-vs-untraced pair (the tracing-overhead bar on the
-	# wire path; the committed baseline for it is BENCH_trace.json).
-	go test -run '^$' -bench 'BenchmarkRemoteCampaign' -benchtime 20x -benchmem ./internal/dist | tee -a "$tmp"
-	go test -run '^$' -bench 'BenchmarkSpan' -benchmem ./internal/obs | tee -a "$tmp"
-	go test -run '^$' -bench '.' -benchmem ./internal/stats | tee -a "$tmp"
+	if [ "$atomic" = 1 ]; then
+		# Just the fidelity-tier pair: the detailed cold campaign and the
+		# identical campaign at the atomic tier. The ratio of the two rows
+		# is the per-op speedup gemwatch -bench-atomic guards.
+		go test -run '^$' -bench 'BenchmarkCollect_ColdCache$|BenchmarkCollect_ColdCacheAtomic$' -benchtime 2x -benchmem . | tee "$tmp"
+	else
+		# The cold campaign simulates the full validation suite per iteration
+		# (~seconds each); 2 timed iterations keeps the suite bounded.
+		go test -run '^$' -bench 'BenchmarkCollect_' -benchtime 2x -benchmem . | tee "$tmp"
+		# Distributed traced-vs-untraced pair (the tracing-overhead bar on the
+		# wire path; the committed baseline for it is BENCH_trace.json).
+		go test -run '^$' -bench 'BenchmarkRemoteCampaign' -benchtime 20x -benchmem ./internal/dist | tee -a "$tmp"
+		go test -run '^$' -bench 'BenchmarkSpan' -benchmem ./internal/obs | tee -a "$tmp"
+		go test -run '^$' -bench '.' -benchmem ./internal/stats | tee -a "$tmp"
+	fi
 
 	awk '
 	BEGIN { print "[" }

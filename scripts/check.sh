@@ -47,6 +47,13 @@ go test -count=1 -run '^Fuzz' \
 GEMSTONE_TRACE_SMOKE=1 go test -short -count=1 \
 	-run TestTraceOverheadSmoke ./internal/dist/
 
+# Fidelity-tier smoke (mirrors `make screen-smoke`): the atomic tier's
+# error bound (short workload sweep) plus the screen-then-resimulate
+# split at the core and serve layers.
+go test -short -count=1 \
+	-run 'TestAtomicErrorBound|TestScreenMixedFidelity|TestScreenModeCampaign' \
+	./internal/platform/ ./internal/core/ ./internal/serve/
+
 # staticcheck is advisory: run it when installed, but only fail the
 # gate when CHECK_STRICT=1 (CI images without the tool still pass).
 if command -v staticcheck >/dev/null 2>&1; then

@@ -15,10 +15,11 @@ package gemstone
 // operating points is s.At(1400), not a parameter re-plumb. Methods are
 // safe for concurrent use (the underlying run sets are read-only).
 type Session struct {
-	hw      *RunSet
-	sim     *RunSet
-	cluster string
-	freqMHz int
+	hw       *RunSet
+	sim      *RunSet
+	cluster  string
+	freqMHz  int
+	fidelity Fidelity
 }
 
 // NewSession pairs a hardware reference run set with a model run set at
@@ -60,6 +61,21 @@ func (s *Session) On(cluster string) *Session {
 func (s *Session) WithSim(simRuns *RunSet) *Session {
 	d := *s
 	d.sim = simRuns
+	return &d
+}
+
+// Fidelity returns the simulation tier this session's run sets were
+// collected at (informational; the zero value means detailed). Mixed
+// screen-mode sets carry per-run provenance in Measurement.Fidelity —
+// the session tier records the campaign-level intent.
+func (s *Session) Fidelity() Fidelity { return s.fidelity }
+
+// WithFidelity returns a derived session annotated with the simulation
+// tier of its run sets. Like At and On it never mutates the receiver:
+// both sessions share the same underlying run sets.
+func (s *Session) WithFidelity(f Fidelity) *Session {
+	d := *s
+	d.fidelity = f
 	return &d
 }
 

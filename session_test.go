@@ -101,6 +101,20 @@ func TestSessionDerivation(t *testing.T) {
 	if with.Sim() != hwRuns || with.HW() != hwRuns {
 		t.Fatal("WithSim did not swap the model run set")
 	}
+	fid := s.WithFidelity(gemstone.FidelityAtomic)
+	if fid.Fidelity() != gemstone.FidelityAtomic {
+		t.Fatalf("WithFidelity(atomic) reports %s", fid.Fidelity())
+	}
+	if fid.HW() != hwRuns || fid.Sim() != simRuns ||
+		fid.Cluster() != gemstone.ClusterA15 || fid.FreqMHz() != 1000 {
+		t.Fatal("WithFidelity changed more than the tier annotation")
+	}
+	if s.Fidelity() != gemstone.FidelityDetailed {
+		t.Fatal("WithFidelity mutated the original session")
+	}
+	if back := fid.WithFidelity(gemstone.FidelityDetailed); back.Fidelity() != gemstone.FidelityDetailed {
+		t.Fatalf("round-trip derivation reports %s", back.Fidelity())
+	}
 	if s.FreqMHz() != 1000 || s.Cluster() != gemstone.ClusterA15 || s.Sim() != simRuns {
 		t.Fatal("derivation mutated the original session")
 	}
